@@ -1,0 +1,69 @@
+//! Cipher throughput microbenches.
+//!
+//! Table 3's encrypted rows are cipher-bound; `osdc-transfer` models the
+//! era's single-core ceilings (Blowfish ≈ 397 mbit/s, 3DES ≈ 291 mbit/s
+//! — see `CipherModel`). These benches measure *this* workspace's real
+//! implementations so the model constants can be sanity-checked against
+//! modern hardware (expect today's cores to be several times faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use osdc_crypto::modes::CtrStream;
+use osdc_crypto::{md5::md5, BlockCipher64, Blowfish, TripleDes};
+use std::hint::black_box;
+
+const MB: usize = 1 << 20;
+
+fn bench_block_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher_block");
+    group.throughput(Throughput::Bytes(8));
+    let bf = Blowfish::new(b"table3 benchmark key");
+    group.bench_function("blowfish_encrypt_block", |b| {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        b.iter(|| {
+            x = bf.encrypt_block_u64(black_box(x));
+            x
+        })
+    });
+    let tdes = TripleDes::from_single(*b"rsync3ds");
+    group.bench_function("3des_encrypt_block", |b| {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        b.iter(|| {
+            x = tdes.encrypt_block_u64(black_box(x));
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher_stream");
+    let data = vec![0xA5u8; MB];
+    group.throughput(Throughput::Bytes(MB as u64));
+    let bf = Blowfish::new(b"udr stream key");
+    group.bench_function(BenchmarkId::new("blowfish_ctr", "1MiB"), |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            CtrStream::new(&bf, 42).apply(&mut buf);
+            buf
+        })
+    });
+    let tdes = TripleDes::from_single(*b"sshkey!!");
+    group.bench_function(BenchmarkId::new("3des_ctr", "1MiB"), |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            CtrStream::new(&tdes, 42).apply(&mut buf);
+            buf
+        })
+    });
+    group.bench_function(BenchmarkId::new("md5", "1MiB"), |b| {
+        b.iter(|| md5(black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_block_ciphers, bench_stream
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! HDFS block placement and locality-scheduling throughput, plus the
+//! GlusterFS distribute-hash write path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use osdc_mapreduce::{DataNodeId, Hdfs, TaskScheduler, BLOCK_SIZE};
+use osdc_storage::{FileData, GlusterVersion, Volume};
+
+fn bench_hdfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdfs");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("create_100_files", |b| {
+        b.iter(|| {
+            let mut fs = Hdfs::new(4, 29, 42); // OCC-Y shape
+            for i in 0..100u64 {
+                fs.create(&format!("/f{i}"), 4 * BLOCK_SIZE, DataNodeId((i % 116) as usize))
+                    .expect("create");
+            }
+            fs.node_count()
+        })
+    });
+    group.bench_function("schedule_400_blocks", |b| {
+        let mut fs = Hdfs::new(4, 29, 42);
+        fs.create("/big", 400 * BLOCK_SIZE, DataNodeId(0)).expect("create");
+        let sched = TaskScheduler::new(4);
+        b.iter(|| sched.schedule(&fs, "/big").expect("schedules").0.len())
+    });
+    group.finish();
+}
+
+fn bench_gluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gluster_volume");
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("write_500_replica2", |b| {
+        b.iter(|| {
+            let mut vol = Volume::new("v", GlusterVersion::V3_3, 8, 2, 1 << 40, 7);
+            for i in 0..500u64 {
+                vol.write(&format!("/f{i}"), FileData::synthetic(1 << 20, i), "u")
+                    .expect("write");
+            }
+            vol.used_bytes()
+        })
+    });
+    group.bench_function("heal_500_after_replace", |b| {
+        b.iter(|| {
+            let mut vol = Volume::new("v", GlusterVersion::V3_3, 2, 2, 1 << 40, 7);
+            for i in 0..500u64 {
+                vol.write(&format!("/f{i}"), FileData::synthetic(1 << 10, i), "u")
+                    .expect("write");
+            }
+            vol.fail_brick(osdc_storage::BrickId(1));
+            vol.replace_brick(osdc_storage::BrickId(1));
+            vol.heal().repaired
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hdfs, bench_gluster
+}
+criterion_main!(benches);

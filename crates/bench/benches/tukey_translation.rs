@@ -1,0 +1,60 @@
+//! Tukey middleware overhead: how much the API-translation layer costs
+//! per request, on each backend dialect and aggregated.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use osdc_sim::SimTime;
+use osdc_tukey::auth::Identity;
+use osdc_tukey::credentials::{CloudCredential, CredentialVault};
+use osdc_tukey::translation::{osdc_proxy, TranslationProxy};
+
+fn setup() -> (TranslationProxy, CredentialVault, Identity) {
+    let proxy = osdc_proxy(1);
+    let vault = CredentialVault::new();
+    let id = Identity {
+        canonical: "shib:bench@uchicago.edu".into(),
+    };
+    vault.enroll(&id, CloudCredential::new("adler", "bench", "K", "S"));
+    vault.enroll(&id, CloudCredential::new("sullivan", "bench", "K", "S"));
+    (proxy, vault, id)
+}
+
+fn bench_boot_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tukey_translation");
+    group.throughput(Throughput::Elements(1));
+    for cloud in ["adler", "sullivan"] {
+        group.bench_function(format!("boot_delete_{cloud}"), |b| {
+            let (mut proxy, vault, id) = setup();
+            let t = SimTime::ZERO;
+            b.iter(|| {
+                let resp = proxy
+                    .boot_server(&vault, &id, cloud, "vm", "m1.small", "ubuntu-base", t)
+                    .expect("boots");
+                let sid = resp["server"]["id"].as_u64().expect("id");
+                proxy
+                    .delete_server(&vault, &id, cloud, sid, t)
+                    .expect("deletes");
+            })
+        });
+    }
+    group.bench_function("aggregated_list_20_vms", |b| {
+        let (mut proxy, vault, id) = setup();
+        let t = SimTime::ZERO;
+        for i in 0..10 {
+            proxy
+                .boot_server(&vault, &id, "adler", &format!("a{i}"), "m1.small", "ubuntu-base", t)
+                .expect("boots");
+            proxy
+                .boot_server(&vault, &id, "sullivan", &format!("s{i}"), "m1.small", "ubuntu-base", t)
+                .expect("boots");
+        }
+        b.iter(|| proxy.list_servers(&vault, &id, t))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_boot_cycle
+}
+criterion_main!(benches);

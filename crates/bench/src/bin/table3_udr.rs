@@ -1,0 +1,125 @@
+//! Table 3 — UDR vs rsync transfer speeds, Chicago ↔ LVOC, 104 ms RTT.
+//!
+//! Reproduces the paper's exact grid: {UDR, rsync} × {no encryption,
+//! blowfish, 3des (rsync only)} × {108 GB, 1.1 TB}, reporting mbit/s and
+//! the long-distance-to-local ratio LLR = speed / min(source read 3072,
+//! target write 1136) = speed / 1136. Also prints the §7.2 headline
+//! speedups (87 % unencrypted, 41 % encrypted).
+//!
+//! Run: `cargo run --release -p osdc-bench --bin table3_udr`
+
+use osdc_bench::{banner, row, seed_line};
+use osdc_crypto::CipherKind;
+use osdc_net::{osdc_wan, FluidNet, OsdcSite};
+use osdc_sim::SimDuration;
+use osdc_transfer::{Protocol, TransferEngine, TransferReport, TransferSpec};
+
+/// The WAN residual-loss calibration of DESIGN.md §5.
+const LONG_HAUL_LOSS: f64 = 0.9e-7;
+const SEED: u64 = 2012;
+
+fn transfer(protocol: Protocol, cipher: CipherKind, bytes: u64, seed: u64) -> TransferReport {
+    let wan = osdc_wan(LONG_HAUL_LOSS);
+    let src = wan.node(OsdcSite::ChicagoKenwood);
+    let dst = wan.node(OsdcSite::Lvoc);
+    let mut engine = TransferEngine::new(FluidNet::new(wan.topology, seed));
+    engine.run(
+        &TransferSpec {
+            protocol,
+            cipher,
+            bytes,
+            files: 1,
+            src,
+            dst,
+        },
+        SimDuration::from_days(2),
+    )
+}
+
+fn main() {
+    banner(
+        "Table 3",
+        "overall transfer speeds (mbit/s) and LLR, Chicago ↔ Livermore, RTT 104 ms",
+    );
+    seed_line(SEED);
+
+    let gb108: u64 = 108_000_000_000;
+    let tb1_1: u64 = 1_100_000_000_000;
+
+    // (label, protocol, cipher, paper [mbit/s; LLR] for 108 GB and 1.1 TB).
+    type Row = (&'static str, Protocol, CipherKind, [f64; 2], [f64; 2]);
+    let rows: [Row; 5] = [
+        ("UDR (no encryption)", Protocol::Udr, CipherKind::None, [752.0, 738.0], [0.66, 0.64]),
+        ("rsync (no encryption)", Protocol::Rsync, CipherKind::None, [401.0, 405.0], [0.35, 0.36]),
+        ("UDR (blowfish)", Protocol::Udr, CipherKind::Blowfish, [394.0, 396.0], [0.35, 0.35]),
+        ("rsync (blowfish)", Protocol::Rsync, CipherKind::Blowfish, [280.0, 281.0], [0.25, 0.25]),
+        ("rsync (3des)", Protocol::Rsync, CipherKind::TripleDes, [284.0, 285.0], [0.25, 0.25]),
+    ];
+
+    let widths = [22usize, 10, 6, 14, 14, 10, 6, 14, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "", "108 GB", "", "(paper)", "", "1.1 TB", "", "(paper)", ""
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "protocol (cipher)", "mbit/s", "LLR", "mbit/s", "LLR", "mbit/s", "LLR", "mbit/s",
+                "LLR"
+            ],
+            &widths
+        )
+    );
+    println!("{}", "-".repeat(112));
+
+    let mut measured: Vec<(&str, f64, f64)> = Vec::new();
+    for (label, protocol, cipher, paper_mbps, paper_llr) in rows {
+        let small = transfer(protocol, cipher, gb108, SEED);
+        let large = transfer(protocol, cipher, tb1_1, SEED + 1);
+        println!(
+            "{}",
+            row(
+                &[
+                    label,
+                    &format!("{:.0}", small.mbps),
+                    &format!("{:.2}", small.llr),
+                    &format!("{:.0}", paper_mbps[0]),
+                    &format!("{:.2}", paper_llr[0]),
+                    &format!("{:.0}", large.mbps),
+                    &format!("{:.2}", large.llr),
+                    &format!("{:.0}", paper_mbps[1]),
+                    &format!("{:.2}", paper_llr[1]),
+                ],
+                &widths
+            )
+        );
+        measured.push((label, small.mbps, large.mbps));
+    }
+
+    // §7.2's headline: "UDR achieves 87% and 41% faster speeds in the
+    // unencrypted and encrypted cases, respectively, than standard rsync".
+    let get = |label: &str| {
+        measured
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .map(|(_, s, l)| (s + l) / 2.0)
+            .expect("row exists")
+    };
+    let plain = get("UDR (no encryption)") / get("rsync (no encryption)") - 1.0;
+    let enc = get("UDR (blowfish)") / get("rsync (blowfish)") - 1.0;
+    println!();
+    println!(
+        "headline: UDR is {:.0}% faster unencrypted (paper: 87%), {:.0}% faster encrypted (paper: 41%)",
+        plain * 100.0,
+        enc * 100.0
+    );
+    println!(
+        "LLR denominator: min(source read 3072, target write 1136) = 1136 mbit/s, as in §7.2"
+    );
+}

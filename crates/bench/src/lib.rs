@@ -1,0 +1,49 @@
+//! Shared output helpers for the table/figure harnesses.
+//!
+//! Every `src/bin/*` harness regenerates one table or figure of the
+//! paper and prints it in the same rows/columns the paper uses, plus the
+//! paper's published values for side-by-side comparison. The helpers
+//! here keep that output consistent.
+
+/// Print a harness banner naming the artifact being regenerated.
+pub fn banner(artifact: &str, description: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{artifact} — {description}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Print a seed line so any run can be replayed.
+pub fn seed_line(seed: u64) {
+    println!("(deterministic run, seed = {seed})\n");
+}
+
+/// Render one row of a fixed-width table.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A `measured vs paper` comparison cell like `752 (paper 752)`.
+pub fn vs(measured: f64, paper: f64, unit: &str) -> String {
+    format!("{measured:.0}{unit} (paper {paper:.0}{unit})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a", "bb"], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn vs_formatting() {
+        assert_eq!(vs(751.6, 752.0, ""), "752 (paper 752)");
+    }
+}

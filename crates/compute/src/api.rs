@@ -1,0 +1,578 @@
+//! The two native wire dialects Tukey must reconcile (§5.2).
+//!
+//! "The translation proxies take in requests based on the OpenStack API
+//! and then issue commands to each cloud based on mappings outlined in
+//! configuration files for each cloud. The result of each request is then
+//! transformed according to the rules of the configuration file, tagged
+//! with the cloud name and aggregated into a JSON response that matches
+//! the format of the OpenStack API."
+//!
+//! To make that translation real, the two stacks speak *different*
+//! languages end to end:
+//!
+//! * [`OpenStackApi`] — Nova-style REST: method + path + JSON body, JSON
+//!   responses (`{"server": {...}}`, `{"servers": [...]}`).
+//! * [`EucalyptusApi`] — EC2 query style: a flat `Action=...&Key=Value`
+//!   parameter string, XML-ish responses
+//!   (`<RunInstancesResponse>...</RunInstancesResponse>`).
+
+use std::collections::BTreeMap;
+
+use osdc_sim::SimTime;
+use serde_json::{json, Value};
+
+use crate::cloud::{CloudController, SchedulingError};
+use crate::image::ImageId;
+use crate::instance::{InstanceId, InstanceState};
+
+/// Errors either dialect can return.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    BadRequest(String),
+    NotFound(String),
+    /// Scheduler-level failure (capacity, unknown flavor/image).
+    Compute(String),
+}
+
+impl From<SchedulingError> for ApiError {
+    fn from(e: SchedulingError) -> Self {
+        match e {
+            SchedulingError::UnknownInstance(id) => ApiError::NotFound(format!("instance {id:?}")),
+            other => ApiError::Compute(format!("{other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OpenStack dialect
+// ---------------------------------------------------------------------------
+
+/// Nova-style JSON API over a [`CloudController`].
+pub struct OpenStackApi<'c> {
+    pub cloud: &'c mut CloudController,
+}
+
+impl<'c> OpenStackApi<'c> {
+    pub fn new(cloud: &'c mut CloudController) -> Self {
+        OpenStackApi { cloud }
+    }
+
+    /// Dispatch `method path` with an optional JSON body, acting as
+    /// `user`. Supported routes: `POST /servers`, `GET /servers`,
+    /// `GET /servers/{id}`, `DELETE /servers/{id}`, `GET /flavors`,
+    /// `GET /images`.
+    pub fn handle(
+        &mut self,
+        user: &str,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+        now: SimTime,
+    ) -> Result<Value, ApiError> {
+        match (method, path) {
+            ("POST", "/servers") => {
+                let server = body
+                    .and_then(|b| b.get("server"))
+                    .ok_or_else(|| ApiError::BadRequest("missing 'server' object".into()))?;
+                let name = server
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ApiError::BadRequest("missing server.name".into()))?;
+                let flavor = server
+                    .get("flavorRef")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ApiError::BadRequest("missing server.flavorRef".into()))?;
+                let image_id = server
+                    .get("imageRef")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ApiError::BadRequest("missing server.imageRef".into()))?;
+                let id = self
+                    .cloud
+                    .boot(user, name, flavor, ImageId(image_id), now)?;
+                Ok(json!({"server": {"id": id.0, "name": name, "status": "ACTIVE"}}))
+            }
+            ("GET", "/servers") => {
+                let servers: Vec<Value> = self
+                    .cloud
+                    .instances_of(user)
+                    .filter(|i| i.state != InstanceState::Terminated)
+                    .map(|i| {
+                        json!({
+                            "id": i.id.0,
+                            "name": i.name,
+                            "status": i.state.openstack(),
+                            "flavor": {"name": i.flavor.name, "vcpus": i.flavor.vcpus},
+                            "image": {"id": i.image.0},
+                        })
+                    })
+                    .collect();
+                Ok(json!({ "servers": servers }))
+            }
+            ("GET", "/flavors") => {
+                let flavors: Vec<Value> = self
+                    .cloud
+                    .flavors()
+                    .iter()
+                    .map(|f| {
+                        json!({"name": f.name, "vcpus": f.vcpus, "ram": f.ram_mb, "disk": f.disk_gb})
+                    })
+                    .collect();
+                Ok(json!({ "flavors": flavors }))
+            }
+            ("GET", "/images") => {
+                let images: Vec<Value> = self
+                    .cloud
+                    .images()
+                    .map(|i| json!({"id": i.id.0, "name": i.name, "tools": i.tools}))
+                    .collect();
+                Ok(json!({ "images": images }))
+            }
+            _ => {
+                // Parameterized routes.
+                if let Some(rest) = path.strip_prefix("/servers/") {
+                    // Nova action routes: POST /servers/{id}/action.
+                    if let Some(id_str) = rest.strip_suffix("/action") {
+                        if method != "POST" {
+                            return Err(ApiError::BadRequest(format!("{method} {path}")));
+                        }
+                        let id: u64 = id_str
+                            .parse()
+                            .map_err(|_| ApiError::BadRequest(format!("bad server id '{id_str}'")))?;
+                        let id = InstanceId(id);
+                        if self.cloud.instance(id).map(|i| i.owner.as_str()) != Some(user) {
+                            return Err(ApiError::NotFound(format!("server {}", id.0)));
+                        }
+                        let body = body.ok_or_else(|| {
+                            ApiError::BadRequest("action requires a body".into())
+                        })?;
+                        if body.get("os-stop").is_some() {
+                            self.cloud.stop(id, now)?;
+                        } else if body.get("os-start").is_some() {
+                            self.cloud.start(id, now)?;
+                        } else {
+                            return Err(ApiError::BadRequest("unknown action".into()));
+                        }
+                        let i = self.cloud.instance(id).expect("checked above");
+                        return Ok(json!({"server": {"id": id.0, "status": i.state.openstack()}}));
+                    }
+                    let id: u64 = rest
+                        .parse()
+                        .map_err(|_| ApiError::BadRequest(format!("bad server id '{rest}'")))?;
+                    let id = InstanceId(id);
+                    return match method {
+                        "GET" => {
+                            let i = self
+                                .cloud
+                                .instance(id)
+                                .filter(|i| i.owner == user)
+                                .ok_or_else(|| ApiError::NotFound(format!("server {}", id.0)))?;
+                            Ok(json!({"server": {
+                                "id": i.id.0,
+                                "name": i.name,
+                                "status": i.state.openstack(),
+                            }}))
+                        }
+                        "DELETE" => {
+                            if self.cloud.instance(id).map(|i| i.owner.as_str()) != Some(user) {
+                                return Err(ApiError::NotFound(format!("server {}", id.0)));
+                            }
+                            self.cloud.terminate(id, now)?;
+                            Ok(json!({}))
+                        }
+                        _ => Err(ApiError::BadRequest(format!("{method} {path}"))),
+                    };
+                }
+                Err(ApiError::BadRequest(format!("{method} {path}")))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eucalyptus dialect
+// ---------------------------------------------------------------------------
+
+/// EC2-query-style API over a [`CloudController`].
+pub struct EucalyptusApi<'c> {
+    pub cloud: &'c mut CloudController,
+}
+
+impl<'c> EucalyptusApi<'c> {
+    pub fn new(cloud: &'c mut CloudController) -> Self {
+        EucalyptusApi { cloud }
+    }
+
+    fn parse_query(query: &str) -> BTreeMap<&str, &str> {
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .collect()
+    }
+
+    fn parse_ec2_id(s: &str) -> Option<InstanceId> {
+        u64::from_str_radix(s.strip_prefix("i-")?, 16).ok().map(InstanceId)
+    }
+
+    fn parse_emi(s: &str) -> Option<ImageId> {
+        u64::from_str_radix(s.strip_prefix("emi-")?, 16).ok().map(ImageId)
+    }
+
+    /// Dispatch an `Action=...` query string, acting as `user`. Supported:
+    /// `RunInstances`, `DescribeInstances`, `TerminateInstances`,
+    /// `DescribeImages`.
+    pub fn handle(&mut self, user: &str, query: &str, now: SimTime) -> Result<String, ApiError> {
+        let params = Self::parse_query(query);
+        match params.get("Action").copied() {
+            Some("RunInstances") => {
+                let image = params
+                    .get("ImageId")
+                    .and_then(|s| Self::parse_emi(s))
+                    .ok_or_else(|| ApiError::BadRequest("missing/invalid ImageId".into()))?;
+                let flavor = params
+                    .get("InstanceType")
+                    .copied()
+                    .ok_or_else(|| ApiError::BadRequest("missing InstanceType".into()))?;
+                let name = params.get("ClientToken").copied().unwrap_or("euca-instance");
+                let id = self.cloud.boot(user, name, flavor, image, now)?;
+                Ok(format!(
+                    "<RunInstancesResponse><instancesSet><item><instanceId>{}</instanceId>\
+                     <imageId>{}</imageId><instanceState><name>running</name></instanceState>\
+                     </item></instancesSet></RunInstancesResponse>",
+                    id.ec2(),
+                    image.emi()
+                ))
+            }
+            Some("DescribeInstances") => {
+                let items: String = self
+                    .cloud
+                    .instances_of(user)
+                    .filter(|i| i.state != InstanceState::Terminated)
+                    .map(|i| {
+                        format!(
+                            "<item><instanceId>{}</instanceId><instanceType>{}</instanceType>\
+                             <instanceState><name>{}</name></instanceState></item>",
+                            i.id.ec2(),
+                            i.flavor.name,
+                            i.state.ec2()
+                        )
+                    })
+                    .collect();
+                Ok(format!(
+                    "<DescribeInstancesResponse><reservationSet>{items}</reservationSet>\
+                     </DescribeInstancesResponse>"
+                ))
+            }
+            Some("TerminateInstances") => {
+                let id = params
+                    .get("InstanceId.1")
+                    .and_then(|s| Self::parse_ec2_id(s))
+                    .ok_or_else(|| ApiError::BadRequest("missing/invalid InstanceId.1".into()))?;
+                if self.cloud.instance(id).map(|i| i.owner.as_str()) != Some(user) {
+                    return Err(ApiError::NotFound(format!("instance {}", id.ec2())));
+                }
+                self.cloud.terminate(id, now)?;
+                Ok(format!(
+                    "<TerminateInstancesResponse><instancesSet><item><instanceId>{}</instanceId>\
+                     <currentState><name>terminated</name></currentState></item></instancesSet>\
+                     </TerminateInstancesResponse>",
+                    id.ec2()
+                ))
+            }
+            Some(action @ ("StopInstances" | "StartInstances")) => {
+                let id = params
+                    .get("InstanceId.1")
+                    .and_then(|s| Self::parse_ec2_id(s))
+                    .ok_or_else(|| ApiError::BadRequest("missing/invalid InstanceId.1".into()))?;
+                if self.cloud.instance(id).map(|i| i.owner.as_str()) != Some(user) {
+                    return Err(ApiError::NotFound(format!("instance {}", id.ec2())));
+                }
+                if action == "StopInstances" {
+                    self.cloud.stop(id, now)?;
+                } else {
+                    self.cloud.start(id, now)?;
+                }
+                let state = self.cloud.instance(id).expect("checked above").state.ec2();
+                Ok(format!(
+                    "<{action}Response><instancesSet><item><instanceId>{}</instanceId>\
+                     <currentState><name>{state}</name></currentState></item></instancesSet>\
+                     </{action}Response>",
+                    id.ec2()
+                ))
+            }
+            Some("DescribeImages") => {
+                let items: String = self
+                    .cloud
+                    .images()
+                    .map(|i| {
+                        format!(
+                            "<item><imageId>{}</imageId><name>{}</name></item>",
+                            i.id.emi(),
+                            i.name
+                        )
+                    })
+                    .collect();
+                Ok(format!(
+                    "<DescribeImagesResponse><imagesSet>{items}</imagesSet></DescribeImagesResponse>"
+                ))
+            }
+            Some(other) => Err(ApiError::BadRequest(format!("unsupported Action={other}"))),
+            None => Err(ApiError::BadRequest("missing Action".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{Host, HostId};
+
+    fn cloud() -> CloudController {
+        let hosts = (0..2)
+            .map(|i| Host::new(HostId(i), format!("h{i}"), 8, 32_768, 8_000))
+            .collect();
+        CloudController::new("adler", hosts)
+    }
+
+    #[test]
+    fn openstack_boot_list_delete() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        let resp = api
+            .handle(
+                "alice",
+                "POST",
+                "/servers",
+                Some(&json!({"server": {"name": "vm1", "flavorRef": "m1.small", "imageRef": 1}})),
+                SimTime::ZERO,
+            )
+            .expect("boots");
+        let id = resp["server"]["id"].as_u64().expect("id present");
+        assert_eq!(resp["server"]["status"], "ACTIVE");
+
+        let list = api
+            .handle("alice", "GET", "/servers", None, SimTime(1))
+            .expect("lists");
+        assert_eq!(list["servers"].as_array().expect("array").len(), 1);
+
+        api.handle("alice", "DELETE", &format!("/servers/{id}"), None, SimTime(2))
+            .expect("deletes");
+        let list = api
+            .handle("alice", "GET", "/servers", None, SimTime(3))
+            .expect("lists");
+        assert!(list["servers"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn openstack_listing_is_per_user() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        api.handle(
+            "alice",
+            "POST",
+            "/servers",
+            Some(&json!({"server": {"name": "a", "flavorRef": "m1.small", "imageRef": 1}})),
+            SimTime::ZERO,
+        )
+        .expect("boots");
+        let bob = api
+            .handle("bob", "GET", "/servers", None, SimTime(1))
+            .expect("lists");
+        assert!(bob["servers"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn openstack_cannot_delete_foreign_server() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        let resp = api
+            .handle(
+                "alice",
+                "POST",
+                "/servers",
+                Some(&json!({"server": {"name": "a", "flavorRef": "m1.small", "imageRef": 1}})),
+                SimTime::ZERO,
+            )
+            .expect("boots");
+        let id = resp["server"]["id"].as_u64().expect("id");
+        let err = api
+            .handle("mallory", "DELETE", &format!("/servers/{id}"), None, SimTime(1))
+            .expect_err("foreign delete rejected");
+        assert!(matches!(err, ApiError::NotFound(_)));
+    }
+
+    #[test]
+    fn openstack_bad_requests() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        assert!(matches!(
+            api.handle("u", "POST", "/servers", Some(&json!({})), SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            api.handle("u", "PATCH", "/servers", None, SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            api.handle("u", "GET", "/servers/notanumber", None, SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn openstack_flavors_and_images() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        let flavors = api
+            .handle("u", "GET", "/flavors", None, SimTime::ZERO)
+            .expect("flavors");
+        assert_eq!(flavors["flavors"].as_array().expect("array").len(), 4);
+        let images = api
+            .handle("u", "GET", "/images", None, SimTime::ZERO)
+            .expect("images");
+        assert!(images["images"].as_array().expect("array").len() >= 4);
+    }
+
+    #[test]
+    fn eucalyptus_run_describe_terminate() {
+        let mut c = cloud();
+        let mut api = EucalyptusApi::new(&mut c);
+        let resp = api
+            .handle(
+                "alice",
+                "Action=RunInstances&ImageId=emi-00000001&InstanceType=m1.small&ClientToken=vm1",
+                SimTime::ZERO,
+            )
+            .expect("runs");
+        assert!(resp.contains("<instanceId>i-00000001</instanceId>"), "{resp}");
+        assert!(resp.contains("running"));
+
+        let desc = api
+            .handle("alice", "Action=DescribeInstances", SimTime(1))
+            .expect("describes");
+        assert!(desc.contains("i-00000001"));
+        assert!(desc.contains("<instanceType>m1.small</instanceType>"));
+
+        let term = api
+            .handle(
+                "alice",
+                "Action=TerminateInstances&InstanceId.1=i-00000001",
+                SimTime(2),
+            )
+            .expect("terminates");
+        assert!(term.contains("terminated"));
+        let desc = api
+            .handle("alice", "Action=DescribeInstances", SimTime(3))
+            .expect("describes");
+        assert!(!desc.contains("i-00000001"));
+    }
+
+    #[test]
+    fn eucalyptus_rejects_bad_input() {
+        let mut c = cloud();
+        let mut api = EucalyptusApi::new(&mut c);
+        assert!(matches!(
+            api.handle("u", "Action=RunInstances&InstanceType=m1.small", SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            api.handle("u", "Action=FlyToTheMoon", SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            api.handle("u", "NoAction=1", SimTime::ZERO),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn eucalyptus_ownership_enforced() {
+        let mut c = cloud();
+        let mut api = EucalyptusApi::new(&mut c);
+        api.handle(
+            "alice",
+            "Action=RunInstances&ImageId=emi-00000001&InstanceType=m1.small",
+            SimTime::ZERO,
+        )
+        .expect("runs");
+        let err = api
+            .handle(
+                "mallory",
+                "Action=TerminateInstances&InstanceId.1=i-00000001",
+                SimTime(1),
+            )
+            .expect_err("foreign terminate rejected");
+        assert!(matches!(err, ApiError::NotFound(_)));
+    }
+
+    #[test]
+    fn openstack_stop_start_actions() {
+        let mut c = cloud();
+        let mut api = OpenStackApi::new(&mut c);
+        let resp = api
+            .handle(
+                "alice",
+                "POST",
+                "/servers",
+                Some(&json!({"server": {"name": "a", "flavorRef": "m1.small", "imageRef": 1}})),
+                SimTime::ZERO,
+            )
+            .expect("boots");
+        let id = resp["server"]["id"].as_u64().expect("id");
+        let stopped = api
+            .handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-stop": null})), SimTime(1))
+            .expect("stops");
+        assert_eq!(stopped["server"]["status"], "SHUTOFF");
+        let started = api
+            .handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-start": null})), SimTime(2))
+            .expect("starts");
+        assert_eq!(started["server"]["status"], "ACTIVE");
+        // Unknown action and foreign access rejected.
+        assert!(matches!(
+            api.handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"reboot": null})), SimTime(3)),
+            Err(ApiError::BadRequest(_))
+        ));
+        assert!(matches!(
+            api.handle("mallory", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-stop": null})), SimTime(4)),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn eucalyptus_stop_start_actions() {
+        let mut c = cloud();
+        let mut api = EucalyptusApi::new(&mut c);
+        api.handle(
+            "alice",
+            "Action=RunInstances&ImageId=emi-00000001&InstanceType=m1.medium",
+            SimTime::ZERO,
+        )
+        .expect("runs");
+        let stopped = api
+            .handle("alice", "Action=StopInstances&InstanceId.1=i-00000001", SimTime(1))
+            .expect("stops");
+        assert!(stopped.contains("<name>stopped</name>"), "{stopped}");
+        let started = api
+            .handle("alice", "Action=StartInstances&InstanceId.1=i-00000001", SimTime(2))
+            .expect("starts");
+        assert!(started.contains("<name>running</name>"), "{started}");
+    }
+
+    #[test]
+    fn dialects_share_one_controller() {
+        // Boot via OpenStack, observe via Eucalyptus: same cloud state.
+        let mut c = cloud();
+        OpenStackApi::new(&mut c)
+            .handle(
+                "alice",
+                "POST",
+                "/servers",
+                Some(&json!({"server": {"name": "x", "flavorRef": "m1.large", "imageRef": 2}})),
+                SimTime::ZERO,
+            )
+            .expect("boots");
+        let desc = EucalyptusApi::new(&mut c)
+            .handle("alice", "Action=DescribeInstances", SimTime(1))
+            .expect("describes");
+        assert!(desc.contains("m1.large"), "{desc}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Physical hosts: the 39-server, 8-core/8-TB racks of footnote 2.
+
+/// Identifies a host within one cloud.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// One physical server.
+#[derive(Clone, Debug)]
+pub struct Host {
+    pub id: HostId,
+    pub name: String,
+    pub cores: u32,
+    pub ram_mb: u64,
+    pub disk_gb: u64,
+    allocated_cores: u32,
+    allocated_ram_mb: u64,
+    allocated_disk_gb: u64,
+}
+
+impl Host {
+    pub fn new(id: HostId, name: impl Into<String>, cores: u32, ram_mb: u64, disk_gb: u64) -> Self {
+        Host {
+            id,
+            name: name.into(),
+            cores,
+            ram_mb,
+            disk_gb,
+            allocated_cores: 0,
+            allocated_ram_mb: 0,
+            allocated_disk_gb: 0,
+        }
+    }
+
+    /// The paper's standard rack unit: "39 servers, each with 8 cores and
+    /// 8 TB of disk" (§9.1 footnote), with an era-typical 32 GB of RAM.
+    pub fn osdc_standard(id: HostId, name: impl Into<String>) -> Self {
+        Host::new(id, name, 8, 32_768, 8_000)
+    }
+
+    pub fn free_cores(&self) -> u32 {
+        self.cores - self.allocated_cores
+    }
+    pub fn free_ram_mb(&self) -> u64 {
+        self.ram_mb - self.allocated_ram_mb
+    }
+    pub fn free_disk_gb(&self) -> u64 {
+        self.disk_gb - self.allocated_disk_gb
+    }
+    pub fn allocated_cores(&self) -> u32 {
+        self.allocated_cores
+    }
+
+    pub fn fits(&self, cores: u32, ram_mb: u64, disk_gb: u64) -> bool {
+        self.free_cores() >= cores && self.free_ram_mb() >= ram_mb && self.free_disk_gb() >= disk_gb
+    }
+
+    /// Claim resources; returns false (unchanged) if they do not fit.
+    pub fn allocate(&mut self, cores: u32, ram_mb: u64, disk_gb: u64) -> bool {
+        if !self.fits(cores, ram_mb, disk_gb) {
+            return false;
+        }
+        self.allocated_cores += cores;
+        self.allocated_ram_mb += ram_mb;
+        self.allocated_disk_gb += disk_gb;
+        true
+    }
+
+    pub fn release(&mut self, cores: u32, ram_mb: u64, disk_gb: u64) {
+        debug_assert!(self.allocated_cores >= cores, "release more cores than allocated");
+        self.allocated_cores = self.allocated_cores.saturating_sub(cores);
+        self.allocated_ram_mb = self.allocated_ram_mb.saturating_sub(ram_mb);
+        self.allocated_disk_gb = self.allocated_disk_gb.saturating_sub(disk_gb);
+    }
+
+    /// Core utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.allocated_cores as f64 / self.cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_host_matches_paper_footnote() {
+        let h = Host::osdc_standard(HostId(0), "r1s1");
+        assert_eq!(h.cores, 8);
+        assert_eq!(h.disk_gb, 8_000);
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut h = Host::new(HostId(0), "h", 8, 1000, 100);
+        assert!(h.allocate(4, 500, 50));
+        assert_eq!(h.free_cores(), 4);
+        assert!((h.utilization() - 0.5).abs() < 1e-12);
+        assert!(!h.allocate(5, 1, 1), "over cores");
+        assert!(!h.allocate(1, 501, 1), "over ram");
+        assert!(!h.allocate(1, 1, 51), "over disk");
+        assert_eq!(h.free_cores(), 4, "failed allocation must not change state");
+        h.release(4, 500, 50);
+        assert_eq!(h.free_cores(), 8);
+        assert_eq!(h.utilization(), 0.0);
+    }
+
+    #[test]
+    fn exact_fit() {
+        let mut h = Host::new(HostId(0), "h", 2, 10, 10);
+        assert!(h.allocate(2, 10, 10));
+        assert!(!h.fits(1, 0, 0));
+    }
+}

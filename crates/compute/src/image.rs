@@ -1,0 +1,157 @@
+//! Machine images: the community tool-stacks of §3.2 and §4.1.
+//!
+//! "Make available computing images via infrastructure as a service that
+//! contain the software tools and applications commonly used by a
+//! community" (§3.2 rule 5) — and, against lock-in, "provide mechanisms to
+//! both import and export data and the associated computing environment so
+//! that researchers can easily move their computing infrastructures
+//! between science clouds" (rule 6). §9: "In general, OSDC machine images
+//! can also run on AWS."
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ImageId(pub u64);
+
+impl ImageId {
+    /// Eucalyptus machine-image rendering.
+    pub fn emi(self) -> String {
+        format!("emi-{:08x}", self.0)
+    }
+}
+
+/// A bootable image with its community tool inventory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineImage {
+    pub id: ImageId,
+    pub name: String,
+    pub os: String,
+    /// Pre-installed community pipelines/tools (e.g. bwa, samtools for the
+    /// Bionimbus images).
+    pub tools: Vec<String>,
+    pub size_gb: u64,
+    /// Whether the image can be exported to run on another CSP (science-CSP
+    /// property in Table 1; commercial CSPs favour lock-in).
+    pub exportable: bool,
+}
+
+impl MachineImage {
+    /// The image catalog the examples and experiments boot from.
+    pub fn osdc_catalog() -> Vec<MachineImage> {
+        let mk = |id: u64, name: &str, tools: &[&str], size_gb| MachineImage {
+            id: ImageId(id),
+            name: name.to_string(),
+            os: "ubuntu-12.04".to_string(),
+            tools: tools.iter().map(|s| s.to_string()).collect(),
+            size_gb,
+            exportable: true,
+        };
+        vec![
+            mk(1, "ubuntu-base", &[], 2),
+            mk(
+                2,
+                "bionimbus-genomics",
+                &["bwa", "samtools", "bowtie", "tophat", "gatk"],
+                12,
+            ),
+            mk(
+                3,
+                "matsu-earth-obs",
+                &["gdal", "hadoop-client", "flood-detect"],
+                8,
+            ),
+            mk(4, "bookworm-nlp", &["ngrams", "mysql", "solr"], 10),
+        ]
+    }
+
+    /// Export the image as a portable bundle descriptor (what moves to AWS
+    /// or another science cloud). Returns `None` for locked-in images.
+    pub fn export_bundle(&self) -> Option<String> {
+        self.exportable.then(|| {
+            format!(
+                "bundle:{}:{}:{}gb:tools={}",
+                self.id.emi(),
+                self.name,
+                self.size_gb,
+                self.tools.join(",")
+            )
+        })
+    }
+
+    /// Import a bundle produced by [`Self::export_bundle`] (possibly from
+    /// another cloud), assigning a fresh local id.
+    pub fn import_bundle(bundle: &str, new_id: ImageId) -> Option<MachineImage> {
+        let mut parts = bundle.split(':');
+        if parts.next() != Some("bundle") {
+            return None;
+        }
+        let _foreign_id = parts.next()?;
+        let name = parts.next()?.to_string();
+        let size_gb: u64 = parts.next()?.strip_suffix("gb")?.parse().ok()?;
+        let tools_part = parts.next()?.strip_prefix("tools=")?;
+        let tools = if tools_part.is_empty() {
+            Vec::new()
+        } else {
+            tools_part.split(',').map(str::to_string).collect()
+        };
+        Some(MachineImage {
+            id: new_id,
+            name,
+            os: "ubuntu-12.04".to_string(),
+            tools,
+            size_gb,
+            exportable: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_community_images() {
+        let cat = MachineImage::osdc_catalog();
+        assert!(cat.iter().any(|i| i.name == "bionimbus-genomics"));
+        let bio = cat.iter().find(|i| i.name == "bionimbus-genomics").expect("exists");
+        assert!(bio.tools.iter().any(|t| t == "samtools"));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let img = &MachineImage::osdc_catalog()[1];
+        let bundle = img.export_bundle().expect("exportable");
+        let back = MachineImage::import_bundle(&bundle, ImageId(77)).expect("parses");
+        assert_eq!(back.id, ImageId(77));
+        assert_eq!(back.name, img.name);
+        assert_eq!(back.tools, img.tools);
+        assert_eq!(back.size_gb, img.size_gb);
+    }
+
+    #[test]
+    fn locked_in_image_cannot_export() {
+        let mut img = MachineImage::osdc_catalog()[0].clone();
+        img.exportable = false;
+        assert!(img.export_bundle().is_none());
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(MachineImage::import_bundle("not a bundle", ImageId(1)).is_none());
+        assert!(MachineImage::import_bundle("bundle:xx", ImageId(1)).is_none());
+        assert!(MachineImage::import_bundle("bundle:id:name:XXgb:tools=", ImageId(1)).is_none());
+    }
+
+    #[test]
+    fn import_empty_toolset() {
+        let img = &MachineImage::osdc_catalog()[0]; // no tools
+        let bundle = img.export_bundle().expect("exportable");
+        let back = MachineImage::import_bundle(&bundle, ImageId(5)).expect("parses");
+        assert!(back.tools.is_empty());
+    }
+
+    #[test]
+    fn emi_format() {
+        assert_eq!(ImageId(255).emi(), "emi-000000ff");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests on the cloud controller: resource accounting under
+//! arbitrary boot/stop/start/terminate interleavings never leaks or
+//! double-frees capacity.
+
+use osdc_compute::{CloudController, Host, HostId, ImageId, InstanceId, InstanceState};
+use osdc_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Boot { flavor: u8 },
+    Stop { idx: u8 },
+    Start { idx: u8 },
+    Terminate { idx: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..4).prop_map(|flavor| Op::Boot { flavor }),
+        1 => any::<u8>().prop_map(|idx| Op::Stop { idx }),
+        1 => any::<u8>().prop_map(|idx| Op::Start { idx }),
+        1 => any::<u8>().prop_map(|idx| Op::Terminate { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accounting_is_exact_under_arbitrary_lifecycles(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let hosts = (0..6)
+            .map(|i| Host::new(HostId(i), format!("h{i}"), 8, 32_768, 8_000))
+            .collect();
+        let mut cloud = CloudController::new("prop", hosts);
+        let flavors = ["m1.small", "m1.medium", "m1.large", "m1.xlarge"];
+        let mut instances: Vec<InstanceId> = Vec::new();
+        let mut t = 0u64;
+
+        for op in ops {
+            t += 1;
+            let now = SimTime(t);
+            match op {
+                Op::Boot { flavor } => {
+                    // Boot may legitimately fail on capacity; both paths ok.
+                    if let Ok(id) =
+                        cloud.boot("u", "vm", flavors[flavor as usize], ImageId(1), now)
+                    {
+                        instances.push(id);
+                    }
+                }
+                Op::Stop { idx } if !instances.is_empty() => {
+                    let id = instances[idx as usize % instances.len()];
+                    cloud.stop(id, now).expect("stop never errors on known ids");
+                }
+                Op::Start { idx } if !instances.is_empty() => {
+                    let id = instances[idx as usize % instances.len()];
+                    // Start may fail if cores were given away meanwhile.
+                    let _ = cloud.start(id, now);
+                }
+                Op::Terminate { idx } if !instances.is_empty() => {
+                    let id = instances[idx as usize % instances.len()];
+                    cloud.terminate(id, now).expect("terminate never errors on known ids");
+                }
+                _ => {}
+            }
+            // Invariant: allocated cores equal the sum over running
+            // instances, always.
+            let expected: u32 = cloud
+                .all_instances()
+                .filter(|i| {
+                    matches!(i.state, InstanceState::Active | InstanceState::Building)
+                })
+                .map(|i| i.flavor.vcpus)
+                .sum();
+            prop_assert_eq!(cloud.allocated_cores(), expected);
+            prop_assert!(cloud.allocated_cores() <= cloud.total_cores());
+        }
+
+        // Terminate everything: the cloud must return to exactly zero.
+        let t_final = SimTime(t + 1);
+        for id in &instances {
+            cloud.terminate(*id, t_final).expect("terminate");
+        }
+        prop_assert_eq!(cloud.allocated_cores(), 0);
+        // And the whole capacity is usable again.
+        for i in 0..6 {
+            let name = format!("refill{i}");
+            prop_assert!(cloud.boot("u", &name, "m1.xlarge", ImageId(1), t_final).is_ok());
+        }
+    }
+}

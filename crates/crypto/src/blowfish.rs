@@ -1,0 +1,200 @@
+//! Blowfish (Schneier, 1993) — the cipher UDR shipped with (§7.2).
+//!
+//! 64-bit block, 16 Feistel rounds, key-dependent S-boxes. The initial
+//! P-array/S-box constants are π's hex digits, produced by [`crate::bbp`]
+//! and cached in a process-wide `OnceLock`. Correctness is pinned by the
+//! published Eric Young test vectors below.
+
+use crate::modes::BlockCipher64;
+use crate::pi_tables::{PI_P, PI_S};
+
+const ROUNDS: usize = 16;
+
+/// A keyed Blowfish instance.
+#[derive(Clone)]
+pub struct Blowfish {
+    p: [u32; ROUNDS + 2],
+    s: [[u32; 256]; 4],
+}
+
+impl Blowfish {
+    /// Key length must be 1..=56 bytes (448 bits), per the specification.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 56,
+            "Blowfish key must be 1..=56 bytes, got {}",
+            key.len()
+        );
+        let mut bf = Blowfish { p: PI_P, s: PI_S };
+        // XOR the key cyclically into the P-array.
+        let mut key_pos = 0;
+        for p in bf.p.iter_mut() {
+            let mut word = 0u32;
+            for _ in 0..4 {
+                word = (word << 8) | key[key_pos] as u32;
+                key_pos = (key_pos + 1) % key.len();
+            }
+            *p ^= word;
+        }
+        // Replace P and S entries by repeatedly encrypting the zero block.
+        let mut block = (0u32, 0u32);
+        for i in (0..ROUNDS + 2).step_by(2) {
+            block = bf.encrypt_words(block.0, block.1);
+            bf.p[i] = block.0;
+            bf.p[i + 1] = block.1;
+        }
+        for sbox in 0..4 {
+            for i in (0..256).step_by(2) {
+                block = bf.encrypt_words(block.0, block.1);
+                bf.s[sbox][i] = block.0;
+                bf.s[sbox][i + 1] = block.1;
+            }
+        }
+        bf
+    }
+
+    #[inline]
+    fn feistel(&self, x: u32) -> u32 {
+        let a = (x >> 24) as usize;
+        let b = (x >> 16 & 0xFF) as usize;
+        let c = (x >> 8 & 0xFF) as usize;
+        let d = (x & 0xFF) as usize;
+        (self.s[0][a].wrapping_add(self.s[1][b]) ^ self.s[2][c]).wrapping_add(self.s[3][d])
+    }
+
+    /// Encrypt one block given as two big-endian words.
+    #[inline]
+    pub fn encrypt_words(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in 0..ROUNDS {
+            l ^= self.p[i];
+            r ^= self.feistel(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[ROUNDS];
+        l ^= self.p[ROUNDS + 1];
+        (l, r)
+    }
+
+    /// Decrypt one block given as two big-endian words.
+    #[inline]
+    pub fn decrypt_words(&self, mut l: u32, mut r: u32) -> (u32, u32) {
+        for i in (2..ROUNDS + 2).rev() {
+            l ^= self.p[i];
+            r ^= self.feistel(l);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r ^= self.p[1];
+        l ^= self.p[0];
+        (l, r)
+    }
+}
+
+impl BlockCipher64 for Blowfish {
+    fn encrypt_block_u64(&self, block: u64) -> u64 {
+        let (l, r) = self.encrypt_words((block >> 32) as u32, block as u32);
+        (l as u64) << 32 | r as u64
+    }
+
+    fn decrypt_block_u64(&self, block: u64) -> u64 {
+        let (l, r) = self.decrypt_words((block >> 32) as u32, block as u32);
+        (l as u64) << 32 | r as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::BlockCipher64;
+
+    fn hex_u64(s: &str) -> u64 {
+        u64::from_str_radix(s, 16).unwrap()
+    }
+
+    fn key_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// Published Blowfish test vectors (Eric Young's set, as distributed
+    /// with the reference implementation).
+    const VECTORS: &[(&str, &str, &str)] = &[
+        ("0000000000000000", "0000000000000000", "4EF997456198DD78"),
+        ("FFFFFFFFFFFFFFFF", "FFFFFFFFFFFFFFFF", "51866FD5B85ECB8A"),
+        ("3000000000000000", "1000000000000001", "7D856F9A613063F2"),
+        ("1111111111111111", "1111111111111111", "2466DD878B963C9D"),
+        ("0123456789ABCDEF", "1111111111111111", "61F9C3802281B096"),
+        ("1111111111111111", "0123456789ABCDEF", "7D0CC630AFDA1EC7"),
+        ("FEDCBA9876543210", "0123456789ABCDEF", "0ACEAB0FC6A0A28D"),
+        ("7CA110454A1A6E57", "01A1D6D039776742", "59C68245EB05282B"),
+        ("0131D9619DC1376E", "5CD54CA83DEF57DA", "B1B8CC0B250F09A0"),
+        ("07A1133E4A0B2686", "0248D43806F67172", "1730E5778BEA1DA4"),
+    ];
+
+    #[test]
+    fn published_vectors_encrypt() {
+        for (key, pt, ct) in VECTORS {
+            let bf = Blowfish::new(&key_bytes(key));
+            assert_eq!(
+                bf.encrypt_block_u64(hex_u64(pt)),
+                hex_u64(ct),
+                "key={key} pt={pt}"
+            );
+        }
+    }
+
+    #[test]
+    fn published_vectors_decrypt() {
+        for (key, pt, ct) in VECTORS {
+            let bf = Blowfish::new(&key_bytes(key));
+            assert_eq!(
+                bf.decrypt_block_u64(hex_u64(ct)),
+                hex_u64(pt),
+                "key={key} ct={ct}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_blocks() {
+        let bf = Blowfish::new(b"osdc wan transfer key");
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..1000 {
+            let c = bf.encrypt_block_u64(x);
+            assert_eq!(bf.decrypt_block_u64(c), x);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn variable_key_lengths() {
+        for len in [1usize, 8, 16, 24, 56] {
+            let key = vec![0xABu8; len];
+            let bf = Blowfish::new(&key);
+            let c = bf.encrypt_block_u64(42);
+            assert_eq!(bf.decrypt_block_u64(c), 42);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_key_rejected() {
+        Blowfish::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_key_rejected() {
+        Blowfish::new(&[0u8; 57]);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Blowfish::new(b"key-a");
+        let b = Blowfish::new(b"key-b");
+        assert_ne!(a.encrypt_block_u64(0), b.encrypt_block_u64(0));
+    }
+}

@@ -1,0 +1,65 @@
+//! # osdc-crypto — the ciphers and digests behind Table 3
+//!
+//! The paper's quantitative evaluation (Table 3) compares UDR and rsync with
+//! *no encryption*, *Blowfish*, and *3DES* over a 104 ms WAN path. The
+//! encrypted rows are cipher-throughput-bound, so this crate implements the
+//! actual ciphers from scratch:
+//!
+//! * [`blowfish::Blowfish`] — Schneier's Blowfish. The P-array and S-boxes
+//!   are the hexadecimal digits of π; instead of pasting 1042 magic words we
+//!   derive them at first use with the Bailey–Borwein–Plouffe digit-extraction
+//!   algorithm ([`bbp`]) and pin correctness with the published test vectors.
+//! * [`des::Des`] / [`des::TripleDes`] — FIPS 46-3 DES and EDE3 3DES (the
+//!   default cipher of the era's rsync-over-ssh, per §7.2).
+//! * [`md5::Md5`] — used by the rsync delta algorithm in `osdc-transfer` as
+//!   its strong block checksum (real rsync used MD4/MD5 depending on
+//!   version).
+//! * [`modes`] — ECB/CBC/CTR modes over any 64-bit block cipher, and PKCS#7
+//!   padding, so transfer sessions can encrypt realistic byte streams.
+//!
+//! Everything here is pure safe Rust with no dependencies; the hot paths
+//! (round functions, compression function) are branch-free and allocation-
+//! free per the workspace performance guidelines.
+//!
+//! **Scope note:** these implementations exist to make the reproduction
+//! *executable and measurable*, not to be a vetted cryptography library. Do
+//! not use them to protect real data.
+
+mod pi_tables;
+pub mod bbp;
+pub mod blowfish;
+pub mod des;
+pub mod md5;
+pub mod modes;
+
+pub use blowfish::Blowfish;
+pub use des::{Des, TripleDes};
+pub use md5::Md5;
+pub use modes::{BlockCipher64, CbcEncryptor, CtrStream, Pkcs7};
+
+/// Ciphers named in the paper's Table 3 rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CipherKind {
+    /// No transport encryption.
+    None,
+    /// Blowfish (the only cipher UDR implemented at publication time).
+    Blowfish,
+    /// Triple-DES (the era's default for `rsync` over ssh).
+    TripleDes,
+}
+
+impl CipherKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            CipherKind::None => "no encryption",
+            CipherKind::Blowfish => "blowfish",
+            CipherKind::TripleDes => "3des",
+        }
+    }
+}
+
+impl std::fmt::Display for CipherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

@@ -1,0 +1,77 @@
+//! Hadoop-style job counters, aggregated across parallel tasks.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Thread-safe named counters. Tasks increment through a shared reference;
+/// the engine snapshots at job end.
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    inner: Mutex<BTreeMap<String, u64>>,
+}
+
+impl JobCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, name: &str, amount: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(name.to_string()).or_insert(0) += amount;
+    }
+
+    pub fn increment(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = JobCounters::new();
+        c.increment("maps");
+        c.add("maps", 4);
+        c.add("records", 100);
+        assert_eq!(c.get("maps"), 5);
+        assert_eq!(c.get("records"), 100);
+        assert_eq!(c.get("absent"), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = JobCounters::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        c.increment("n");
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(c.get("n"), 8000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_copy() {
+        let c = JobCounters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        let snap = c.snapshot();
+        let keys: Vec<&String> = snap.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,345 @@
+//! HDFS-style block storage: name node, data nodes, rack-aware replicas.
+
+use std::collections::BTreeMap;
+
+use osdc_sim::SimRng;
+
+/// Classic Hadoop block size: 64 MB.
+pub const BLOCK_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Default replication factor.
+pub const REPLICATION: usize = 3;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataNodeId(pub usize);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdfsError {
+    FileExists(String),
+    NotFound(String),
+    /// Fewer live nodes than requested replicas.
+    InsufficientNodes,
+}
+
+#[derive(Clone, Debug)]
+struct DataNode {
+    rack: usize,
+    alive: bool,
+    stored_bytes: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    pub id: BlockId,
+    pub len: u64,
+    /// Replica locations (first entry is the "primary" written first).
+    pub replicas: Vec<DataNodeId>,
+}
+
+#[derive(Clone, Debug)]
+struct FileInode {
+    blocks: Vec<BlockId>,
+    len: u64,
+}
+
+/// The name node plus data-node states.
+pub struct Hdfs {
+    nodes: Vec<DataNode>,
+    files: BTreeMap<String, FileInode>,
+    blocks: BTreeMap<BlockId, BlockInfo>,
+    next_block: u64,
+    replication: usize,
+    rng: SimRng,
+}
+
+impl Hdfs {
+    /// `racks × nodes_per_rack` data nodes.
+    pub fn new(racks: usize, nodes_per_rack: usize, seed: u64) -> Self {
+        assert!(racks > 0 && nodes_per_rack > 0);
+        let nodes = (0..racks * nodes_per_rack)
+            .map(|i| DataNode {
+                rack: i / nodes_per_rack,
+                alive: true,
+                stored_bytes: 0,
+            })
+            .collect();
+        Hdfs {
+            nodes,
+            files: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            next_block: 0,
+            replication: REPLICATION,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    pub fn set_replication(&mut self, r: usize) {
+        assert!(r >= 1);
+        self.replication = r;
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn rack_of(&self, node: DataNodeId) -> usize {
+        self.nodes[node.0].rack
+    }
+
+    fn alive_nodes(&self) -> Vec<DataNodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| DataNodeId(i))
+            .collect()
+    }
+
+    /// Pick replica targets for one block using the rack-aware policy:
+    /// writer's node, then a node in the same rack, then a different rack.
+    fn place_replicas(&mut self, writer: DataNodeId) -> Result<Vec<DataNodeId>, HdfsError> {
+        let alive = self.alive_nodes();
+        if alive.len() < self.replication {
+            return Err(HdfsError::InsufficientNodes);
+        }
+        let mut replicas = Vec::with_capacity(self.replication);
+        if self.nodes[writer.0].alive {
+            replicas.push(writer);
+        }
+        let writer_rack = self.nodes[writer.0].rack;
+        // Same-rack candidates (excluding those chosen), then off-rack.
+        let mut same_rack: Vec<DataNodeId> = alive
+            .iter()
+            .copied()
+            .filter(|n| self.nodes[n.0].rack == writer_rack && !replicas.contains(n))
+            .collect();
+        let mut off_rack: Vec<DataNodeId> = alive
+            .iter()
+            .copied()
+            .filter(|n| self.nodes[n.0].rack != writer_rack)
+            .collect();
+        self.rng.shuffle(&mut same_rack);
+        self.rng.shuffle(&mut off_rack);
+        if replicas.len() < self.replication {
+            if let Some(n) = same_rack.pop() {
+                replicas.push(n);
+            }
+        }
+        while replicas.len() < self.replication {
+            if let Some(n) = off_rack.pop() {
+                replicas.push(n);
+            } else if let Some(n) = same_rack.pop() {
+                replicas.push(n);
+            } else {
+                return Err(HdfsError::InsufficientNodes);
+            }
+        }
+        Ok(replicas)
+    }
+
+    /// Create a file of `len` bytes written from `writer`'s node, chunking
+    /// into blocks and placing replicas.
+    pub fn create(
+        &mut self,
+        path: &str,
+        len: u64,
+        writer: DataNodeId,
+    ) -> Result<(), HdfsError> {
+        if self.files.contains_key(path) {
+            return Err(HdfsError::FileExists(path.to_string()));
+        }
+        let n_blocks = len.div_ceil(BLOCK_SIZE).max(1);
+        let mut block_ids = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let block_len = if b == n_blocks - 1 && !len.is_multiple_of(BLOCK_SIZE) && len > 0 {
+                len % BLOCK_SIZE
+            } else {
+                BLOCK_SIZE.min(len.max(1))
+            };
+            let replicas = self.place_replicas(writer)?;
+            let id = BlockId(self.next_block);
+            self.next_block += 1;
+            for r in &replicas {
+                self.nodes[r.0].stored_bytes += block_len;
+            }
+            self.blocks.insert(
+                id,
+                BlockInfo {
+                    id,
+                    len: block_len,
+                    replicas,
+                },
+            );
+            block_ids.push(id);
+        }
+        self.files.insert(
+            path.to_string(),
+            FileInode {
+                blocks: block_ids,
+                len,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn stat(&self, path: &str) -> Result<u64, HdfsError> {
+        self.files
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))
+    }
+
+    pub fn blocks_of(&self, path: &str) -> Result<Vec<&BlockInfo>, HdfsError> {
+        let inode = self
+            .files
+            .get(path)
+            .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
+        Ok(inode
+            .blocks
+            .iter()
+            .map(|b| &self.blocks[b])
+            .collect())
+    }
+
+    /// Live replica locations of a block (dead nodes filtered out).
+    pub fn live_replicas(&self, block: BlockId) -> Vec<DataNodeId> {
+        self.blocks
+            .get(&block)
+            .map(|info| {
+                info.replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| self.nodes[n.0].alive)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Kill a data node (its replicas become unavailable).
+    pub fn fail_node(&mut self, node: DataNodeId) {
+        self.nodes[node.0].alive = false;
+    }
+
+    /// Blocks with no live replica — file data currently unreadable.
+    pub fn missing_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .keys()
+            .copied()
+            .filter(|b| self.live_replicas(*b).is_empty())
+            .collect()
+    }
+
+    /// Bytes stored per node, for balance checks.
+    pub fn stored_bytes(&self, node: DataNodeId) -> u64 {
+        self.nodes[node.0].stored_bytes
+    }
+
+    pub fn list(&self) -> Vec<&str> {
+        self.files.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_chunks_into_blocks() {
+        let mut fs = Hdfs::new(3, 4, 1);
+        fs.create("/data/tiles.seq", 200 * 1024 * 1024, DataNodeId(0))
+            .expect("create ok");
+        let blocks = fs.blocks_of("/data/tiles.seq").expect("exists");
+        assert_eq!(blocks.len(), 4); // 200MB / 64MB → 4 blocks
+        assert_eq!(blocks[3].len, 8 * 1024 * 1024); // tail block
+        assert_eq!(fs.stat("/data/tiles.seq").expect("exists"), 200 * 1024 * 1024);
+    }
+
+    #[test]
+    fn replica_policy_spans_racks() {
+        let mut fs = Hdfs::new(3, 4, 2);
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        let blocks = fs.blocks_of("/f").expect("exists");
+        let replicas = &blocks[0].replicas;
+        assert_eq!(replicas.len(), 3);
+        assert_eq!(replicas[0], DataNodeId(0), "first replica on writer");
+        assert_eq!(fs.rack_of(replicas[1]), 0, "second replica in writer's rack");
+        assert_ne!(fs.rack_of(replicas[2]), 0, "third replica off-rack");
+        // All distinct.
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn survives_single_rack_loss() {
+        let mut fs = Hdfs::new(3, 4, 3);
+        for i in 0..20 {
+            fs.create(&format!("/f{i}"), BLOCK_SIZE, DataNodeId(i % 12))
+                .expect("create ok");
+        }
+        // Kill all of rack 0.
+        for n in 0..4 {
+            fs.fail_node(DataNodeId(n));
+        }
+        assert!(fs.missing_blocks().is_empty(), "rack-aware placement survives rack loss");
+    }
+
+    #[test]
+    fn node_losses_can_lose_blocks() {
+        let mut fs = Hdfs::new(2, 2, 4);
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        for n in 0..4 {
+            fs.fail_node(DataNodeId(n));
+        }
+        assert_eq!(fs.missing_blocks().len(), 1);
+        assert!(fs.live_replicas(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut fs = Hdfs::new(2, 2, 5);
+        fs.create("/f", 1, DataNodeId(0)).expect("create ok");
+        assert_eq!(
+            fs.create("/f", 1, DataNodeId(0)).expect_err("duplicate"),
+            HdfsError::FileExists("/f".into())
+        );
+    }
+
+    #[test]
+    fn replication_needs_enough_nodes() {
+        let mut fs = Hdfs::new(1, 2, 6); // 2 nodes < 3 replicas
+        assert_eq!(
+            fs.create("/f", 1, DataNodeId(0)).expect_err("too few nodes"),
+            HdfsError::InsufficientNodes
+        );
+        fs.set_replication(2);
+        fs.create("/f", 1, DataNodeId(0)).expect("2-way ok");
+    }
+
+    #[test]
+    fn empty_file_still_has_a_block() {
+        let mut fs = Hdfs::new(2, 2, 7);
+        fs.set_replication(2);
+        fs.create("/empty", 0, DataNodeId(0)).expect("create ok");
+        assert_eq!(fs.blocks_of("/empty").expect("exists").len(), 1);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut fs = Hdfs::new(2, 3, 8);
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        let total: u64 = (0..6).map(|i| fs.stored_bytes(DataNodeId(i))).sum();
+        assert_eq!(total, 3 * BLOCK_SIZE, "3 replicas stored");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = Hdfs::new(2, 2, 9);
+        assert!(matches!(fs.stat("/nope"), Err(HdfsError::NotFound(_))));
+        assert!(matches!(fs.blocks_of("/nope"), Err(HdfsError::NotFound(_))));
+    }
+}

@@ -1,0 +1,31 @@
+//! # osdc-mapreduce — the Hadoop data clouds (OCC-Y, OCC-Matsu)
+//!
+//! Table 2 lists two "Hadoop data cloud\[s\]": OCC-Y (928 cores, 1 PB,
+//! donated by Yahoo! for the former M45 departments) and OCC-Matsu
+//! (~120 cores, 100 TB, the NASA EO-1 project of §4.2). This crate builds
+//! that substrate from scratch:
+//!
+//! * [`hdfs`] — a name-node/data-node block store with 64 MB chunks and
+//!   rack-aware replica placement (first replica on the writer's node,
+//!   second in the same rack, third in another rack — the classic Hadoop
+//!   policy);
+//! * [`engine`] — a *real* MapReduce execution engine: map tasks fan out
+//!   on crossbeam scoped threads, a hash shuffle partitions intermediate
+//!   keys, reducers run in parallel, and results come back merged. Project
+//!   Matsu's flood detector (in the `osdc` facade) runs on it unchanged;
+//! * [`scheduler`] — locality-aware task placement over the HDFS block
+//!   map, reporting the data-local/rack-local/remote split that makes
+//!   "move computation to data" measurable;
+//! * [`counters`] — per-job counters in the Hadoop style.
+
+pub mod counters;
+pub mod fairshare;
+pub mod engine;
+pub mod hdfs;
+pub mod scheduler;
+
+pub use counters::JobCounters;
+pub use fairshare::{run_fair_share, run_fifo, JobOutcome, JobSpec, M45_DEPARTMENTS};
+pub use engine::{run_job, JobConfig, JobResult};
+pub use hdfs::{BlockId, DataNodeId, Hdfs, HdfsError, BLOCK_SIZE};
+pub use scheduler::{Locality, TaskPlacement, TaskScheduler};

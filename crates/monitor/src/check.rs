@@ -1,0 +1,186 @@
+//! Nagios-plugin-style checks: metric vs. warning/critical thresholds.
+//!
+//! "The master server, via the agent, asks for checks to be run and
+//! returns the values to the master server using binary plugins with
+//! arguments that designate the thresholds for 'Warning' and 'Critical'
+//! alerts."
+
+/// Nagios exit-status vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckStatus {
+    Ok,
+    Warning,
+    Critical,
+    /// Plugin could not obtain the metric (agent down, unknown metric).
+    Unknown,
+}
+
+impl CheckStatus {
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckStatus::Ok => "OK",
+            CheckStatus::Warning => "WARNING",
+            CheckStatus::Critical => "CRITICAL",
+            CheckStatus::Unknown => "UNKNOWN",
+        }
+    }
+}
+
+/// Whether high values are bad (disk %, load) or low values are (free MB,
+/// replica count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdDirection {
+    HighIsBad,
+    LowIsBad,
+}
+
+/// A check definition: which metric, and the `-w`/`-c` thresholds.
+#[derive(Clone, Debug)]
+pub struct CheckDefinition {
+    pub name: String,
+    pub metric: String,
+    pub warning: f64,
+    pub critical: f64,
+    pub direction: ThresholdDirection,
+}
+
+/// A completed check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckResult {
+    pub status: CheckStatus,
+    pub message: String,
+    /// The sampled value (absent on UNKNOWN).
+    pub value: Option<f64>,
+}
+
+impl CheckDefinition {
+    pub fn new(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        warning: f64,
+        critical: f64,
+        direction: ThresholdDirection,
+    ) -> Self {
+        let def = CheckDefinition {
+            name: name.into(),
+            metric: metric.into(),
+            warning,
+            critical,
+            direction,
+        };
+        match direction {
+            ThresholdDirection::HighIsBad => {
+                assert!(warning <= critical, "warning must trip before critical")
+            }
+            ThresholdDirection::LowIsBad => {
+                assert!(warning >= critical, "warning must trip before critical")
+            }
+        }
+        def
+    }
+
+    /// Evaluate against a sampled value.
+    pub fn evaluate(&self, value: Option<f64>) -> CheckResult {
+        let Some(v) = value else {
+            return CheckResult {
+                status: CheckStatus::Unknown,
+                message: format!("{}: metric '{}' unavailable", self.name, self.metric),
+                value: None,
+            };
+        };
+        let status = match self.direction {
+            ThresholdDirection::HighIsBad => {
+                if v >= self.critical {
+                    CheckStatus::Critical
+                } else if v >= self.warning {
+                    CheckStatus::Warning
+                } else {
+                    CheckStatus::Ok
+                }
+            }
+            ThresholdDirection::LowIsBad => {
+                if v <= self.critical {
+                    CheckStatus::Critical
+                } else if v <= self.warning {
+                    CheckStatus::Warning
+                } else {
+                    CheckStatus::Ok
+                }
+            }
+        };
+        CheckResult {
+            status,
+            message: format!(
+                "{} {}: {}={:.2} (w:{} c:{})",
+                self.name,
+                status.label(),
+                self.metric,
+                v,
+                self.warning,
+                self.critical
+            ),
+            value: Some(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_check() -> CheckDefinition {
+        CheckDefinition::new("check_disk", "disk_used_pct", 80.0, 95.0, ThresholdDirection::HighIsBad)
+    }
+
+    #[test]
+    fn high_is_bad_bands() {
+        let c = disk_check();
+        assert_eq!(c.evaluate(Some(50.0)).status, CheckStatus::Ok);
+        assert_eq!(c.evaluate(Some(80.0)).status, CheckStatus::Warning);
+        assert_eq!(c.evaluate(Some(94.9)).status, CheckStatus::Warning);
+        assert_eq!(c.evaluate(Some(95.0)).status, CheckStatus::Critical);
+        assert_eq!(c.evaluate(Some(100.0)).status, CheckStatus::Critical);
+    }
+
+    #[test]
+    fn low_is_bad_bands() {
+        let c = CheckDefinition::new(
+            "check_replicas",
+            "live_replicas",
+            2.0,
+            1.0,
+            ThresholdDirection::LowIsBad,
+        );
+        assert_eq!(c.evaluate(Some(3.0)).status, CheckStatus::Ok);
+        assert_eq!(c.evaluate(Some(2.0)).status, CheckStatus::Warning);
+        assert_eq!(c.evaluate(Some(1.0)).status, CheckStatus::Critical);
+        assert_eq!(c.evaluate(Some(0.0)).status, CheckStatus::Critical);
+    }
+
+    #[test]
+    fn missing_metric_is_unknown() {
+        let r = disk_check().evaluate(None);
+        assert_eq!(r.status, CheckStatus::Unknown);
+        assert!(r.value.is_none());
+        assert!(r.message.contains("unavailable"));
+    }
+
+    #[test]
+    fn message_carries_perf_data() {
+        let r = disk_check().evaluate(Some(84.5));
+        assert!(r.message.contains("disk_used_pct=84.50"));
+        assert!(r.message.contains("WARNING"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_thresholds_rejected() {
+        CheckDefinition::new("bad", "m", 95.0, 80.0, ThresholdDirection::HighIsBad);
+    }
+
+    #[test]
+    fn status_severity_orders() {
+        assert!(CheckStatus::Ok < CheckStatus::Warning);
+        assert!(CheckStatus::Warning < CheckStatus::Critical);
+    }
+}

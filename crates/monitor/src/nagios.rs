@@ -1,0 +1,357 @@
+//! The Nagios master: scheduling, soft/hard states, notifications.
+//!
+//! "When those thresholds are crossed, Nagios sends alerts to the system
+//! administrators." Faithful to the Nagios state model: a non-OK result
+//! puts a service into a *soft* problem state and schedules fast
+//! retries; only `max_check_attempts` consecutive non-OK results harden
+//! the state and fire a notification. Recovery (OK after a hard problem)
+//! also notifies.
+
+use std::collections::BTreeMap;
+
+use osdc_sim::{SimDuration, SimTime};
+
+use crate::check::{CheckDefinition, CheckStatus};
+use crate::nrpe::HostAgent;
+
+/// Scheduling and escalation settings for one monitored service.
+#[derive(Clone, Debug)]
+pub struct ServiceDefinition {
+    pub host: String,
+    pub check: CheckDefinition,
+    pub check_interval: SimDuration,
+    pub retry_interval: SimDuration,
+    pub max_check_attempts: u32,
+}
+
+/// Current state of a service as Nagios tracks it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceState {
+    pub last_status: CheckStatus,
+    /// Consecutive non-OK results so far.
+    pub attempts: u32,
+    /// Whether the problem has hardened.
+    pub hard_problem: bool,
+    pub next_check_at: SimTime,
+    pub last_message: String,
+}
+
+/// An alert delivered to the administrators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Notification {
+    pub at: SimTime,
+    pub host: String,
+    pub service: String,
+    pub status: CheckStatus,
+    pub message: String,
+    /// true for PROBLEM, false for RECOVERY.
+    pub problem: bool,
+}
+
+/// The master server.
+pub struct NagiosMaster {
+    services: Vec<(ServiceDefinition, ServiceState)>,
+    pub notifications: Vec<Notification>,
+    /// Hosts with an active host-level DOWN alert (service alerts for
+    /// these hosts are suppressed — the classic Nagios dependency rule
+    /// that stops one dead server paging once per service).
+    hosts_down: std::collections::BTreeSet<String>,
+}
+
+impl Default for NagiosMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NagiosMaster {
+    pub fn new() -> Self {
+        NagiosMaster {
+            services: Vec::new(),
+            notifications: Vec::new(),
+            hosts_down: std::collections::BTreeSet::new(),
+        }
+    }
+
+    pub fn add_service(&mut self, def: ServiceDefinition) {
+        assert!(def.max_check_attempts >= 1);
+        let state = ServiceState {
+            last_status: CheckStatus::Ok,
+            attempts: 0,
+            hard_problem: false,
+            next_check_at: SimTime::ZERO,
+            last_message: String::new(),
+        };
+        self.services.push((def, state));
+    }
+
+    /// Run every due service check against the agents at `now`.
+    /// `agents` maps hostname → agent.
+    ///
+    /// Host reachability is checked first (the host check): a host going
+    /// dark raises ONE host DOWN alert and suppresses its per-service
+    /// alerts until it returns — Nagios's host/service dependency rule.
+    pub fn tick(&mut self, now: SimTime, agents: &BTreeMap<String, &HostAgent>) {
+        // Host checks: alert on down/up transitions.
+        let mut hosts: Vec<String> = self.services.iter().map(|(d, _)| d.host.clone()).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        for host in hosts {
+            let reachable = agents.get(&host).map(|a| a.is_reachable()).unwrap_or(false);
+            if !reachable && !self.hosts_down.contains(&host) {
+                self.hosts_down.insert(host.clone());
+                self.notifications.push(Notification {
+                    at: now,
+                    host: host.clone(),
+                    service: "HOST".into(),
+                    status: CheckStatus::Critical,
+                    message: format!("host {host} DOWN"),
+                    problem: true,
+                });
+            } else if reachable && self.hosts_down.remove(&host) {
+                self.notifications.push(Notification {
+                    at: now,
+                    host: host.clone(),
+                    service: "HOST".into(),
+                    status: CheckStatus::Ok,
+                    message: format!("host {host} UP"),
+                    problem: false,
+                });
+            }
+        }
+        for (def, state) in &mut self.services {
+            // Suppression: no service checks/alerts while the host is down.
+            if self.hosts_down.contains(&def.host) {
+                continue;
+            }
+            if now < state.next_check_at {
+                continue;
+            }
+            let result = match agents.get(&def.host) {
+                Some(agent) => agent.run_check(&def.check),
+                None => def.check.evaluate(None),
+            };
+            state.last_message = result.message.clone();
+            let ok = result.status == CheckStatus::Ok;
+            if ok {
+                if state.hard_problem {
+                    self.notifications.push(Notification {
+                        at: now,
+                        host: def.host.clone(),
+                        service: def.check.name.clone(),
+                        status: CheckStatus::Ok,
+                        message: result.message.clone(),
+                        problem: false,
+                    });
+                }
+                state.hard_problem = false;
+                state.attempts = 0;
+                state.last_status = CheckStatus::Ok;
+                state.next_check_at = now + def.check_interval;
+            } else {
+                state.attempts += 1;
+                state.last_status = result.status;
+                if state.attempts >= def.max_check_attempts {
+                    // Hard state: notify once per hardening, then keep
+                    // checking at the normal cadence.
+                    if !state.hard_problem {
+                        state.hard_problem = true;
+                        self.notifications.push(Notification {
+                            at: now,
+                            host: def.host.clone(),
+                            service: def.check.name.clone(),
+                            status: result.status,
+                            message: result.message.clone(),
+                            problem: true,
+                        });
+                    }
+                    state.next_check_at = now + def.check_interval;
+                } else {
+                    // Soft state: retry quickly.
+                    state.next_check_at = now + def.retry_interval;
+                }
+            }
+        }
+    }
+
+    /// Browser-style console summary: worst status per host.
+    pub fn console_summary(&self) -> BTreeMap<String, CheckStatus> {
+        let mut by_host: BTreeMap<String, CheckStatus> = BTreeMap::new();
+        for (def, state) in &self.services {
+            let status = if state.hard_problem || state.attempts > 0 {
+                state.last_status
+            } else {
+                CheckStatus::Ok
+            };
+            by_host
+                .entry(def.host.clone())
+                .and_modify(|s| *s = (*s).max(status))
+                .or_insert(status);
+        }
+        by_host
+    }
+
+    pub fn service_state(&self, host: &str, service: &str) -> Option<&ServiceState> {
+        self.services
+            .iter()
+            .find(|(d, _)| d.host == host && d.check.name == service)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::ThresholdDirection;
+
+    fn svc(host: &str) -> ServiceDefinition {
+        ServiceDefinition {
+            host: host.to_string(),
+            check: CheckDefinition::new(
+                "check_disk",
+                "disk_used_pct",
+                80.0,
+                95.0,
+                ThresholdDirection::HighIsBad,
+            ),
+            check_interval: SimDuration::from_mins(5),
+            retry_interval: SimDuration::from_mins(1),
+            max_check_attempts: 3,
+        }
+    }
+
+    fn run_minutes(master: &mut NagiosMaster, agents: &BTreeMap<String, &HostAgent>, minutes: u64) {
+        for m in 0..=minutes {
+            master.tick(SimTime::ZERO + SimDuration::from_mins(m), agents);
+        }
+    }
+
+    #[test]
+    fn healthy_service_never_notifies() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 40.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        run_minutes(&mut master, &agents, 60);
+        assert!(master.notifications.is_empty());
+        assert_eq!(master.console_summary()["h1"], CheckStatus::Ok);
+    }
+
+    #[test]
+    fn problem_hardens_after_max_attempts_then_notifies_once() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 97.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        // t=0 soft1, t=1 soft2, t=2 hard → notify. More ticks: no repeat.
+        run_minutes(&mut master, &agents, 30);
+        let problems: Vec<&Notification> =
+            master.notifications.iter().filter(|n| n.problem).collect();
+        assert_eq!(problems.len(), 1, "exactly one PROBLEM alert");
+        assert_eq!(problems[0].status, CheckStatus::Critical);
+        assert_eq!(problems[0].at, SimTime::ZERO + SimDuration::from_mins(2));
+        assert!(master.service_state("h1", "check_disk").expect("exists").hard_problem);
+    }
+
+    #[test]
+    fn transient_blip_never_hardens() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 97.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        master.tick(SimTime::ZERO, &agents); // soft 1
+        agent.metrics.set("disk_used_pct", 30.0); // fixed before retry 3
+        run_minutes(&mut master, &agents, 10);
+        assert!(master.notifications.is_empty(), "soft states do not alert");
+    }
+
+    #[test]
+    fn recovery_notifies() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 97.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        run_minutes(&mut master, &agents, 10);
+        agent.metrics.set("disk_used_pct", 20.0);
+        run_minutes(&mut master, &agents, 20);
+        let recoveries: Vec<&Notification> =
+            master.notifications.iter().filter(|n| !n.problem).collect();
+        assert_eq!(recoveries.len(), 1);
+        assert_eq!(recoveries[0].status, CheckStatus::Ok);
+        assert!(!master.service_state("h1", "check_disk").expect("exists").hard_problem);
+    }
+
+    #[test]
+    fn unreachable_host_raises_one_host_alert_and_suppresses_services() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 10.0);
+        agent.set_reachable(false);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        run_minutes(&mut master, &agents, 10);
+        // Exactly one HOST DOWN; the per-service UNKNOWNs are suppressed.
+        let problems: Vec<&Notification> =
+            master.notifications.iter().filter(|n| n.problem).collect();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].service, "HOST");
+        assert_eq!(problems[0].status, CheckStatus::Critical);
+        // Host returns: one UP recovery, then normal service checking.
+        agent.set_reachable(true);
+        run_minutes(&mut master, &agents, 20);
+        let ups: Vec<&Notification> = master
+            .notifications
+            .iter()
+            .filter(|n| !n.problem && n.service == "HOST")
+            .collect();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(master.console_summary()["h1"], CheckStatus::Ok);
+    }
+
+    #[test]
+    fn console_shows_worst_state_per_host() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 85.0); // warning
+        agent.metrics.set("load1", 20.0); // critical
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        master.add_service(ServiceDefinition {
+            host: "h1".into(),
+            check: CheckDefinition::new("check_load", "load1", 8.0, 16.0, ThresholdDirection::HighIsBad),
+            check_interval: SimDuration::from_mins(5),
+            retry_interval: SimDuration::from_mins(1),
+            max_check_attempts: 1,
+        });
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        master.tick(SimTime::ZERO, &agents);
+        assert_eq!(master.console_summary()["h1"], CheckStatus::Critical);
+    }
+
+    #[test]
+    fn respects_check_interval() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 10.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        master.tick(SimTime::ZERO, &agents);
+        let next = master
+            .service_state("h1", "check_disk")
+            .expect("exists")
+            .next_check_at;
+        assert_eq!(next, SimTime::ZERO + SimDuration::from_mins(5));
+        // A tick before the interval does nothing (state unchanged).
+        master.tick(SimTime::ZERO + SimDuration::from_mins(1), &agents);
+        assert_eq!(
+            master
+                .service_state("h1", "check_disk")
+                .expect("exists")
+                .next_check_at,
+            next
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The in-house cloud-usage monitor (§7.4) and the public status summary.
+//!
+//! "The first type of monitoring is cloud usage, such as how many
+//! instances each user is running. We have developed an in-house
+//! application for this purpose. The high level summary of the cloud
+//! status is made public on the OSDC website."
+
+use std::collections::BTreeMap;
+
+use osdc_compute::CloudController;
+
+/// A point-in-time usage report across clouds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PublicStatus {
+    /// cloud → (running instances, cores in use, total cores).
+    pub clouds: BTreeMap<String, (u32, u32, u32)>,
+}
+
+impl PublicStatus {
+    /// The one-line summary published on the website.
+    pub fn headline(&self) -> String {
+        let (mut inst, mut used, mut total) = (0u32, 0u32, 0u32);
+        for (i, u, t) in self.clouds.values() {
+            inst += i;
+            used += u;
+            total += t;
+        }
+        format!(
+            "OSDC status: {} instances running, {}/{} cores in use ({:.0}%)",
+            inst,
+            used,
+            total,
+            if total == 0 { 0.0 } else { 100.0 * used as f64 / total as f64 }
+        )
+    }
+}
+
+/// The in-house monitor.
+#[derive(Default)]
+pub struct CloudUsageMonitor {
+    /// Per-user instance counts from the latest sweep.
+    last_by_user: BTreeMap<String, u32>,
+}
+
+impl CloudUsageMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sweep the clouds: per-user instance counts plus the public summary.
+    pub fn sweep(&mut self, clouds: &[&CloudController]) -> PublicStatus {
+        let mut by_user: BTreeMap<String, u32> = BTreeMap::new();
+        let mut status = PublicStatus {
+            clouds: BTreeMap::new(),
+        };
+        for cloud in clouds {
+            let mut instances = 0;
+            for user in cloud.active_users() {
+                let snap = cloud.usage(&user);
+                instances += snap.instances;
+                *by_user.entry(user).or_insert(0) += snap.instances;
+            }
+            status.clouds.insert(
+                cloud.name.clone(),
+                (instances, cloud.allocated_cores(), cloud.total_cores()),
+            );
+        }
+        self.last_by_user = by_user;
+        status
+    }
+
+    /// "how many instances each user is running".
+    pub fn instances_of(&self, user: &str) -> u32 {
+        self.last_by_user.get(user).copied().unwrap_or(0)
+    }
+
+    /// Users exceeding an instance quota — the report operators act on.
+    pub fn over_quota(&self, quota: u32) -> Vec<(&str, u32)> {
+        self.last_by_user
+            .iter()
+            .filter(|(_, &n)| n > quota)
+            .map(|(u, &n)| (u.as_str(), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osdc_compute::ImageId;
+    use osdc_sim::SimTime;
+
+    fn cloud_with_vms() -> CloudController {
+        let mut c = CloudController::with_racks("adler", 1);
+        for i in 0..3 {
+            c.boot("alice", &format!("a{i}"), "m1.small", ImageId(1), SimTime::ZERO)
+                .expect("boot");
+        }
+        c.boot("bob", "b0", "m1.xlarge", ImageId(1), SimTime::ZERO)
+            .expect("boot");
+        c
+    }
+
+    #[test]
+    fn sweep_counts_users_and_cores() {
+        let c = cloud_with_vms();
+        let mut mon = CloudUsageMonitor::new();
+        let status = mon.sweep(&[&c]);
+        assert_eq!(mon.instances_of("alice"), 3);
+        assert_eq!(mon.instances_of("bob"), 1);
+        assert_eq!(mon.instances_of("nobody"), 0);
+        let (inst, used, total) = status.clouds["adler"];
+        assert_eq!(inst, 4);
+        assert_eq!(used, 11); // 3×1 + 8
+        assert_eq!(total, 312); // one rack
+    }
+
+    #[test]
+    fn headline_is_public_friendly() {
+        let c = cloud_with_vms();
+        let mut mon = CloudUsageMonitor::new();
+        let headline = mon.sweep(&[&c]).headline();
+        assert!(headline.contains("4 instances"));
+        assert!(headline.contains("11/312 cores"));
+    }
+
+    #[test]
+    fn over_quota_report() {
+        let c = cloud_with_vms();
+        let mut mon = CloudUsageMonitor::new();
+        mon.sweep(&[&c]);
+        assert_eq!(mon.over_quota(2), vec![("alice", 3)]);
+        assert!(mon.over_quota(5).is_empty());
+    }
+
+    #[test]
+    fn multi_cloud_aggregation() {
+        let a = cloud_with_vms();
+        let mut b = CloudController::with_racks("sullivan", 1);
+        b.boot("alice", "s0", "m1.medium", ImageId(1), SimTime::ZERO)
+            .expect("boot");
+        let mut mon = CloudUsageMonitor::new();
+        let status = mon.sweep(&[&a, &b]);
+        assert_eq!(status.clouds.len(), 2);
+        assert_eq!(mon.instances_of("alice"), 4);
+    }
+
+    #[test]
+    fn empty_clouds_headline() {
+        let c = CloudController::with_racks("idle", 1);
+        let mut mon = CloudUsageMonitor::new();
+        let status = mon.sweep(&[&c]);
+        assert!(status.headline().contains("0 instances"));
+    }
+}

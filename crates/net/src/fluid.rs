@@ -1,0 +1,537 @@
+//! The fluid network: max-min fair sharing plus stochastic loss.
+//!
+//! Each tick (default 10 ms):
+//!
+//! 1. every active flow states its *desired* rate — the minimum of its
+//!    congestion-control rate and its application limit;
+//! 2. link capacity is divided by progressive filling (max-min fairness):
+//!    all flows grow uniformly until a link saturates or a flow reaches its
+//!    desire, then that constraint freezes and filling continues;
+//! 3. flows advance `rate × dt` bytes; completion times are recorded;
+//! 4. random loss is sampled per flow from its path loss probability and
+//!    the number of packets it moved this tick; lossy flows get their
+//!    congestion control's loss reaction. Links driven at ≥ capacity apply
+//!    an additional congestion-loss probability, closing the AIMD loop even
+//!    on clean fiber.
+
+use osdc_sim::stats::Series;
+use osdc_sim::{SimDuration, SimRng, SimTime};
+
+use crate::cc::CongestionControl;
+use crate::topology::{LinkId, NodeId, Topology};
+use crate::MSS_BYTES;
+
+/// Handle to a flow inside a [`FluidNet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// Parameters for starting a flow.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Total bytes to move; `u64::MAX` approximates an unbounded source.
+    pub bytes: u64,
+    pub cc: CongestionControl,
+    /// Application ceiling in bits/second (disk, cipher, or protocol stage
+    /// bottleneck). `f64::INFINITY` if unconstrained.
+    pub app_limit_bps: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlowStatus {
+    Active,
+    Done { at: SimTime },
+}
+
+struct FlowState {
+    path: Vec<LinkId>,
+    path_loss: f64,
+    bytes_total: u64,
+    bytes_done: f64,
+    cc: CongestionControl,
+    app_limit_bps: f64,
+    status: FlowStatus,
+    started: SimTime,
+    /// `(time, instantaneous mbit/s)` sampled on a coarse grid.
+    trace: Series,
+    next_trace_at: SimTime,
+    loss_events: u64,
+}
+
+/// The simulator. Owns a topology, the flows, a clock and a seeded RNG.
+pub struct FluidNet {
+    topo: Topology,
+    flows: Vec<FlowState>,
+    now: SimTime,
+    tick: SimDuration,
+    rng: SimRng,
+    /// Extra per-packet loss probability applied when a link is saturated.
+    congestion_loss: f64,
+    /// Interval between throughput trace samples.
+    trace_every: SimDuration,
+}
+
+impl FluidNet {
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        FluidNet {
+            topo,
+            flows: Vec::new(),
+            now: SimTime::ZERO,
+            tick: SimDuration::from_millis(10),
+            rng: SimRng::new(seed),
+            congestion_loss: 1e-4,
+            trace_every: SimDuration::from_millis(500),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn set_tick(&mut self, tick: SimDuration) {
+        assert!(!tick.is_zero());
+        self.tick = tick;
+    }
+
+    /// Launch a flow; panics if no route exists (a configuration error in
+    /// these experiments, not a runtime condition).
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let path = self
+            .topo
+            .shortest_path(spec.src, spec.dst)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no route {} → {}",
+                    self.topo.node_name(spec.src),
+                    self.topo.node_name(spec.dst)
+                )
+            });
+        assert!(!path.is_empty(), "flow endpoints must differ");
+        let path_loss = self.topo.path_loss_rate(&path);
+        let id = FlowId(self.flows.len());
+        self.flows.push(FlowState {
+            path,
+            path_loss,
+            bytes_total: spec.bytes,
+            bytes_done: 0.0,
+            cc: spec.cc,
+            app_limit_bps: spec.app_limit_bps,
+            status: FlowStatus::Active,
+            started: self.now,
+            trace: Series::new(format!("flow{}", id.0)),
+            next_trace_at: self.now,
+            loss_events: 0,
+        });
+        id
+    }
+
+    pub fn status(&self, id: FlowId) -> FlowStatus {
+        self.flows[id.0].status
+    }
+
+    pub fn bytes_done(&self, id: FlowId) -> u64 {
+        self.flows[id.0].bytes_done as u64
+    }
+
+    pub fn loss_events(&self, id: FlowId) -> u64 {
+        self.flows[id.0].loss_events
+    }
+
+    pub fn trace(&self, id: FlowId) -> &Series {
+        &self.flows[id.0].trace
+    }
+
+    /// Mean goodput of a finished flow in bits/second.
+    pub fn average_throughput_bps(&self, id: FlowId) -> Option<f64> {
+        let f = &self.flows[id.0];
+        match f.status {
+            FlowStatus::Done { at } => {
+                let secs = at.saturating_since(f.started).as_secs_f64();
+                (secs > 0.0).then(|| f.bytes_done * 8.0 / secs)
+            }
+            FlowStatus::Active => None,
+        }
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| f.status == FlowStatus::Active)
+            .count()
+    }
+
+    /// Max-min fair allocation by progressive filling. Returns per-flow
+    /// allocated rates in bits/second for the given desires.
+    fn allocate(&self, desires: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let mut remaining: Vec<f64> = (0..self.topo.link_count())
+            .map(|l| self.topo.link(LinkId(l)).capacity_bps)
+            .collect();
+        let mut alloc: Vec<(usize, f64)> = desires.iter().map(|&(i, _)| (i, 0.0)).collect();
+        let mut frozen: Vec<bool> = vec![false; desires.len()];
+        let mut users_per_link = vec![0usize; self.topo.link_count()];
+        loop {
+            for c in users_per_link.iter_mut() {
+                *c = 0;
+            }
+            for (k, &(i, _)) in desires.iter().enumerate() {
+                if !frozen[k] {
+                    for &l in &self.flows[i].path {
+                        users_per_link[l.0] += 1;
+                    }
+                }
+            }
+            // Uniform growth headroom: min over flows of remaining demand
+            // and min over their links of remaining/users.
+            let mut delta = f64::INFINITY;
+            let mut any = false;
+            for (k, &(i, desire)) in desires.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                any = true;
+                delta = delta.min(desire - alloc[k].1);
+                for &l in &self.flows[i].path {
+                    delta = delta.min(remaining[l.0] / users_per_link[l.0] as f64);
+                }
+            }
+            if !any {
+                break;
+            }
+            let delta = delta.max(0.0);
+            for (k, &(i, desire)) in desires.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                alloc[k].1 += delta;
+                for &l in &self.flows[i].path {
+                    remaining[l.0] -= delta;
+                }
+                if alloc[k].1 >= desire - 1e-6 {
+                    frozen[k] = true;
+                }
+            }
+            // Freeze every unfrozen flow crossing a saturated link.
+            let mut progressed = false;
+            for (k, &(i, _)) in desires.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                if self.flows[i]
+                    .path
+                    .iter()
+                    .any(|&l| remaining[l.0] <= 1e-3)
+                {
+                    frozen[k] = true;
+                    progressed = true;
+                }
+            }
+            if delta <= 0.0 && !progressed {
+                // No headroom and nothing froze: numerical corner; stop.
+                break;
+            }
+        }
+        alloc
+    }
+
+    /// Advance one tick. Returns the new virtual time.
+    pub fn step(&mut self) -> SimTime {
+        let dt = self.tick.as_secs_f64();
+        // 1. Desires.
+        let desires: Vec<(usize, f64)> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.status == FlowStatus::Active)
+            .map(|(i, f)| (i, f.cc.desired_rate_bps().min(f.app_limit_bps)))
+            .collect();
+        if desires.is_empty() {
+            self.now += self.tick;
+            return self.now;
+        }
+        // 2. Fair shares.
+        let alloc = self.allocate(&desires);
+        // 3+4. Advance, complete, sample loss.
+        let saturated: Vec<bool> = {
+            // Recompute per-link load to detect saturation for congestion loss.
+            let mut load = vec![0.0f64; self.topo.link_count()];
+            for &(i, rate) in &alloc {
+                for &l in &self.flows[i].path {
+                    load[l.0] += rate;
+                }
+            }
+            (0..self.topo.link_count())
+                .map(|l| load[l] >= self.topo.link(LinkId(l)).capacity_bps * 0.999)
+                .collect()
+        };
+        let end = self.now + self.tick;
+        for &(i, rate) in &alloc {
+            let f = &mut self.flows[i];
+            let bytes = rate * dt / 8.0;
+            f.bytes_done += bytes;
+            f.cc.on_tick(dt, bytes);
+            if f.bytes_done >= f.bytes_total as f64 {
+                f.bytes_done = f.bytes_total as f64;
+                f.status = FlowStatus::Done { at: end };
+            }
+            if end >= f.next_trace_at {
+                f.trace.push(end, rate / 1e6);
+                f.next_trace_at = end + self.trace_every;
+            }
+            // Loss sampling: path residual loss plus congestion loss on any
+            // saturated link of the path.
+            let pkts = bytes / MSS_BYTES;
+            let congested = f.path.iter().any(|&l| saturated[l.0]);
+            let p = f.path_loss + if congested { self.congestion_loss } else { 0.0 };
+            if p > 0.0 && pkts > 0.0 {
+                let p_event = 1.0 - (1.0 - p).powf(pkts);
+                if self.rng.chance(p_event) {
+                    f.cc.on_loss();
+                    f.loss_events += 1;
+                }
+            }
+        }
+        self.now = end;
+        self.now
+    }
+
+    /// Step until `flow` completes or `deadline` passes; returns completion
+    /// time if it finished.
+    pub fn run_flow_to_completion(&mut self, flow: FlowId, deadline: SimTime) -> Option<SimTime> {
+        loop {
+            if let FlowStatus::Done { at } = self.flows[flow.0].status {
+                return Some(at);
+            }
+            if self.now >= deadline {
+                return None;
+            }
+            self.step();
+        }
+    }
+
+    /// Step until every flow completes or `deadline` passes.
+    pub fn run_all(&mut self, deadline: SimTime) {
+        while self.active_flows() > 0 && self.now < deadline {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osdc_sim::SimDuration;
+
+    fn two_node_net(cap_bps: f64, one_way_ms: u64, loss: f64) -> (FluidNet, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_duplex_link(a, b, cap_bps, SimDuration::from_millis(one_way_ms), loss);
+        (FluidNet::new(t, 42), a, b)
+    }
+
+    fn deadline_secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn constant_flow_finishes_on_schedule() {
+        let (mut net, a, b) = two_node_net(1e9, 5, 0.0);
+        // 100 Mbyte at 100 mbit/s → 8 seconds.
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: 100_000_000,
+            cc: CongestionControl::Constant { rate_bps: 100e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        let done = net.run_flow_to_completion(f, deadline_secs(60)).expect("finishes");
+        let secs = done.as_secs_f64();
+        assert!((secs - 8.0).abs() < 0.1, "took {secs}s");
+        assert_eq!(net.bytes_done(f), 100_000_000);
+    }
+
+    #[test]
+    fn app_limit_caps_throughput() {
+        let (mut net, a, b) = two_node_net(10e9, 1, 0.0);
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: 125_000_000, // 1 Gbit
+            cc: CongestionControl::Constant { rate_bps: 10e9 },
+            app_limit_bps: 1e9,
+        });
+        let done = net.run_flow_to_completion(f, deadline_secs(60)).expect("finishes");
+        assert!((done.as_secs_f64() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fair_share_between_equal_flows() {
+        let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
+        let mk = |net: &mut FluidNet| {
+            net.start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 2e9 },
+                app_limit_bps: f64::INFINITY,
+            })
+        };
+        let f1 = mk(&mut net);
+        let f2 = mk(&mut net);
+        for _ in 0..100 {
+            net.step();
+        }
+        let b1 = net.bytes_done(f1) as f64;
+        let b2 = net.bytes_done(f2) as f64;
+        assert!((b1 / b2 - 1.0).abs() < 0.01, "{b1} vs {b2}");
+        // Combined ≈ link capacity × time = 1e9 × 1s / 8.
+        assert!(((b1 + b2) / 1.25e8 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn demand_limited_flow_leaves_capacity_to_others() {
+        let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
+        let small = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::Constant { rate_bps: 100e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        let big = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::Constant { rate_bps: 10e9 },
+            app_limit_bps: f64::INFINITY,
+        });
+        for _ in 0..100 {
+            net.step();
+        }
+        let rate_small = net.bytes_done(small) as f64 * 8.0 / 1.0;
+        let rate_big = net.bytes_done(big) as f64 * 8.0 / 1.0;
+        assert!((rate_small / 100e6 - 1.0).abs() < 0.02, "small got {rate_small}");
+        assert!((rate_big / 900e6 - 1.0).abs() < 0.02, "big got {rate_big}");
+    }
+
+    #[test]
+    fn reno_lossless_fills_short_fat_pipe() {
+        let (mut net, a, b) = two_node_net(100e6, 1, 0.0);
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::reno(0.004),
+            app_limit_bps: f64::INFINITY,
+        });
+        for _ in 0..1000 {
+            net.step();
+        }
+        // After 10 s the window has grown far past the BDP; the link is the
+        // limit and congestion losses keep it near capacity.
+        let tp = net.bytes_done(f) as f64 * 8.0 / 10.0;
+        assert!(tp > 70e6, "tp {tp}");
+    }
+
+    #[test]
+    fn reno_long_fat_pipe_is_loss_limited() {
+        // The Table 3 regime: 10G, 104 ms RTT, residual loss ~1.2e-7.
+        let (mut net, a, b) = two_node_net(10e9, 52, 1.2e-7 / 2.0); // per-link: path has 1 link each way
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::reno(0.104),
+            app_limit_bps: f64::INFINITY,
+        });
+        // 120 simulated seconds.
+        for _ in 0..12_000 {
+            net.step();
+        }
+        let tp_mbps = net.bytes_done(f) as f64 * 8.0 / 120.0 / 1e6;
+        // Loss-limited far below the 10G line rate, in the few-hundred-mbit
+        // band the paper measured for rsync/TCP.
+        assert!(
+            (200.0..900.0).contains(&tp_mbps),
+            "Reno on the LFN should sit in the hundreds of mbit/s, got {tp_mbps}"
+        );
+    }
+
+    #[test]
+    fn udt_beats_reno_on_long_fat_pipe() {
+        let mk = |cc: CongestionControl| {
+            let (mut net, a, b) = two_node_net(10e9, 52, 6e-8);
+            let f = net.start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc,
+                app_limit_bps: 1e9,
+            });
+            for _ in 0..6000 {
+                net.step();
+            }
+            net.bytes_done(f) as f64 * 8.0 / 60.0
+        };
+        let reno = mk(CongestionControl::reno(0.104));
+        let udt = mk(CongestionControl::udt(10e9));
+        assert!(
+            udt > reno * 1.3,
+            "UDT ({:.0} mbit/s) should clearly beat Reno ({:.0} mbit/s)",
+            udt / 1e6,
+            reno / 1e6
+        );
+    }
+
+    #[test]
+    fn completion_deadline_returns_none() {
+        let (mut net, a, b) = two_node_net(1e6, 1, 0.0);
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::Constant { rate_bps: 1e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        assert!(net.run_flow_to_completion(f, deadline_secs(1)).is_none());
+        assert_eq!(net.status(f), FlowStatus::Active);
+    }
+
+    #[test]
+    fn traces_are_recorded() {
+        let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::Constant { rate_bps: 500e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        for _ in 0..500 {
+            net.step();
+        }
+        let trace = net.trace(f);
+        assert!(trace.len() >= 9, "got {} samples", trace.len());
+        assert!((trace.mean_after(SimTime::ZERO) - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut net, a, b) = two_node_net(10e9, 52, 1e-6);
+            let f = net.start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 10_000_000_000,
+                cc: CongestionControl::udt(10e9),
+                app_limit_bps: 1e9,
+            });
+            net.run_flow_to_completion(f, deadline_secs(1000))
+        };
+        assert_eq!(run(), run());
+    }
+}

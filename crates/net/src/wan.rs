@@ -1,0 +1,163 @@
+//! The OSDC's own WAN: four data centers on 10G paths (§1, Figure 3).
+//!
+//! Two data centers in Chicago (hosting OSDC-Adler, OSDC-Sullivan,
+//! OSDC-Root and the OCC clusters), one at the Livermore Valley Open Campus
+//! (LVOC) and one at the AMPATH exchange in Miami, all reached over 10G
+//! research networks via StarLight. The only path the paper measures is
+//! Chicago ↔ LVOC at 104 ms RTT; the other latencies are set to plausible
+//! geographic values and only matter for the multi-site experiments.
+
+use osdc_sim::SimDuration;
+
+use crate::topology::{NodeId, Topology};
+
+/// The four OSDC data-center sites plus the StarLight exchange they meet at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OsdcSite {
+    /// Chicago DC #1 (Kenwood — OSDC-Adler, OSDC-Root).
+    ChicagoKenwood,
+    /// Chicago DC #2 (OSDC-Sullivan, OCC-Y, OCC-Matsu).
+    ChicagoLakeshore,
+    /// Livermore Valley Open Campus, California.
+    Lvoc,
+    /// AMPATH exchange point, Miami.
+    AmpathMiami,
+    /// StarLight international exchange, the hub (www.startap.net, §6.3).
+    StarLight,
+}
+
+impl OsdcSite {
+    pub const ALL: [OsdcSite; 5] = [
+        OsdcSite::ChicagoKenwood,
+        OsdcSite::ChicagoLakeshore,
+        OsdcSite::Lvoc,
+        OsdcSite::AmpathMiami,
+        OsdcSite::StarLight,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OsdcSite::ChicagoKenwood => "chicago-kenwood",
+            OsdcSite::ChicagoLakeshore => "chicago-lakeshore",
+            OsdcSite::Lvoc => "lvoc",
+            OsdcSite::AmpathMiami => "ampath-miami",
+            OsdcSite::StarLight => "starlight",
+        }
+    }
+}
+
+/// Handle to the built WAN: topology plus site → node mapping.
+pub struct OsdcWan {
+    pub topology: Topology,
+    nodes: [NodeId; 5],
+}
+
+impl OsdcWan {
+    pub fn node(&self, site: OsdcSite) -> NodeId {
+        self.nodes[site as usize]
+    }
+}
+
+/// Build the OSDC WAN with the given residual per-path packet-loss rate on
+/// the long-haul links (the Table 3 calibration knob; `1.2e-7` reproduces
+/// the paper's single-stream TCP behaviour — see DESIGN.md §5).
+pub fn osdc_wan(long_haul_loss: f64) -> OsdcWan {
+    let mut t = Topology::new();
+    let nodes = [
+        t.add_node(OsdcSite::ChicagoKenwood.name()),
+        t.add_node(OsdcSite::ChicagoLakeshore.name()),
+        t.add_node(OsdcSite::Lvoc.name()),
+        t.add_node(OsdcSite::AmpathMiami.name()),
+        t.add_node(OsdcSite::StarLight.name()),
+    ];
+    let gbps10 = 10e9;
+    let ms = SimDuration::from_millis;
+    // Metro links into StarLight: sub-millisecond-ish metro latency.
+    t.add_duplex_link(nodes[0], nodes[4], gbps10, ms(1), 0.0);
+    t.add_duplex_link(nodes[1], nodes[4], gbps10, ms(1), 0.0);
+    // Chicago ↔ LVOC measured RTT is 104 ms; 1 ms of metro each way leaves
+    // 51 ms one-way on the long-haul segment. Split the residual loss
+    // between the two directions of the measured path.
+    t.add_duplex_link(nodes[2], nodes[4], gbps10, ms(51), long_haul_loss / 2.0);
+    // Chicago ↔ Miami: ~58 ms RTT over research backbones.
+    t.add_duplex_link(nodes[3], nodes[4], gbps10, ms(28), long_haul_loss / 2.0);
+    OsdcWan {
+        topology: t,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chicago_lvoc_rtt_matches_paper() {
+        let wan = osdc_wan(1.2e-7);
+        let rtt = wan
+            .topology
+            .rtt(wan.node(OsdcSite::ChicagoKenwood), wan.node(OsdcSite::Lvoc))
+            .expect("path exists");
+        assert_eq!(rtt, SimDuration::from_millis(104));
+    }
+
+    #[test]
+    fn all_sites_reachable() {
+        let wan = osdc_wan(0.0);
+        for a in OsdcSite::ALL {
+            for b in OsdcSite::ALL {
+                if a != b {
+                    assert!(
+                        wan.topology
+                            .shortest_path(wan.node(a), wan.node(b))
+                            .is_some(),
+                        "{} → {} unreachable",
+                        a.name(),
+                        b.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_chicago_is_fast() {
+        let wan = osdc_wan(0.0);
+        let rtt = wan
+            .topology
+            .rtt(
+                wan.node(OsdcSite::ChicagoKenwood),
+                wan.node(OsdcSite::ChicagoLakeshore),
+            )
+            .expect("path exists");
+        assert_eq!(rtt, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn paths_are_10g() {
+        let wan = osdc_wan(1e-7);
+        let p = wan
+            .topology
+            .shortest_path(wan.node(OsdcSite::ChicagoKenwood), wan.node(OsdcSite::Lvoc))
+            .expect("path exists");
+        assert_eq!(wan.topology.path_bottleneck_bps(&p), 10e9);
+    }
+
+    #[test]
+    fn loss_applies_to_long_haul_only() {
+        let wan = osdc_wan(2e-7);
+        let metro = wan
+            .topology
+            .shortest_path(
+                wan.node(OsdcSite::ChicagoKenwood),
+                wan.node(OsdcSite::ChicagoLakeshore),
+            )
+            .expect("path exists");
+        assert_eq!(wan.topology.path_loss_rate(&metro), 0.0);
+        let lfn = wan
+            .topology
+            .shortest_path(wan.node(OsdcSite::ChicagoKenwood), wan.node(OsdcSite::Lvoc))
+            .expect("path exists");
+        assert!((wan.topology.path_loss_rate(&lfn) - 1e-7).abs() < 1e-12);
+    }
+}

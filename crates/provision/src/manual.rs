@@ -1,0 +1,131 @@
+//! The manual baseline: "performed manually and took over a week".
+
+use osdc_sim::{SimDuration, SimRng};
+
+/// Knobs for the manual install model.
+#[derive(Clone, Debug)]
+pub struct ManualParams {
+    pub servers: u32,
+    /// Admins working in parallel.
+    pub admins: u32,
+    /// Hands-on hours per server (mean; lognormal spread).
+    pub hands_on_hours_mean: f64,
+    /// Probability a server needs re-work (wrong RAID config, typo'd
+    /// network settings — discovered at validation).
+    pub rework_prob: f64,
+    /// Workday length in hours.
+    pub workday_hours: f64,
+}
+
+impl Default for ManualParams {
+    fn default() -> Self {
+        ManualParams {
+            servers: 39,
+            admins: 2,
+            // OS install + network + OpenStack packages + validation.
+            hands_on_hours_mean: 2.5,
+            rework_prob: 0.15,
+            workday_hours: 8.0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ManualReport {
+    pub total_hands_on_hours: f64,
+    /// Wall-clock working days until the rack is done.
+    pub wall_days: f64,
+    pub wall_time: SimDuration,
+    pub reworked_servers: u32,
+}
+
+/// Simulate a manual rack build. Hands-on time is sampled per server
+/// (lognormal, σ=0.3), rework re-queues a server once at half cost, and
+/// admins work `workday_hours`-hour days.
+pub fn manual_rack_install(params: &ManualParams, seed: u64) -> ManualReport {
+    let mut rng = SimRng::new(seed);
+    let sigma = 0.3f64;
+    // Lognormal with the requested mean: mu = ln(mean) - sigma²/2.
+    let mu = params.hands_on_hours_mean.ln() - sigma * sigma / 2.0;
+    let mut total_hours = 0.0;
+    let mut reworked = 0;
+    for _ in 0..params.servers {
+        let hours = rng.lognormal(mu, sigma);
+        total_hours += hours;
+        if rng.chance(params.rework_prob) {
+            reworked += 1;
+            total_hours += hours * 0.5;
+        }
+    }
+    // Admins parallelize the queue; wall time is bounded by the busiest
+    // admin, and only `workday_hours` of each 24 advance the work.
+    let per_admin_hours = total_hours / params.admins as f64;
+    let wall_days = per_admin_hours / params.workday_hours;
+    ManualReport {
+        total_hands_on_hours: total_hours,
+        wall_days,
+        wall_time: SimDuration::from_secs_f64(wall_days * 24.0 * 3600.0),
+        reworked_servers: reworked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rack_takes_over_a_week() {
+        // The paper's experience: "took over a week to complete".
+        let report = manual_rack_install(&ManualParams::default(), 42);
+        assert!(
+            report.wall_days > 4.0,
+            "manual install should take about a work week+: {:.1} days",
+            report.wall_days
+        );
+        assert!(report.total_hands_on_hours > 39.0 * 1.5);
+    }
+
+    #[test]
+    fn more_admins_shorten_wall_time() {
+        let base = manual_rack_install(&ManualParams::default(), 1);
+        let crewed = manual_rack_install(
+            &ManualParams {
+                admins: 4,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(crewed.wall_days < base.wall_days / 1.5);
+        // Hands-on total is the same work regardless of crew size.
+        assert!((crewed.total_hands_on_hours - base.total_hands_on_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rework_increases_hours() {
+        let clean = manual_rack_install(
+            &ManualParams {
+                rework_prob: 0.0,
+                ..Default::default()
+            },
+            7,
+        );
+        let messy = manual_rack_install(
+            &ManualParams {
+                rework_prob: 0.9,
+                ..Default::default()
+            },
+            7,
+        );
+        assert_eq!(clean.reworked_servers, 0);
+        assert!(messy.reworked_servers > 30);
+        assert!(messy.total_hands_on_hours > clean.total_hands_on_hours);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = manual_rack_install(&ManualParams::default(), 5);
+        let b = manual_rack_install(&ManualParams::default(), 5);
+        assert_eq!(a.total_hands_on_hours, b.total_hands_on_hours);
+        assert_eq!(a.reworked_servers, b.reworked_servers);
+    }
+}

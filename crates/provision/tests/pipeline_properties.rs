@@ -1,0 +1,86 @@
+//! Property tests on the provisioning pipeline: conservation, bounds and
+//! monotonicity over arbitrary parameterizations.
+
+use osdc_provision::{manual_rack_install, provision_rack, ManualParams, PipelineParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every server ends either Ready or failed-out; retry counts are
+    /// consistent with the failure probability.
+    #[test]
+    fn servers_are_conserved(
+        servers in 1u32..60,
+        failure_prob in 0.0f64..0.4,
+        chef in 1usize..40,
+        seed: u64,
+    ) {
+        let report = provision_rack(
+            &PipelineParams {
+                servers,
+                stage_failure_prob: failure_prob,
+                chef_concurrency: chef,
+                ..Default::default()
+            },
+            seed,
+        );
+        prop_assert_eq!(report.servers_ready + report.servers_failed, servers);
+        if failure_prob == 0.0 {
+            prop_assert_eq!(report.total_retries, 0);
+            prop_assert_eq!(report.servers_failed, 0);
+        }
+        prop_assert_eq!(report.completion_minutes.count(), report.servers_ready as u64);
+        // Nothing provisions instantly; nothing takes a week.
+        if report.servers_ready > 0 {
+            prop_assert!(report.wall_time.as_hours_f64() > 0.1);
+            prop_assert!(report.wall_time.as_days_f64() < 7.0);
+        }
+    }
+
+    /// More Chef concurrency never makes the rack slower (same seed, all
+    /// else equal, zero failures to keep runs comparable).
+    #[test]
+    fn chef_concurrency_is_monotone(seed: u64, small in 1usize..6) {
+        let base = PipelineParams {
+            stage_failure_prob: 0.0,
+            ..Default::default()
+        };
+        let narrow = provision_rack(
+            &PipelineParams { chef_concurrency: small, ..base.clone() },
+            seed,
+        );
+        let wide = provision_rack(
+            &PipelineParams { chef_concurrency: small * 8, ..base },
+            seed,
+        );
+        prop_assert!(wide.wall_time <= narrow.wall_time);
+    }
+
+    /// The manual baseline's wall time scales inversely with crew size and
+    /// hands-on totals are crew-independent.
+    #[test]
+    fn manual_crew_scaling(seed: u64, admins in 1u32..8) {
+        let solo = manual_rack_install(&ManualParams { admins: 1, ..Default::default() }, seed);
+        let crew = manual_rack_install(&ManualParams { admins, ..Default::default() }, seed);
+        prop_assert!((solo.total_hands_on_hours - crew.total_hands_on_hours).abs() < 1e-9);
+        prop_assert!((crew.wall_days - solo.wall_days / admins as f64).abs() < 1e-9);
+    }
+
+    /// Automation beats the manual baseline across the whole parameter
+    /// space the paper's claim spans.
+    #[test]
+    fn automation_always_wins(seed: u64, failure_prob in 0.0f64..0.2) {
+        let auto = provision_rack(
+            &PipelineParams { stage_failure_prob: failure_prob, ..Default::default() },
+            seed,
+        );
+        let manual = manual_rack_install(&ManualParams::default(), seed);
+        prop_assert!(
+            auto.wall_time.as_secs_f64() * 5.0 < manual.wall_time.as_secs_f64(),
+            "automation must stay ≥5× faster: {} vs {}",
+            auto.wall_time,
+            manual.wall_time
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # osdc-sim — deterministic discrete-event simulation kernel
+//!
+//! Every simulated subsystem of OSDC-in-a-box (the WAN, the GlusterFS-like
+//! storage layer, the provisioning pipeline, the Nagios-like monitor, the
+//! billing pollers) runs on this kernel. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time, so that
+//!   event ordering is exact and runs are bit-reproducible across platforms.
+//! * [`Engine`] — a binary-heap event queue generic over a user event type.
+//!   State lives in the user's `World`; the engine only owns time. Events at
+//!   equal timestamps are delivered in FIFO scheduling order (a monotone
+//!   sequence number breaks ties), which is what makes runs deterministic.
+//! * [`rng`] — a small, self-contained xoshiro256++ PRNG seeded via
+//!   SplitMix64, plus the handful of distributions the simulations need.
+//!   All stochastic behaviour in the workspace flows from explicit seeds.
+//! * [`stats`] — counters, time-weighted averages, log-bucket histograms and
+//!   time series used by the experiment harnesses.
+//! * [`resource`] — token buckets and FIFO service queues for modelling
+//!   capacity-limited stages (disks, PXE servers, Chef servers, NICs).
+//!
+//! ## Design notes
+//!
+//! The kernel deliberately avoids boxed closures on the hot path: the event
+//! type is a plain user enum and dispatch is a `match` in the user's
+//! [`Simulation::handle`]. The queue stores `(SimTime, u64, E)` in a
+//! `BinaryHeap` with reversed ordering; per the Rust Performance Book we keep
+//! the per-event footprint small and allocation-free (events are moved, never
+//! boxed).
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Scheduler, Simulation};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,268 @@
+//! Integer-nanosecond virtual time.
+//!
+//! Floating-point simulation clocks accumulate rounding error and make event
+//! ordering platform-dependent; OSDC experiment harnesses must print the same
+//! table on every run, so time is a `u64` count of nanoseconds since the
+//! start of the simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+pub const NANOS_PER_MICRO: u64 = 1_000;
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+pub const SECS_PER_MIN: u64 = 60;
+pub const SECS_PER_HOUR: u64 = 3_600;
+pub const SECS_PER_DAY: u64 = 86_400;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel "end of time", useful as an initial minimum.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero rather than panicking
+    /// so that "how long ago" queries are total.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * NANOS_PER_MICRO)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * SECS_PER_MIN * NANOS_PER_SEC)
+    }
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * SECS_PER_HOUR * NANOS_PER_SEC)
+    }
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * SECS_PER_DAY * NANOS_PER_SEC)
+    }
+
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0 && secs.is_finite(), "negative duration: {secs}");
+        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_HOUR as f64
+    }
+    pub fn as_days_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_DAY as f64
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale a duration by a non-negative factor.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Render nanoseconds with a human-scale unit (used by harness output).
+fn format_ns(ns: u64) -> String {
+    if ns >= SECS_PER_DAY * NANOS_PER_SEC {
+        format!("{:.2}d", ns as f64 / (SECS_PER_DAY * NANOS_PER_SEC) as f64)
+    } else if ns >= SECS_PER_HOUR * NANOS_PER_SEC {
+        format!("{:.2}h", ns as f64 / (SECS_PER_HOUR * NANOS_PER_SEC) as f64)
+    } else if ns >= NANOS_PER_SEC {
+        format!("{:.3}s", ns as f64 / NANOS_PER_SEC as f64)
+    } else if ns >= NANOS_PER_MILLI {
+        format!("{:.3}ms", ns as f64 / NANOS_PER_MILLI as f64)
+    } else if ns >= NANOS_PER_MICRO {
+        format!("{:.3}us", ns as f64 / NANOS_PER_MICRO as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimDuration::from_secs(3).as_nanos(), 3 * NANOS_PER_SEC);
+        assert_eq!(SimDuration::from_millis(104).as_millis(), 104);
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(2), SimDuration::from_mins(120));
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn f64_roundtrip_is_close() {
+        let d = SimDuration::from_secs_f64(0.104);
+        assert_eq!(d.as_millis(), 104);
+        assert!((d.as_secs_f64() - 0.104).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        let u = t + SimDuration::from_secs(7);
+        assert_eq!(u - t, SimDuration::from_secs(7));
+        assert_eq!(t.saturating_since(u), SimDuration::ZERO);
+        assert_eq!(u.saturating_since(t), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(SimDuration::from_secs(10).mul_f64(0.5), SimDuration::from_secs(5));
+        assert_eq!(SimDuration::from_secs(10) * 3, SimDuration::from_secs(30));
+        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_millis(2500));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(104)), "104.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_hours(3)), "3.00h");
+        assert_eq!(format!("{}", SimDuration::from_days(2)), "2.00d");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime(1);
+        let b = SimTime(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Bricks: the storage unit a GlusterFS-like volume is built from.
+//!
+//! A brick is one directory on one server's RAID: it has a capacity, a
+//! health state, and a flat map of path → (data, meta). Replication and
+//! placement live a layer up, in [`crate::volume`].
+
+use std::collections::BTreeMap;
+
+use crate::file::{FileData, FileMeta};
+
+/// Identifies a brick within a volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BrickId(pub usize);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrickHealth {
+    Online,
+    /// Server or RAID failure: contents inaccessible (and lost, until the
+    /// brick is replaced empty and healed).
+    Failed,
+}
+
+#[derive(Clone, Debug)]
+pub struct Brick {
+    pub id: BrickId,
+    /// Human-readable location, e.g. `rack3-server12:/data/brick0`.
+    pub location: String,
+    pub capacity_bytes: u64,
+    used_bytes: u64,
+    health: BrickHealth,
+    files: BTreeMap<String, (FileData, FileMeta)>,
+}
+
+/// Errors surfaced by direct brick operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BrickError {
+    Offline,
+    Full { need: u64, free: u64 },
+    NotFound,
+}
+
+impl Brick {
+    pub fn new(id: BrickId, location: impl Into<String>, capacity_bytes: u64) -> Self {
+        Brick {
+            id,
+            location: location.into(),
+            capacity_bytes,
+            used_bytes: 0,
+            health: BrickHealth::Online,
+            files: BTreeMap::new(),
+        }
+    }
+
+    pub fn health(&self) -> BrickHealth {
+        self.health
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used_bytes)
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Simulate a hardware failure: all contents are gone.
+    pub fn fail(&mut self) {
+        self.health = BrickHealth::Failed;
+        self.files.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Replace the failed hardware with an empty, online brick (heal
+    /// repopulates it from surviving replicas).
+    pub fn replace(&mut self) {
+        self.health = BrickHealth::Online;
+        self.files.clear();
+        self.used_bytes = 0;
+    }
+
+    pub fn write(&mut self, path: &str, data: FileData, meta: FileMeta) -> Result<(), BrickError> {
+        if self.health != BrickHealth::Online {
+            return Err(BrickError::Offline);
+        }
+        let new_size = data.size();
+        let old_size = self.files.get(path).map_or(0, |(d, _)| d.size());
+        let needed = new_size.saturating_sub(old_size);
+        if needed > self.free_bytes() {
+            return Err(BrickError::Full {
+                need: needed,
+                free: self.free_bytes(),
+            });
+        }
+        self.used_bytes = self.used_bytes - old_size + new_size;
+        self.files.insert(path.to_string(), (data, meta));
+        Ok(())
+    }
+
+    pub fn read(&self, path: &str) -> Result<&(FileData, FileMeta), BrickError> {
+        if self.health != BrickHealth::Online {
+            return Err(BrickError::Offline);
+        }
+        self.files.get(path).ok_or(BrickError::NotFound)
+    }
+
+    pub fn delete(&mut self, path: &str) -> Result<(), BrickError> {
+        if self.health != BrickHealth::Online {
+            return Err(BrickError::Offline);
+        }
+        match self.files.remove(path) {
+            Some((data, _)) => {
+                self.used_bytes -= data.size();
+                Ok(())
+            }
+            None => Err(BrickError::NotFound),
+        }
+    }
+
+    /// Iterate paths (online bricks only — a failed brick reports nothing).
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// All entries, for heal and backup walks.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &(FileData, FileMeta))> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: u64, owner: &str, version: u64) -> FileMeta {
+        FileMeta {
+            size,
+            owner: owner.into(),
+            version,
+            digest: [0; 16],
+        }
+    }
+
+    fn small(content: &[u8]) -> (FileData, FileMeta) {
+        let d = FileData::bytes(content.to_vec());
+        let m = FileMeta {
+            size: d.size(),
+            owner: "alice".into(),
+            version: 1,
+            digest: d.digest(),
+        };
+        (d, m)
+    }
+
+    #[test]
+    fn write_read_delete_cycle() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 1000);
+        let (d, m) = small(b"hello");
+        b.write("/f", d.clone(), m).expect("write ok");
+        assert_eq!(b.used_bytes(), 5);
+        assert_eq!(b.read("/f").expect("read ok").0, d);
+        b.delete("/f").expect("delete ok");
+        assert_eq!(b.used_bytes(), 0);
+        assert_eq!(b.read("/f"), Err(BrickError::NotFound));
+    }
+
+    #[test]
+    fn overwrite_adjusts_usage() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 1000);
+        let (d1, m1) = small(b"12345678");
+        b.write("/f", d1, m1).expect("first write");
+        let (d2, m2) = small(b"123");
+        b.write("/f", d2, m2).expect("overwrite");
+        assert_eq!(b.used_bytes(), 3);
+        assert_eq!(b.file_count(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 10);
+        let err = b
+            .write("/big", FileData::synthetic(11, 0), meta(11, "a", 1))
+            .expect_err("over capacity");
+        assert!(matches!(err, BrickError::Full { need: 11, free: 10 }));
+        // Exactly-fits is fine.
+        b.write("/ok", FileData::synthetic(10, 0), meta(10, "a", 1))
+            .expect("fits");
+        assert_eq!(b.free_bytes(), 0);
+    }
+
+    #[test]
+    fn overwrite_within_capacity_delta() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 10);
+        b.write("/f", FileData::synthetic(8, 0), meta(8, "a", 1))
+            .expect("initial");
+        // Growing by 2 fits (delta accounting), though 10 > free=2.
+        b.write("/f", FileData::synthetic(10, 0), meta(10, "a", 2))
+            .expect("grow in place");
+        assert_eq!(b.used_bytes(), 10);
+    }
+
+    #[test]
+    fn failure_loses_contents() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 1000);
+        let (d, m) = small(b"data");
+        b.write("/f", d, m).expect("write ok");
+        b.fail();
+        assert_eq!(b.health(), BrickHealth::Failed);
+        assert_eq!(b.read("/f"), Err(BrickError::Offline));
+        assert_eq!(b.write("/g", FileData::synthetic(1, 0), meta(1, "a", 1)), Err(BrickError::Offline));
+        b.replace();
+        assert_eq!(b.health(), BrickHealth::Online);
+        assert_eq!(b.read("/f"), Err(BrickError::NotFound), "replacement starts empty");
+    }
+
+    #[test]
+    fn paths_sorted() {
+        let mut b = Brick::new(BrickId(0), "s1:/b0", 1000);
+        for p in ["/z", "/a", "/m"] {
+            let (d, m) = small(b"x");
+            b.write(p, d, m).expect("write ok");
+        }
+        let paths: Vec<&str> = b.paths().collect();
+        assert_eq!(paths, vec!["/a", "/m", "/z"]);
+    }
+}

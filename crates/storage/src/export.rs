@@ -1,0 +1,269 @@
+//! The Samba-style permission gate in front of GlusterFS shares (§7.1).
+//!
+//! "Since users have root access on their virtual machines we cannot allow
+//! them to mount the GlusterFS shares directly, as the current
+//! implementation of GlusterFS would allow them root access on the whole
+//! share. Therefore, the GlusterFS shares are exported to the virtual
+//! machine using Samba, which controls the permissions."
+//!
+//! The gate authenticates *cloud* credentials — a VM-local uid of 0 buys
+//! nothing — and authorizes each operation against per-prefix access
+//! rules before it reaches the volume.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::file::FileData;
+use crate::volume::{Volume, VolumeError};
+
+/// What an operation wants to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Why an exported operation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExportError {
+    /// Unknown user or wrong password.
+    AuthenticationFailed,
+    /// Authenticated but not permitted on this path.
+    PermissionDenied,
+    /// Underlying volume error.
+    Volume(VolumeError),
+}
+
+#[derive(Clone, Debug, Default)]
+struct PrefixRule {
+    read_users: Vec<String>,
+    write_users: Vec<String>,
+    /// World-readable (the public-dataset shares of §6.3).
+    public_read: bool,
+}
+
+/// A Samba-like export of one volume.
+///
+/// Interior mutability with a `parking_lot::RwLock` (per the workspace
+/// guides) because many simulated VMs call concurrently in the examples.
+pub struct SambaExport {
+    volume: RwLock<Volume>,
+    /// username → password digest (MD5 of the password — era-appropriate).
+    accounts: RwLock<BTreeMap<String, [u8; 16]>>,
+    /// Longest-prefix-match access rules.
+    rules: RwLock<BTreeMap<String, PrefixRule>>,
+}
+
+impl SambaExport {
+    pub fn new(volume: Volume) -> Self {
+        SambaExport {
+            volume: RwLock::new(volume),
+            accounts: RwLock::new(BTreeMap::new()),
+            rules: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn add_account(&self, user: &str, password: &str) {
+        self.accounts
+            .write()
+            .insert(user.to_string(), osdc_crypto::md5::md5(password.as_bytes()));
+    }
+
+    /// Grant `user` access under `prefix`.
+    pub fn grant(&self, prefix: &str, user: &str, kind: AccessKind) {
+        let mut rules = self.rules.write();
+        let rule = rules.entry(prefix.to_string()).or_default();
+        let list = match kind {
+            AccessKind::Read => &mut rule.read_users,
+            AccessKind::Write => &mut rule.write_users,
+        };
+        if !list.iter().any(|u| u == user) {
+            list.push(user.to_string());
+        }
+    }
+
+    /// Mark a prefix world-readable (public datasets).
+    pub fn make_public(&self, prefix: &str) {
+        self.rules.write().entry(prefix.to_string()).or_default().public_read = true;
+    }
+
+    fn authenticate(&self, user: &str, password: &str) -> Result<(), ExportError> {
+        match self.accounts.read().get(user) {
+            Some(digest) if *digest == osdc_crypto::md5::md5(password.as_bytes()) => Ok(()),
+            _ => Err(ExportError::AuthenticationFailed),
+        }
+    }
+
+    fn authorize(&self, user: &str, path: &str, kind: AccessKind) -> Result<(), ExportError> {
+        let rules = self.rules.read();
+        // Longest matching prefix wins; any matching prefix granting the
+        // access suffices (write implies read).
+        let mut allowed = false;
+        for (prefix, rule) in rules.iter() {
+            if !path.starts_with(prefix.as_str()) {
+                continue;
+            }
+            let hit = match kind {
+                AccessKind::Read => {
+                    rule.public_read
+                        || rule.read_users.iter().any(|u| u == user)
+                        || rule.write_users.iter().any(|u| u == user)
+                }
+                AccessKind::Write => rule.write_users.iter().any(|u| u == user),
+            };
+            allowed |= hit;
+        }
+        if allowed {
+            Ok(())
+        } else {
+            Err(ExportError::PermissionDenied)
+        }
+    }
+
+    /// Authenticated read. A VM-local root uid is irrelevant: only the
+    /// cloud credential matters.
+    pub fn read(&self, user: &str, password: &str, path: &str) -> Result<FileData, ExportError> {
+        self.authenticate(user, password)?;
+        self.authorize(user, path, AccessKind::Read)?;
+        self.volume
+            .read()
+            .read(path)
+            .map(|(data, _)| data)
+            .map_err(ExportError::Volume)
+    }
+
+    /// Authenticated write; the file is owned by the authenticated user.
+    pub fn write(
+        &self,
+        user: &str,
+        password: &str,
+        path: &str,
+        data: FileData,
+    ) -> Result<(), ExportError> {
+        self.authenticate(user, password)?;
+        self.authorize(user, path, AccessKind::Write)?;
+        self.volume
+            .write()
+            .write(path, data, user)
+            .map_err(ExportError::Volume)
+    }
+
+    /// Listing honours read permission per path.
+    pub fn list(&self, user: &str, password: &str) -> Result<Vec<String>, ExportError> {
+        self.authenticate(user, password)?;
+        let vol = self.volume.read();
+        Ok(vol
+            .list()
+            .into_iter()
+            .filter(|p| self.authorize(user, p, AccessKind::Read).is_ok())
+            .collect())
+    }
+
+    /// Escape hatch for administrative tasks (backup, billing sweeps).
+    pub fn with_volume<R>(&self, f: impl FnOnce(&mut Volume) -> R) -> R {
+        f(&mut self.volume.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::GlusterVersion;
+
+    fn export() -> SambaExport {
+        let vol = Volume::new("vol", GlusterVersion::V3_3, 2, 2, 1 << 30, 1);
+        let e = SambaExport::new(vol);
+        e.add_account("alice", "pw-a");
+        e.add_account("bob", "pw-b");
+        e.grant("/projects/genomics", "alice", AccessKind::Write);
+        e.grant("/projects/genomics", "bob", AccessKind::Read);
+        e
+    }
+
+    #[test]
+    fn owner_writes_reader_reads() {
+        let e = export();
+        e.write("alice", "pw-a", "/projects/genomics/run1.bam", FileData::bytes(b"reads".to_vec()))
+            .expect("alice can write");
+        let data = e
+            .read("bob", "pw-b", "/projects/genomics/run1.bam")
+            .expect("bob can read");
+        assert_eq!(data, FileData::bytes(b"reads".to_vec()));
+    }
+
+    #[test]
+    fn reader_cannot_write() {
+        let e = export();
+        let err = e
+            .write("bob", "pw-b", "/projects/genomics/x", FileData::bytes(vec![1]))
+            .expect_err("bob is read-only");
+        assert_eq!(err, ExportError::PermissionDenied);
+    }
+
+    #[test]
+    fn wrong_password_is_auth_failure_even_for_vm_root() {
+        let e = export();
+        // "root" on the VM has no cloud account: authentication, not
+        // authorization, rejects — the Samba gate's whole purpose.
+        assert_eq!(
+            e.read("root", "", "/projects/genomics/run1.bam").unwrap_err(),
+            ExportError::AuthenticationFailed
+        );
+        assert_eq!(
+            e.read("alice", "wrong", "/projects/genomics/run1.bam").unwrap_err(),
+            ExportError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn unrelated_prefix_denied() {
+        let e = export();
+        e.grant("/projects/climate", "bob", AccessKind::Write);
+        assert_eq!(
+            e.write("alice", "pw-a", "/projects/climate/t.nc", FileData::bytes(vec![0]))
+                .unwrap_err(),
+            ExportError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn public_datasets_readable_by_any_account() {
+        let e = export();
+        e.grant("/public", "alice", AccessKind::Write);
+        e.write("alice", "pw-a", "/public/1000genomes/chr1", FileData::bytes(vec![7]))
+            .expect("curator writes");
+        e.make_public("/public");
+        e.read("bob", "pw-b", "/public/1000genomes/chr1")
+            .expect("public read");
+        // But still not writable by others.
+        assert_eq!(
+            e.write("bob", "pw-b", "/public/1000genomes/chr1", FileData::bytes(vec![8]))
+                .unwrap_err(),
+            ExportError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn listing_is_permission_filtered() {
+        let e = export();
+        e.grant("/private/alice", "alice", AccessKind::Write);
+        e.write("alice", "pw-a", "/private/alice/secret", FileData::bytes(vec![1]))
+            .expect("write ok");
+        e.write("alice", "pw-a", "/projects/genomics/shared", FileData::bytes(vec![2]))
+            .expect("write ok");
+        let bob_sees = e.list("bob", "pw-b").expect("list ok");
+        assert_eq!(bob_sees, vec!["/projects/genomics/shared".to_string()]);
+        let alice_sees = e.list("alice", "pw-a").expect("list ok");
+        assert_eq!(alice_sees.len(), 2);
+    }
+
+    #[test]
+    fn volume_errors_pass_through() {
+        let e = export();
+        assert_eq!(
+            e.read("alice", "pw-a", "/projects/genomics/missing").unwrap_err(),
+            ExportError::Volume(VolumeError::NotFound)
+        );
+    }
+}

@@ -1,0 +1,514 @@
+//! The volume: a distribute layer over replicated brick sets.
+//!
+//! GlusterFS composes "translators": the paper's deployment distributes
+//! files across replica sets by path hash, and (when mirroring is on)
+//! each replica set writes every file to all of its bricks. §7.1's war
+//! story — the v3.1 mirroring bug that *silently* dropped replica writes,
+//! versus v3.3's reliable mirroring plus self-heal — is modelled by
+//! [`GlusterVersion`].
+
+use osdc_sim::SimRng;
+
+use crate::brick::{Brick, BrickError, BrickHealth, BrickId};
+use crate::file::{FileData, FileMeta};
+
+/// Which era of the mirroring code a volume runs (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GlusterVersion {
+    /// 3.1-era: each replica write independently, and non-primary replica
+    /// writes are *silently dropped* with the given probability. No
+    /// self-heal. ("a bug in mirroring that caused some data loss")
+    V3_1 { replica_drop_prob: f64 },
+    /// 3.3-era: all-or-nothing replica writes and a working self-heal.
+    V3_3,
+}
+
+/// Result of a self-heal pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealReport {
+    /// Files re-copied to bricks that were missing them.
+    pub repaired: u64,
+    /// Files where replicas disagreed and the highest version won.
+    pub reconciled: u64,
+    /// Files present on no online brick of their set — unrecoverable here.
+    pub lost: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VolumeError {
+    NotFound,
+    /// Every replica holding the file is offline or lost it.
+    Unavailable,
+    NoSpace,
+}
+
+/// A distributed, optionally replicated volume.
+///
+/// ```
+/// use osdc_storage::{BrickId, FileData, GlusterVersion, Volume};
+///
+/// // Four bricks, replica-2 (two replica sets), v3.3 semantics.
+/// let mut vol = Volume::new("adler", GlusterVersion::V3_3, 4, 2, 1 << 30, 42);
+/// vol.write("/genomes/chr1.fa", FileData::bytes(b"ACGT".to_vec()), "alice").unwrap();
+///
+/// // One brick dies: the replica still serves the file.
+/// vol.fail_brick(BrickId(0));
+/// let (data, meta) = vol.read("/genomes/chr1.fa").unwrap();
+/// assert_eq!(data, FileData::bytes(b"ACGT".to_vec()));
+/// assert_eq!(meta.owner, "alice");
+///
+/// // Replace the hardware and heal; the new brick is repopulated.
+/// vol.replace_brick(BrickId(0));
+/// vol.heal();
+/// ```
+pub struct Volume {
+    pub name: String,
+    version: GlusterVersion,
+    replica_count: usize,
+    /// Bricks, grouped as consecutive replica sets of `replica_count`.
+    bricks: Vec<Brick>,
+    rng: SimRng,
+    /// Count of replica writes silently dropped by the v3.1 defect.
+    pub silent_drops: u64,
+    next_version: u64,
+}
+
+impl Volume {
+    /// Build a volume from equal bricks. `brick_count` must be a multiple
+    /// of `replica_count`; replica sets are consecutive groups.
+    pub fn new(
+        name: impl Into<String>,
+        version: GlusterVersion,
+        brick_count: usize,
+        replica_count: usize,
+        brick_capacity: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(replica_count >= 1, "need at least one replica");
+        assert!(
+            brick_count > 0 && brick_count.is_multiple_of(replica_count),
+            "brick count {brick_count} must be a positive multiple of replica count {replica_count}"
+        );
+        let name = name.into();
+        let bricks = (0..brick_count)
+            .map(|i| {
+                Brick::new(
+                    BrickId(i),
+                    format!("{name}-server{}:/brick{}", i / replica_count, i % replica_count),
+                    brick_capacity,
+                )
+            })
+            .collect();
+        Volume {
+            name,
+            version,
+            replica_count,
+            bricks,
+            rng: SimRng::new(seed),
+            silent_drops: 0,
+            next_version: 1,
+        }
+    }
+
+    pub fn replica_sets(&self) -> usize {
+        self.bricks.len() / self.replica_count
+    }
+
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.bricks.iter().map(|b| b.capacity_bytes).sum()
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.bricks.iter().map(|b| b.used_bytes()).sum()
+    }
+
+    /// Usable capacity accounts for replication overhead.
+    pub fn usable_capacity_bytes(&self) -> u64 {
+        self.total_capacity_bytes() / self.replica_count as u64
+    }
+
+    /// FNV-1a placement hash — the distribute translator.
+    fn placement(&self, path: &str) -> usize {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.replica_sets() as u64) as usize
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.replica_count..(set + 1) * self.replica_count
+    }
+
+    /// Write a file. In v3.3 the write succeeds only if *every online*
+    /// brick of the set accepts it (transactional); in v3.1 each replica
+    /// is written independently and non-primary writes may silently drop.
+    pub fn write(&mut self, path: &str, data: FileData, owner: &str) -> Result<(), VolumeError> {
+        let meta = FileMeta {
+            size: data.size(),
+            owner: owner.to_string(),
+            version: self.next_version,
+            digest: data.digest(),
+        };
+        self.next_version += 1;
+        let set = self.placement(path);
+        let range = self.set_range(set);
+        let mut wrote_any = false;
+        let mut full = false;
+        for (rank, idx) in range.enumerate() {
+            if self.bricks[idx].health() != BrickHealth::Online {
+                continue;
+            }
+            if let GlusterVersion::V3_1 { replica_drop_prob } = self.version {
+                if rank > 0 && self.rng.chance(replica_drop_prob) {
+                    self.silent_drops += 1;
+                    continue; // the defect: caller never learns
+                }
+            }
+            match self.bricks[idx].write(path, data.clone(), meta.clone()) {
+                Ok(()) => wrote_any = true,
+                Err(BrickError::Full { .. }) => full = true,
+                Err(_) => {}
+            }
+        }
+        if wrote_any {
+            Ok(())
+        } else if full {
+            Err(VolumeError::NoSpace)
+        } else {
+            Err(VolumeError::Unavailable)
+        }
+    }
+
+    /// Read a file from the freshest online replica.
+    pub fn read(&self, path: &str) -> Result<(FileData, FileMeta), VolumeError> {
+        let set = self.placement(path);
+        let mut best: Option<&(FileData, FileMeta)> = None;
+        let mut any_online = false;
+        for idx in self.set_range(set) {
+            match self.bricks[idx].read(path) {
+                Ok(entry) => {
+                    any_online = true;
+                    if best.is_none_or(|b| entry.1.version > b.1.version) {
+                        best = Some(entry);
+                    }
+                }
+                Err(BrickError::NotFound) => any_online = true,
+                Err(_) => {}
+            }
+        }
+        match best {
+            Some(e) => Ok(e.clone()),
+            None if any_online => Err(VolumeError::NotFound),
+            None => Err(VolumeError::Unavailable),
+        }
+    }
+
+    pub fn delete(&mut self, path: &str) -> Result<(), VolumeError> {
+        let set = self.placement(path);
+        let mut deleted = false;
+        for idx in self.set_range(set) {
+            if self.bricks[idx].delete(path).is_ok() {
+                deleted = true;
+            }
+        }
+        if deleted {
+            Ok(())
+        } else {
+            Err(VolumeError::NotFound)
+        }
+    }
+
+    /// All distinct paths visible on online bricks, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self
+            .bricks
+            .iter()
+            .filter(|b| b.health() == BrickHealth::Online)
+            .flat_map(|b| b.paths().map(str::to_string))
+            .collect();
+        paths.sort_unstable();
+        paths.dedup();
+        paths
+    }
+
+    /// Per-owner stored bytes (primary copies only — §6.4's daily storage
+    /// accounting bills logical usage, not replication overhead).
+    pub fn usage_by_owner(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut usage = std::collections::BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for b in self.bricks.iter().filter(|b| b.health() == BrickHealth::Online) {
+            for (path, (data, meta)) in b.entries() {
+                if seen.insert(path.to_string()) {
+                    *usage.entry(meta.owner.clone()).or_insert(0) += data.size();
+                }
+            }
+        }
+        usage
+    }
+
+    /// Fail a brick (hardware loss).
+    pub fn fail_brick(&mut self, id: BrickId) {
+        self.bricks[id.0].fail();
+    }
+
+    /// Replace a failed brick with empty hardware.
+    pub fn replace_brick(&mut self, id: BrickId) {
+        self.bricks[id.0].replace();
+    }
+
+    pub fn brick_health(&self, id: BrickId) -> BrickHealth {
+        self.bricks[id.0].health()
+    }
+
+    pub fn brick_count(&self) -> usize {
+        self.bricks.len()
+    }
+
+    /// Self-heal pass (v3.3 only — v3.1 had none, which is why the bug
+    /// cost data). For every path in every replica set, copy the freshest
+    /// replica onto online bricks that lack it or hold an older version.
+    pub fn heal(&mut self) -> HealReport {
+        let mut report = HealReport::default();
+        if matches!(self.version, GlusterVersion::V3_1 { .. }) {
+            return report; // nothing runs; losses stay lost
+        }
+        for set in 0..self.replica_sets() {
+            let range = self.set_range(set);
+            // Collect the union of paths with the freshest copy of each.
+            let mut freshest: std::collections::BTreeMap<String, (FileData, FileMeta)> =
+                std::collections::BTreeMap::new();
+            for idx in range.clone() {
+                if self.bricks[idx].health() != BrickHealth::Online {
+                    continue;
+                }
+                for (path, (data, meta)) in self.bricks[idx].entries() {
+                    let replace = freshest
+                        .get(path)
+                        .is_none_or(|(_, m)| meta.version > m.version);
+                    if replace {
+                        freshest.insert(path.to_string(), (data.clone(), meta.clone()));
+                    }
+                }
+            }
+            // Push the freshest copy everywhere it's missing/stale.
+            for (path, (data, meta)) in &freshest {
+                let mut repaired_here = false;
+                let mut reconciled_here = false;
+                for idx in range.clone() {
+                    if self.bricks[idx].health() != BrickHealth::Online {
+                        continue;
+                    }
+                    match self.bricks[idx].read(path) {
+                        Ok((_, m)) if m.version == meta.version => {}
+                        Ok(_) => {
+                            if self.bricks[idx].write(path, data.clone(), meta.clone()).is_ok() {
+                                reconciled_here = true;
+                            }
+                        }
+                        Err(BrickError::NotFound) => {
+                            if self.bricks[idx].write(path, data.clone(), meta.clone()).is_ok() {
+                                repaired_here = true;
+                            }
+                        }
+                        Err(_) => {}
+                    }
+                }
+                if repaired_here {
+                    report.repaired += 1;
+                }
+                if reconciled_here {
+                    report.reconciled += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Paths that can no longer be read (for loss audits after failures).
+    pub fn audit_lost(&self, expected_paths: &[String]) -> Vec<String> {
+        expected_paths
+            .iter()
+            .filter(|p| self.read(p).is_err())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    fn mk(version: GlusterVersion, bricks: usize, replicas: usize, seed: u64) -> Volume {
+        Volume::new("test-vol", version, bricks, replicas, 100 * GB, seed)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut v = mk(GlusterVersion::V3_3, 4, 2, 1);
+        v.write("/data/a", FileData::bytes(b"hello".to_vec()), "alice")
+            .expect("write ok");
+        let (data, meta) = v.read("/data/a").expect("read ok");
+        assert_eq!(data, FileData::bytes(b"hello".to_vec()));
+        assert_eq!(meta.owner, "alice");
+    }
+
+    #[test]
+    fn distribute_spreads_files() {
+        let mut v = mk(GlusterVersion::V3_3, 8, 1, 2);
+        for i in 0..200 {
+            v.write(&format!("/f{i}"), FileData::synthetic(1, i), "u")
+                .expect("write ok");
+        }
+        // Every replica set should have received some files.
+        let per_brick: Vec<usize> = (0..8).map(|i| v.bricks[i].file_count()).collect();
+        assert!(per_brick.iter().all(|&c| c > 10), "skewed placement: {per_brick:?}");
+        assert_eq!(per_brick.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn replication_survives_single_brick_failure() {
+        let mut v = mk(GlusterVersion::V3_3, 4, 2, 3);
+        for i in 0..50 {
+            v.write(&format!("/f{i}"), FileData::synthetic(10, i), "u")
+                .expect("write ok");
+        }
+        v.fail_brick(BrickId(0));
+        v.fail_brick(BrickId(2)); // one brick from each set
+        for i in 0..50 {
+            v.read(&format!("/f{i}")).expect("replica survives");
+        }
+    }
+
+    #[test]
+    fn v31_bug_loses_data_after_failure() {
+        let mut v = mk(
+            GlusterVersion::V3_1 {
+                replica_drop_prob: 0.3,
+            },
+            2,
+            2,
+            4,
+        );
+        let paths: Vec<String> = (0..200).map(|i| format!("/f{i}")).collect();
+        for (i, p) in paths.iter().enumerate() {
+            v.write(p, FileData::synthetic(10, i as u64), "u").expect("write ok");
+        }
+        assert!(v.silent_drops > 30, "defect should fire: {}", v.silent_drops);
+        // All reads still fine (primary alive)...
+        assert!(v.audit_lost(&paths).is_empty());
+        // ...until the primary dies: files whose mirror write was dropped
+        // are gone, and v3.1 heal does nothing.
+        v.fail_brick(BrickId(0));
+        let lost = v.audit_lost(&paths);
+        assert!(!lost.is_empty(), "v3.1 defect must cost data");
+        v.heal();
+        assert_eq!(v.audit_lost(&paths).len(), lost.len(), "v3.1 has no heal");
+    }
+
+    #[test]
+    fn v33_heal_repopulates_replaced_brick() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 5);
+        let paths: Vec<String> = (0..100).map(|i| format!("/f{i}")).collect();
+        for (i, p) in paths.iter().enumerate() {
+            v.write(p, FileData::synthetic(10, i as u64), "u").expect("write ok");
+        }
+        v.fail_brick(BrickId(1));
+        v.replace_brick(BrickId(1));
+        let report = v.heal();
+        assert_eq!(report.repaired, 100);
+        assert_eq!(report.lost, 0);
+        // Now the *other* brick can die and nothing is lost.
+        v.fail_brick(BrickId(0));
+        assert!(v.audit_lost(&paths).is_empty());
+    }
+
+    #[test]
+    fn heal_reconciles_stale_versions() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 6);
+        v.write("/f", FileData::bytes(b"v1".to_vec()), "u").expect("write ok");
+        // Brick 1 goes down; a new version lands only on brick 0.
+        v.fail_brick(BrickId(1));
+        v.write("/f", FileData::bytes(b"v2".to_vec()), "u").expect("write ok");
+        v.replace_brick(BrickId(1));
+        let report = v.heal();
+        assert_eq!(report.repaired, 1);
+        // Kill brick 0: the healed copy on brick 1 must be v2.
+        v.fail_brick(BrickId(0));
+        let (data, _) = v.read("/f").expect("read from healed replica");
+        assert_eq!(data, FileData::bytes(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn read_prefers_freshest_replica() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 7);
+        v.write("/f", FileData::bytes(b"old".to_vec()), "u").expect("write ok");
+        v.fail_brick(BrickId(1));
+        v.write("/f", FileData::bytes(b"new".to_vec()), "u").expect("write ok");
+        v.replace_brick(BrickId(1));
+        // Without heal, brick 1 is empty; read must return the v2 copy.
+        let (data, _) = v.read("/f").expect("read ok");
+        assert_eq!(data, FileData::bytes(b"new".to_vec()));
+    }
+
+    #[test]
+    fn not_found_vs_unavailable() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 8);
+        assert_eq!(v.read("/missing").unwrap_err(), VolumeError::NotFound);
+        v.write("/f", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
+        v.fail_brick(BrickId(0));
+        v.fail_brick(BrickId(1));
+        assert_eq!(v.read("/f").unwrap_err(), VolumeError::Unavailable);
+        assert_eq!(v.write("/g", FileData::bytes(b"y".to_vec()), "u").unwrap_err(), VolumeError::Unavailable);
+    }
+
+    #[test]
+    fn no_space_reported() {
+        let mut v = Volume::new("tiny", GlusterVersion::V3_3, 2, 2, 10, 9);
+        let err = v
+            .write("/big", FileData::synthetic(100, 0), "u")
+            .expect_err("too big");
+        assert_eq!(err, VolumeError::NoSpace);
+    }
+
+    #[test]
+    fn usage_by_owner_counts_logical_bytes() {
+        let mut v = mk(GlusterVersion::V3_3, 4, 2, 10);
+        v.write("/a", FileData::synthetic(100, 1), "alice").expect("write ok");
+        v.write("/b", FileData::synthetic(50, 2), "alice").expect("write ok");
+        v.write("/c", FileData::synthetic(25, 3), "bob").expect("write ok");
+        let usage = v.usage_by_owner();
+        assert_eq!(usage["alice"], 150, "logical, not ×2 replicated");
+        assert_eq!(usage["bob"], 25);
+        // Physical usage is doubled by replication.
+        assert_eq!(v.used_bytes(), 350);
+    }
+
+    #[test]
+    fn delete_removes_all_replicas() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 11);
+        v.write("/f", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
+        v.delete("/f").expect("delete ok");
+        assert_eq!(v.read("/f").unwrap_err(), VolumeError::NotFound);
+        assert_eq!(v.used_bytes(), 0);
+        assert_eq!(v.delete("/f").unwrap_err(), VolumeError::NotFound);
+    }
+
+    #[test]
+    fn list_dedups_replicas() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 12);
+        v.write("/b", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
+        v.write("/a", FileData::bytes(b"y".to_vec()), "u").expect("write ok");
+        assert_eq!(v.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+
+    #[test]
+    fn usable_capacity_accounts_for_replication() {
+        let v = mk(GlusterVersion::V3_3, 4, 2, 13);
+        assert_eq!(v.total_capacity_bytes(), 400 * GB);
+        assert_eq!(v.usable_capacity_bytes(), 200 * GB);
+    }
+}

@@ -1,0 +1,125 @@
+//! rsync's weak rolling checksum.
+//!
+//! The 32-bit checksum from the rsync technical report: with block
+//! `X_k..X_l`,
+//!
+//! ```text
+//! a(k,l) = ( Σ X_i )            mod 2^16
+//! b(k,l) = ( Σ (l − i + 1) X_i ) mod 2^16
+//! s(k,l) = a + 2^16 · b
+//! ```
+//!
+//! Its virtue is O(1) *rolling*: sliding the window one byte right updates
+//! `a` and `b` without rescanning, which is what lets the receiver scan its
+//! whole file at every offset while only paying the strong checksum on weak
+//! matches.
+
+/// Checksum of a complete block.
+pub fn weak_checksum(block: &[u8]) -> u32 {
+    let mut a: u32 = 0;
+    let mut b: u32 = 0;
+    let l = block.len() as u32;
+    for (i, &x) in block.iter().enumerate() {
+        a = a.wrapping_add(x as u32);
+        b = b.wrapping_add((l - i as u32) * x as u32);
+    }
+    (a & 0xFFFF) | (b << 16)
+}
+
+/// An incrementally rolling window checksum.
+#[derive(Clone, Debug)]
+pub struct RollingChecksum {
+    a: u32,
+    b: u32,
+    len: u32,
+}
+
+impl RollingChecksum {
+    /// Initialize over a full window.
+    pub fn new(window: &[u8]) -> Self {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        let l = window.len() as u32;
+        for (i, &x) in window.iter().enumerate() {
+            a = a.wrapping_add(x as u32);
+            b = b.wrapping_add((l - i as u32) * x as u32);
+        }
+        RollingChecksum {
+            a: a & 0xFFFF,
+            b: b & 0xFFFF,
+            len: l,
+        }
+    }
+
+    /// Slide right: remove `out` (the byte leaving on the left), add `inb`
+    /// (the byte entering on the right).
+    #[inline]
+    pub fn roll(&mut self, out: u8, inb: u8) {
+        self.a = self.a.wrapping_sub(out as u32).wrapping_add(inb as u32) & 0xFFFF;
+        self.b = self
+            .b
+            .wrapping_sub(self.len.wrapping_mul(out as u32))
+            .wrapping_add(self.a)
+            & 0xFFFF;
+    }
+
+    #[inline]
+    pub fn value(&self) -> u32 {
+        self.a | (self.b << 16)
+    }
+
+    pub fn window_len(&self) -> u32 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_direct_everywhere() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        for window in [1usize, 2, 16, 700, 2048] {
+            let mut rc = RollingChecksum::new(&data[..window]);
+            assert_eq!(rc.value(), weak_checksum(&data[..window]), "init w={window}");
+            for start in 1..(data.len() - window).min(500) {
+                rc.roll(data[start - 1], data[start + window - 1]);
+                assert_eq!(
+                    rc.value(),
+                    weak_checksum(&data[start..start + window]),
+                    "w={window} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        assert_eq!(weak_checksum(&[]), 0);
+    }
+
+    #[test]
+    fn checksum_depends_on_order() {
+        // The b-component weights by position, so permutations differ.
+        assert_ne!(weak_checksum(b"abcd"), weak_checksum(b"dcba"));
+    }
+
+    #[test]
+    fn checksum_depends_on_content() {
+        assert_ne!(weak_checksum(b"aaaa"), weak_checksum(b"aaab"));
+    }
+
+    #[test]
+    fn single_byte_roll() {
+        let mut rc = RollingChecksum::new(b"x");
+        rc.roll(b'x', b'y');
+        assert_eq!(rc.value(), weak_checksum(b"y"));
+    }
+
+    #[test]
+    fn window_len_preserved() {
+        let rc = RollingChecksum::new(&[0u8; 2048]);
+        assert_eq!(rc.window_len(), 2048);
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end WAN transfer sessions: the Table 3 model.
+//!
+//! A bulk transfer in §7.2 is a five-stage pipeline:
+//!
+//! ```text
+//! source disk → [cipher] → transport (TCP or UDT) → [cipher] → target disk
+//! ```
+//!
+//! The steady-state payload rate is the minimum of the stage ceilings, with
+//! the *transport* stage being dynamic (congestion control over the lossy
+//! 104 ms path, simulated by `osdc-net`) and the rest static:
+//!
+//! * the paper states the disk bounds directly: local read 3072 mbit/s,
+//!   target write 1136 mbit/s, so `min = 1136` is the LLR denominator;
+//! * an rsync/UDR receiver does not stream wire bytes straight to disk —
+//!   it checksums, writes to a temporary file and renames, so the usable
+//!   fraction of the write path is lower than the raw disk bound. We
+//!   calibrate that receiver efficiency to the paper's own measurement:
+//!   `752 / 1136 ≈ 0.66` ([`RECEIVER_EFFICIENCY`]);
+//! * ciphers cap the payload rate at era single-core speeds
+//!   ([`CipherModel`]), measurable against this workspace's real
+//!   implementations with `cargo bench -p osdc-bench --bench ciphers`;
+//! * rsync's *encrypted* rows ride inside an ssh channel whose bounded
+//!   flow-control window throttles goodput on high-BDP paths
+//!   ([`SSH_CHANNEL_EFFICIENCY`]). Unencrypted rsync (rsync daemon /
+//!   direct TCP) and UDR pay no such tax.
+//!
+//! The harness in `osdc-bench` sweeps the five protocol/cipher rows × two
+//! dataset sizes and prints mbit/s + LLR exactly as the paper's table does.
+
+use osdc_crypto::CipherKind;
+use osdc_net::{CongestionControl, FlowSpec, FluidNet, NodeId};
+use osdc_sim::SimDuration;
+
+/// Local source disk read bound, mbit/s (§7.2).
+pub const DISK_READ_MBPS: f64 = 3072.0;
+/// Target disk write bound, mbit/s (§7.2) — the LLR denominator.
+pub const DISK_WRITE_MBPS: f64 = 1136.0;
+/// Fraction of the target disk bound a checksumming receiver sustains
+/// (calibrated to the paper's unencrypted-UDR measurement; DESIGN.md §5).
+pub const RECEIVER_EFFICIENCY: f64 = 0.66;
+/// Goodput fraction surviving ssh channel windowing + framing on a
+/// high-BDP path (encrypted rsync rows only).
+pub const SSH_CHANNEL_EFFICIENCY: f64 = 0.70;
+
+/// Era-calibrated single-core cipher throughput ceilings, mbit/s.
+#[derive(Clone, Copy, Debug)]
+pub struct CipherModel {
+    pub blowfish_mbps: f64,
+    pub triple_des_mbps: f64,
+}
+
+impl Default for CipherModel {
+    fn default() -> Self {
+        // 2012 Xeon, one core: Blowfish ≈ 50 MB/s, 3DES ≈ 36 MB/s.
+        CipherModel {
+            blowfish_mbps: 397.0,
+            triple_des_mbps: 291.0,
+        }
+    }
+}
+
+impl CipherModel {
+    pub fn cap_mbps(&self, cipher: CipherKind) -> f64 {
+        match cipher {
+            CipherKind::None => f64::INFINITY,
+            CipherKind::Blowfish => self.blowfish_mbps,
+            CipherKind::TripleDes => self.triple_des_mbps,
+        }
+    }
+}
+
+/// The two tools of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// UDR: the rsync protocol carried over UDT.
+    Udr,
+    /// Classic rsync: direct TCP when unencrypted, ssh transport when a
+    /// cipher is requested.
+    Rsync,
+}
+
+impl Protocol {
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Udr => "UDR",
+            Protocol::Rsync => "rsync",
+        }
+    }
+}
+
+/// A transfer request.
+#[derive(Clone, Debug)]
+pub struct TransferSpec {
+    pub protocol: Protocol,
+    pub cipher: CipherKind,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Number of files (adds per-file protocol round trips).
+    pub files: u32,
+    pub src: NodeId,
+    pub dst: NodeId,
+}
+
+/// Result of a simulated transfer, in the paper's units.
+#[derive(Clone, Debug)]
+pub struct TransferReport {
+    pub protocol: Protocol,
+    pub cipher: CipherKind,
+    pub bytes: u64,
+    pub duration: SimDuration,
+    /// Payload rate, mbit/s — the paper's headline column.
+    pub mbps: f64,
+    /// Long-distance-to-local ratio: rate / min(source read, target write).
+    pub llr: f64,
+    /// Transport-level loss events observed by the congestion controller.
+    pub loss_events: u64,
+}
+
+/// Runs transfers over a shared [`FluidNet`].
+pub struct TransferEngine {
+    pub net: FluidNet,
+    pub cipher_model: CipherModel,
+    /// Per-file protocol chatter (one request/response exchange per file).
+    pub per_file_rtts: f64,
+}
+
+impl TransferEngine {
+    pub fn new(net: FluidNet) -> Self {
+        TransferEngine {
+            net,
+            cipher_model: CipherModel::default(),
+            per_file_rtts: 1.0,
+        }
+    }
+
+    /// Static payload ceiling for a protocol/cipher combination, mbit/s
+    /// (everything except transport dynamics).
+    pub fn pipeline_cap_mbps(&self, protocol: Protocol, cipher: CipherKind) -> f64 {
+        let disk = DISK_READ_MBPS.min(DISK_WRITE_MBPS * RECEIVER_EFFICIENCY);
+        let cipher_cap = self.cipher_model.cap_mbps(cipher);
+        let _ = protocol; // both tools share the disk/cipher stages
+        disk.min(cipher_cap)
+    }
+
+    /// The goodput multiplier the transport wrapper imposes on wire rate.
+    fn goodput_factor(protocol: Protocol, cipher: CipherKind) -> f64 {
+        match (protocol, cipher) {
+            (Protocol::Rsync, CipherKind::None) => 1.0, // rsync daemon: bare TCP
+            (Protocol::Rsync, _) => SSH_CHANNEL_EFFICIENCY, // inside ssh
+            (Protocol::Udr, _) => 1.0,                  // UDT framing is negligible here
+        }
+    }
+
+    /// Execute a transfer to completion. `deadline` guards against
+    /// misconfiguration (panics if exceeded: these experiments always
+    /// finish).
+    pub fn run(&mut self, spec: &TransferSpec, deadline: SimDuration) -> TransferReport {
+        let start = self.net.now();
+        let rtt = self
+            .net
+            .topology()
+            .rtt(spec.src, spec.dst)
+            .expect("route exists")
+            .as_secs_f64();
+        let path = self
+            .net
+            .topology()
+            .shortest_path(spec.src, spec.dst)
+            .expect("route exists");
+        let bottleneck_bps = self.net.topology().path_bottleneck_bps(&path);
+
+        let factor = Self::goodput_factor(spec.protocol, spec.cipher);
+        let payload_cap_bps = self.pipeline_cap_mbps(spec.protocol, spec.cipher) * 1e6;
+        // The flow models *wire* bytes: payload inflated by the wrapper
+        // overhead, rate-capped so that payload never exceeds the pipeline.
+        let wire_bytes = (spec.bytes as f64 / factor) as u64;
+        let wire_cap_bps = payload_cap_bps / factor;
+
+        let cc = match spec.protocol {
+            Protocol::Udr => CongestionControl::udt(bottleneck_bps),
+            Protocol::Rsync => CongestionControl::reno(rtt),
+        };
+        let flow = self.net.start_flow(FlowSpec {
+            src: spec.src,
+            dst: spec.dst,
+            bytes: wire_bytes,
+            cc,
+            app_limit_bps: wire_cap_bps,
+        });
+        let done = self
+            .net
+            .run_flow_to_completion(flow, start + deadline)
+            .expect("transfer exceeded deadline — misconfigured experiment");
+        // Protocol chatter: file-list walk and per-file round trips.
+        let chatter = SimDuration::from_secs_f64(rtt * (1.0 + self.per_file_rtts * spec.files as f64));
+        let duration = done.saturating_since(start) + chatter;
+        let mbps = spec.bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6;
+        TransferReport {
+            protocol: spec.protocol,
+            cipher: spec.cipher,
+            bytes: spec.bytes,
+            duration,
+            mbps,
+            llr: mbps / DISK_READ_MBPS.min(DISK_WRITE_MBPS),
+            loss_events: self.net.loss_events(flow),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osdc_net::{osdc_wan, OsdcSite};
+
+    fn engine(seed: u64) -> (TransferEngine, NodeId, NodeId) {
+        let wan = osdc_wan(1.2e-7);
+        let src = wan.node(OsdcSite::ChicagoKenwood);
+        let dst = wan.node(OsdcSite::Lvoc);
+        (TransferEngine::new(FluidNet::new(wan.topology, seed)), src, dst)
+    }
+
+    fn run(protocol: Protocol, cipher: CipherKind, gb: u64, seed: u64) -> TransferReport {
+        let (mut eng, src, dst) = engine(seed);
+        eng.run(
+            &TransferSpec {
+                protocol,
+                cipher,
+                bytes: gb * 1_000_000_000,
+                files: 1,
+                src,
+                dst,
+            },
+            SimDuration::from_hours(24),
+        )
+    }
+
+    #[test]
+    fn udr_plain_is_receiver_bound() {
+        let r = run(Protocol::Udr, CipherKind::None, 108, 7);
+        assert!(
+            (650.0..800.0).contains(&r.mbps),
+            "UDR plain: {:.0} mbit/s (paper: 752)",
+            r.mbps
+        );
+        assert!((0.55..0.72).contains(&r.llr), "LLR {:.2} (paper: 0.66)", r.llr);
+    }
+
+    #[test]
+    fn rsync_plain_is_tcp_bound() {
+        let r = run(Protocol::Rsync, CipherKind::None, 108, 7);
+        assert!(
+            (300.0..520.0).contains(&r.mbps),
+            "rsync plain: {:.0} mbit/s (paper: 401)",
+            r.mbps
+        );
+    }
+
+    #[test]
+    fn udr_blowfish_is_cipher_bound() {
+        let r = run(Protocol::Udr, CipherKind::Blowfish, 108, 7);
+        assert!(
+            (360.0..400.0).contains(&r.mbps),
+            "UDR blowfish: {:.0} mbit/s (paper: 394)",
+            r.mbps
+        );
+    }
+
+    #[test]
+    fn rsync_encrypted_pays_ssh_tax() {
+        let bf = run(Protocol::Rsync, CipherKind::Blowfish, 108, 7);
+        let des = run(Protocol::Rsync, CipherKind::TripleDes, 108, 7);
+        for (r, paper) in [(&bf, 280.0), (&des, 284.0)] {
+            assert!(
+                (230.0..310.0).contains(&r.mbps),
+                "rsync {}: {:.0} mbit/s (paper: {paper})",
+                r.cipher,
+                r.mbps
+            );
+        }
+    }
+
+    #[test]
+    fn headline_speedups_hold() {
+        // §7.2: UDR 87% faster unencrypted, 41% faster encrypted.
+        let udr = run(Protocol::Udr, CipherKind::None, 108, 11).mbps;
+        let rsync = run(Protocol::Rsync, CipherKind::None, 108, 11).mbps;
+        let udr_bf = run(Protocol::Udr, CipherKind::Blowfish, 108, 11).mbps;
+        let rsync_bf = run(Protocol::Rsync, CipherKind::Blowfish, 108, 11).mbps;
+        let plain_speedup = udr / rsync;
+        let enc_speedup = udr_bf / rsync_bf;
+        assert!(
+            (1.5..2.3).contains(&plain_speedup),
+            "plain speedup {plain_speedup:.2} (paper: 1.87)"
+        );
+        assert!(
+            (1.2..1.7).contains(&enc_speedup),
+            "encrypted speedup {enc_speedup:.2} (paper: 1.41)"
+        );
+    }
+
+    #[test]
+    fn large_dataset_behaves_like_small() {
+        // Table 3 shows 108 GB and 1.1 TB rows nearly identical. Use 550 GB
+        // (half scale) to keep test time in check; the bench runs full size.
+        let small = run(Protocol::Udr, CipherKind::None, 108, 13).mbps;
+        let large = run(Protocol::Udr, CipherKind::None, 550, 13).mbps;
+        assert!(
+            (large / small - 1.0).abs() < 0.06,
+            "steady-state rates should match: {small:.0} vs {large:.0}"
+        );
+    }
+
+    #[test]
+    fn many_small_files_slow_rsync_down() {
+        let (mut eng, src, dst) = engine(17);
+        let one_big = eng.run(
+            &TransferSpec {
+                protocol: Protocol::Rsync,
+                cipher: CipherKind::None,
+                bytes: 10_000_000_000,
+                files: 1,
+                src,
+                dst,
+            },
+            SimDuration::from_hours(24),
+        );
+        let (mut eng2, src2, dst2) = engine(17);
+        let many_small = eng2.run(
+            &TransferSpec {
+                protocol: Protocol::Rsync,
+                cipher: CipherKind::None,
+                bytes: 10_000_000_000,
+                files: 2000,
+                src: src2,
+                dst: dst2,
+            },
+            SimDuration::from_hours(24),
+        );
+        assert!(many_small.mbps < one_big.mbps * 0.75, "{} vs {}", many_small.mbps, one_big.mbps);
+    }
+
+    #[test]
+    fn report_units_are_consistent() {
+        let r = run(Protocol::Udr, CipherKind::None, 10, 19);
+        let recomputed = r.bytes as f64 * 8.0 / r.duration.as_secs_f64() / 1e6;
+        assert!((r.mbps - recomputed).abs() < 1e-9);
+        assert!((r.llr - r.mbps / 1136.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Protocol::Rsync, CipherKind::Blowfish, 20, 23);
+        let b = run(Protocol::Rsync, CipherKind::Blowfish, 20, 23);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.loss_events, b.loss_events);
+    }
+}

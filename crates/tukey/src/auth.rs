@@ -1,0 +1,305 @@
+//! Authentication proxies: Shibboleth and OpenID (§5.2).
+//!
+//! "The project began as an extension of Horizon, OpenStack's Dashboard.
+//! However, the need to support different authentication methods and
+//! other cloud software stacks required forking from the Horizon
+//! project... Currently, the software can handle authentication via
+//! Shibboleth or OpenID."
+//!
+//! The two providers model the two federated-identity shapes of the era:
+//! a Shibboleth IdP releases signed *attribute assertions* for campus
+//! accounts; an OpenID provider verifies ownership of an *identifier URL*.
+//! Both reduce to one canonical [`Identity`] that the credential vault
+//! keys on.
+
+use std::collections::BTreeMap;
+
+use osdc_crypto::md5::md5;
+
+/// A canonical authenticated principal.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Identity {
+    /// e.g. `shib:alice@uchicago.edu` or `openid:https://id.example/bob`.
+    pub canonical: String,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    UnknownPrincipal,
+    BadAssertion,
+    /// Shibboleth: the IdP is not in the federation metadata.
+    UntrustedIdp(String),
+}
+
+/// A Shibboleth-style identity provider: holds campus accounts and signs
+/// assertions with a per-IdP key (modelled as an MD5 MAC — fidelity to the
+/// *flow*, not the crypto).
+pub struct ShibbolethIdp {
+    pub entity_id: String,
+    signing_key: Vec<u8>,
+    /// eppn → attributes (displayName, affiliation, ...).
+    accounts: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// A signed attribute assertion as released by an IdP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assertion {
+    pub idp_entity: String,
+    /// eduPersonPrincipalName.
+    pub eppn: String,
+    pub attributes: BTreeMap<String, String>,
+    signature: [u8; 16],
+}
+
+impl ShibbolethIdp {
+    pub fn new(entity_id: impl Into<String>, signing_key: &[u8]) -> Self {
+        ShibbolethIdp {
+            entity_id: entity_id.into(),
+            signing_key: signing_key.to_vec(),
+            accounts: BTreeMap::new(),
+        }
+    }
+
+    pub fn register(&mut self, eppn: &str, attributes: &[(&str, &str)]) {
+        self.accounts.insert(
+            eppn.to_string(),
+            attributes
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        );
+    }
+
+    fn sign(&self, eppn: &str) -> [u8; 16] {
+        let mut buf = self.signing_key.clone();
+        buf.extend_from_slice(self.entity_id.as_bytes());
+        buf.extend_from_slice(eppn.as_bytes());
+        md5(&buf)
+    }
+
+    /// Authenticate a campus login and release an assertion.
+    pub fn assert(&self, eppn: &str) -> Result<Assertion, AuthError> {
+        let attributes = self
+            .accounts
+            .get(eppn)
+            .cloned()
+            .ok_or(AuthError::UnknownPrincipal)?;
+        Ok(Assertion {
+            idp_entity: self.entity_id.clone(),
+            eppn: eppn.to_string(),
+            attributes,
+            signature: self.sign(eppn),
+        })
+    }
+}
+
+/// An OpenID provider: a set of identifier URLs it can vouch for.
+pub struct OpenIdProvider {
+    pub endpoint: String,
+    identifiers: BTreeMap<String, [u8; 16]>, // url → password digest
+}
+
+impl OpenIdProvider {
+    pub fn new(endpoint: impl Into<String>) -> Self {
+        OpenIdProvider {
+            endpoint: endpoint.into(),
+            identifiers: BTreeMap::new(),
+        }
+    }
+
+    pub fn register(&mut self, identifier_url: &str, password: &str) {
+        self.identifiers
+            .insert(identifier_url.to_string(), md5(password.as_bytes()));
+    }
+
+    /// Checkid flow: prove ownership of the identifier.
+    pub fn verify(&self, identifier_url: &str, password: &str) -> Result<(), AuthError> {
+        match self.identifiers.get(identifier_url) {
+            Some(digest) if *digest == md5(password.as_bytes()) => Ok(()),
+            Some(_) => Err(AuthError::BadAssertion),
+            None => Err(AuthError::UnknownPrincipal),
+        }
+    }
+}
+
+/// The middleware's authentication proxy: trusts a set of Shibboleth IdPs
+/// (federation metadata) and a set of OpenID endpoints, and canonicalizes
+/// whoever arrives.
+pub struct AuthProxy {
+    /// entity id → signing key (federation metadata exchange).
+    trusted_idps: BTreeMap<String, Vec<u8>>,
+    trusted_openid_endpoints: Vec<String>,
+}
+
+impl Default for AuthProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuthProxy {
+    pub fn new() -> Self {
+        AuthProxy {
+            trusted_idps: BTreeMap::new(),
+            trusted_openid_endpoints: Vec::new(),
+        }
+    }
+
+    pub fn trust_idp(&mut self, entity_id: &str, signing_key: &[u8]) {
+        self.trusted_idps
+            .insert(entity_id.to_string(), signing_key.to_vec());
+    }
+
+    pub fn trust_openid(&mut self, endpoint: &str) {
+        self.trusted_openid_endpoints.push(endpoint.to_string());
+    }
+
+    /// Validate a Shibboleth assertion and canonicalize.
+    pub fn login_shibboleth(&self, assertion: &Assertion) -> Result<Identity, AuthError> {
+        let key = self
+            .trusted_idps
+            .get(&assertion.idp_entity)
+            .ok_or_else(|| AuthError::UntrustedIdp(assertion.idp_entity.clone()))?;
+        let mut buf = key.clone();
+        buf.extend_from_slice(assertion.idp_entity.as_bytes());
+        buf.extend_from_slice(assertion.eppn.as_bytes());
+        if md5(&buf) != assertion.signature {
+            return Err(AuthError::BadAssertion);
+        }
+        Ok(Identity {
+            canonical: format!("shib:{}", assertion.eppn),
+        })
+    }
+
+    /// Complete an OpenID flow against a trusted endpoint.
+    pub fn login_openid(
+        &self,
+        provider: &OpenIdProvider,
+        identifier_url: &str,
+        password: &str,
+    ) -> Result<Identity, AuthError> {
+        if !self
+            .trusted_openid_endpoints
+            .iter()
+            .any(|e| e == &provider.endpoint)
+        {
+            return Err(AuthError::UntrustedIdp(provider.endpoint.clone()));
+        }
+        provider.verify(identifier_url, password)?;
+        Ok(Identity {
+            canonical: format!("openid:{identifier_url}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AuthProxy, ShibbolethIdp, OpenIdProvider) {
+        let mut idp = ShibbolethIdp::new("urn:uchicago", b"uc-signing-key");
+        idp.register(
+            "alice@uchicago.edu",
+            &[("displayName", "Alice A."), ("affiliation", "staff")],
+        );
+        let mut op = OpenIdProvider::new("https://openid.example/");
+        op.register("https://openid.example/bob", "hunter2");
+        let mut proxy = AuthProxy::new();
+        proxy.trust_idp("urn:uchicago", b"uc-signing-key");
+        proxy.trust_openid("https://openid.example/");
+        (proxy, idp, op)
+    }
+
+    #[test]
+    fn shibboleth_happy_path() {
+        let (proxy, idp, _) = setup();
+        let assertion = idp.assert("alice@uchicago.edu").expect("known eppn");
+        assert_eq!(assertion.attributes["affiliation"], "staff");
+        let id = proxy.login_shibboleth(&assertion).expect("trusted");
+        assert_eq!(id.canonical, "shib:alice@uchicago.edu");
+    }
+
+    #[test]
+    fn shibboleth_unknown_user() {
+        let (_, idp, _) = setup();
+        assert_eq!(
+            idp.assert("eve@uchicago.edu").unwrap_err(),
+            AuthError::UnknownPrincipal
+        );
+    }
+
+    #[test]
+    fn forged_assertion_rejected() {
+        let (proxy, idp, _) = setup();
+        let mut assertion = idp.assert("alice@uchicago.edu").expect("assert");
+        assertion.eppn = "admin@uchicago.edu".to_string(); // tamper
+        assert_eq!(
+            proxy.login_shibboleth(&assertion).unwrap_err(),
+            AuthError::BadAssertion
+        );
+    }
+
+    #[test]
+    fn untrusted_idp_rejected() {
+        let (proxy, _, _) = setup();
+        let rogue = ShibbolethIdp::new("urn:rogue", b"rogue-key");
+        let mut rogue = rogue;
+        rogue.register("x@rogue.example", &[]);
+        let assertion = rogue.assert("x@rogue.example").expect("assert");
+        assert!(matches!(
+            proxy.login_shibboleth(&assertion).unwrap_err(),
+            AuthError::UntrustedIdp(_)
+        ));
+    }
+
+    #[test]
+    fn openid_happy_path() {
+        let (proxy, _, op) = setup();
+        let id = proxy
+            .login_openid(&op, "https://openid.example/bob", "hunter2")
+            .expect("verified");
+        assert_eq!(id.canonical, "openid:https://openid.example/bob");
+    }
+
+    #[test]
+    fn openid_wrong_password_and_unknown_id() {
+        let (proxy, _, op) = setup();
+        assert_eq!(
+            proxy
+                .login_openid(&op, "https://openid.example/bob", "wrong")
+                .unwrap_err(),
+            AuthError::BadAssertion
+        );
+        assert_eq!(
+            proxy
+                .login_openid(&op, "https://openid.example/carol", "x")
+                .unwrap_err(),
+            AuthError::UnknownPrincipal
+        );
+    }
+
+    #[test]
+    fn untrusted_openid_endpoint() {
+        let (proxy, _, _) = setup();
+        let mut rogue = OpenIdProvider::new("https://rogue.example/");
+        rogue.register("https://rogue.example/mallory", "pw");
+        assert!(matches!(
+            proxy
+                .login_openid(&rogue, "https://rogue.example/mallory", "pw")
+                .unwrap_err(),
+            AuthError::UntrustedIdp(_)
+        ));
+    }
+
+    #[test]
+    fn identities_from_both_flows_are_distinct() {
+        let (proxy, idp, op) = setup();
+        let shib = proxy
+            .login_shibboleth(&idp.assert("alice@uchicago.edu").expect("assert"))
+            .expect("login");
+        let oid = proxy
+            .login_openid(&op, "https://openid.example/bob", "hunter2")
+            .expect("login");
+        assert_ne!(shib, oid);
+    }
+}

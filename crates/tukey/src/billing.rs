@@ -1,0 +1,268 @@
+//! Billing and accounting (§6.4).
+//!
+//! "One of the lessons learned from early OSDC operations is that even
+//! basic billing and accounting are effective \[at\] limiting bad behavior
+//! and providing incentives to properly share resources. We currently
+//! bill based on core hours and storage usage. For OSDC-Adler and
+//! OSDC-Sullivan, we poll every minute to see the number and types of
+//! virtual machine a user has provisioned and then use this information
+//! to calculate the core hours. Storage is checked per user once a day.
+//! Our billing cycle is monthly and users can check their current usage
+//! via the OSDC web interface."
+//!
+//! [`BillingService`] implements exactly that cadence on the simulation
+//! clock: [`BillingService::poll_compute`] each minute accumulates
+//! core-minutes; [`BillingService::sweep_storage`] each day samples
+//! stored bytes; [`BillingService::close_month`] issues [`Invoice`]s.
+
+use std::collections::BTreeMap;
+
+use osdc_sim::time::SECS_PER_DAY;
+use osdc_sim::SimTime;
+
+/// Prices. The free-tier allowance implements §8 rule 1 ("provide some
+/// services without charge to any interested researcher"); §8 rule 2 is
+/// the cost-recovery rate charged beyond it.
+#[derive(Clone, Copy, Debug)]
+pub struct Rates {
+    pub per_core_hour: f64,
+    pub per_tb_day: f64,
+    /// Core-hours per month each user gets free.
+    pub free_core_hours: f64,
+    /// TB-days per month each user gets free.
+    pub free_tb_days: f64,
+}
+
+impl Default for Rates {
+    fn default() -> Self {
+        // Cost-recovery numbers in the AWS-comparable band of §9.1.
+        Rates {
+            per_core_hour: 0.05,
+            per_tb_day: 0.08,
+            free_core_hours: 100.0,
+            free_tb_days: 3.0,
+        }
+    }
+}
+
+/// One user's accumulated usage within the open billing cycle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CycleUsage {
+    pub core_minutes: f64,
+    pub tb_days: f64,
+    /// Peak concurrently-held cores seen by any poll (for reports).
+    pub peak_cores: u32,
+}
+
+/// A closed monthly statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Invoice {
+    pub user: String,
+    /// Month index since simulation start (0-based).
+    pub month: u32,
+    pub core_hours: f64,
+    pub tb_days: f64,
+    pub billable_core_hours: f64,
+    pub billable_tb_days: f64,
+    pub total_usd: f64,
+}
+
+/// The accounting engine.
+pub struct BillingService {
+    rates: Rates,
+    open: BTreeMap<String, CycleUsage>,
+    invoices: Vec<Invoice>,
+    month: u32,
+}
+
+impl BillingService {
+    pub fn new(rates: Rates) -> Self {
+        BillingService {
+            rates,
+            open: BTreeMap::new(),
+            invoices: Vec::new(),
+            month: 0,
+        }
+    }
+
+    /// Per-minute compute poll: `cores` currently held by `user`.
+    pub fn poll_compute(&mut self, user: &str, cores: u32) {
+        if cores == 0 {
+            return;
+        }
+        let usage = self.open.entry(user.to_string()).or_default();
+        usage.core_minutes += cores as f64;
+        usage.peak_cores = usage.peak_cores.max(cores);
+    }
+
+    /// Daily storage sweep: `bytes` stored by `user` today.
+    pub fn sweep_storage(&mut self, user: &str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let tb = bytes as f64 / 1e12;
+        self.open.entry(user.to_string()).or_default().tb_days += tb;
+    }
+
+    /// Current-cycle usage, as shown on the console's usage page.
+    pub fn current_usage(&self, user: &str) -> CycleUsage {
+        self.open.get(user).cloned().unwrap_or_default()
+    }
+
+    /// Close the month: issue invoices for every user with usage and
+    /// reset the cycle.
+    pub fn close_month(&mut self) -> Vec<Invoice> {
+        let month = self.month;
+        self.month += 1;
+        let mut closed: Vec<Invoice> = std::mem::take(&mut self.open)
+            .into_iter()
+            .map(|(user, usage)| {
+                let core_hours = usage.core_minutes / 60.0;
+                let billable_core_hours =
+                    (core_hours - self.rates.free_core_hours).max(0.0);
+                let billable_tb_days = (usage.tb_days - self.rates.free_tb_days).max(0.0);
+                let total_usd = billable_core_hours * self.rates.per_core_hour
+                    + billable_tb_days * self.rates.per_tb_day;
+                Invoice {
+                    user,
+                    month,
+                    core_hours,
+                    tb_days: usage.tb_days,
+                    billable_core_hours,
+                    billable_tb_days,
+                    total_usd,
+                }
+            })
+            .collect();
+        closed.sort_by(|a, b| a.user.cmp(&b.user));
+        self.invoices.extend(closed.clone());
+        closed
+    }
+
+    pub fn invoice_history(&self, user: &str) -> Vec<&Invoice> {
+        self.invoices.iter().filter(|i| i.user == user).collect()
+    }
+
+    /// Is `now` on a minute boundary / day boundary? Helpers for pollers
+    /// driven off the DES clock.
+    pub fn is_minute_boundary(now: SimTime) -> bool {
+        now.as_nanos().is_multiple_of(60_000_000_000)
+    }
+
+    pub fn is_day_boundary(now: SimTime) -> bool {
+        now.as_nanos().is_multiple_of(SECS_PER_DAY * 1_000_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_minutes_accumulate_to_hours() {
+        let mut b = BillingService::new(Rates::default());
+        // 8 cores held for 120 minutes.
+        for _ in 0..120 {
+            b.poll_compute("alice", 8);
+        }
+        let usage = b.current_usage("alice");
+        assert_eq!(usage.core_minutes, 960.0);
+        assert_eq!(usage.peak_cores, 8);
+        let invoices = b.close_month();
+        assert_eq!(invoices.len(), 1);
+        assert!((invoices[0].core_hours - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_tier_zeroes_small_users() {
+        let rates = Rates::default();
+        let mut b = BillingService::new(rates);
+        // 50 core-hours: inside the 100 free hours.
+        for _ in 0..(50 * 60) {
+            b.poll_compute("smalluser", 1);
+        }
+        let inv = b.close_month().pop().expect("one invoice");
+        assert_eq!(inv.billable_core_hours, 0.0);
+        assert_eq!(inv.total_usd, 0.0);
+    }
+
+    #[test]
+    fn cost_recovery_beyond_free_tier() {
+        let mut b = BillingService::new(Rates {
+            per_core_hour: 0.10,
+            per_tb_day: 0.0,
+            free_core_hours: 10.0,
+            free_tb_days: 0.0,
+        });
+        for _ in 0..(20 * 60) {
+            b.poll_compute("big", 1); // 20 core-hours
+        }
+        let inv = b.close_month().pop().expect("one invoice");
+        assert!((inv.billable_core_hours - 10.0).abs() < 1e-9);
+        assert!((inv.total_usd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_swept_daily() {
+        let mut b = BillingService::new(Rates {
+            per_core_hour: 0.0,
+            per_tb_day: 0.10,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        });
+        for _ in 0..30 {
+            b.sweep_storage("hoarder", 2_000_000_000_000); // 2 TB/day
+        }
+        let inv = b.close_month().pop().expect("one invoice");
+        assert!((inv.tb_days - 60.0).abs() < 1e-9);
+        assert!((inv.total_usd - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_users_get_no_invoice() {
+        let mut b = BillingService::new(Rates::default());
+        b.poll_compute("ghost", 0);
+        b.sweep_storage("ghost", 0);
+        assert!(b.close_month().is_empty());
+    }
+
+    #[test]
+    fn cycle_resets_each_month() {
+        let mut b = BillingService::new(Rates::default());
+        b.poll_compute("alice", 4);
+        let first = b.close_month();
+        assert_eq!(first[0].month, 0);
+        assert_eq!(b.current_usage("alice"), CycleUsage::default());
+        b.poll_compute("alice", 4);
+        let second = b.close_month();
+        assert_eq!(second[0].month, 1);
+        assert_eq!(b.invoice_history("alice").len(), 2);
+    }
+
+    #[test]
+    fn invoices_sorted_by_user() {
+        let mut b = BillingService::new(Rates::default());
+        b.poll_compute("zed", 1);
+        b.poll_compute("amy", 1);
+        let users: Vec<String> = b.close_month().into_iter().map(|i| i.user).collect();
+        assert_eq!(users, vec!["amy".to_string(), "zed".to_string()]);
+    }
+
+    #[test]
+    fn boundary_helpers() {
+        use osdc_sim::SimDuration;
+        assert!(BillingService::is_minute_boundary(SimTime::ZERO));
+        assert!(BillingService::is_minute_boundary(
+            SimTime::ZERO + SimDuration::from_mins(5)
+        ));
+        assert!(!BillingService::is_minute_boundary(
+            SimTime::ZERO + SimDuration::from_secs(61)
+        ));
+        assert!(BillingService::is_day_boundary(
+            SimTime::ZERO + SimDuration::from_days(3)
+        ));
+        assert!(!BillingService::is_day_boundary(
+            SimTime::ZERO + SimDuration::from_hours(25)
+        ));
+    }
+}

@@ -1,0 +1,279 @@
+//! The public-dataset catalog (§6.3, §4).
+//!
+//! "The OSDC currently hosts more than 600 TB of public datasets from a
+//! number of disciplines... One of Tukey's modules allows a data curator
+//! to manage the dataset and the associated metadata. This information is
+//! then published online so users can browse and search the datasets."
+//!
+//! Records carry an ARK from the key service (§6.1) and a storage path on
+//! the GlusterFS share, and are searchable by keyword and discipline.
+
+use std::collections::BTreeMap;
+
+use crate::ark::{Ark, ArkRecord, ArkService};
+
+/// The disciplines of §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Discipline {
+    BiologicalSciences,
+    EarthSciences,
+    DigitalHumanities,
+    SocialSciences,
+    InformationSciences,
+}
+
+impl Discipline {
+    pub fn label(self) -> &'static str {
+        match self {
+            Discipline::BiologicalSciences => "biological sciences",
+            Discipline::EarthSciences => "earth sciences",
+            Discipline::DigitalHumanities => "digital humanities",
+            Discipline::SocialSciences => "social sciences",
+            Discipline::InformationSciences => "information sciences",
+        }
+    }
+}
+
+/// One published dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetRecord {
+    pub ark: Ark,
+    pub title: String,
+    pub discipline: Discipline,
+    pub size_bytes: u64,
+    pub storage_path: String,
+    pub description: String,
+    /// Whether it is live on the public share (curators can stage first).
+    pub published: bool,
+}
+
+/// Curator-facing catalog module.
+pub struct DatasetCatalog {
+    records: BTreeMap<Ark, DatasetRecord>,
+}
+
+impl Default for DatasetCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatasetCatalog {
+    pub fn new() -> Self {
+        DatasetCatalog {
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Curator adds a dataset: mints an ARK through the key service and
+    /// stores the record (unpublished until released).
+    pub fn add(
+        &mut self,
+        arks: &ArkService,
+        title: &str,
+        discipline: Discipline,
+        size_bytes: u64,
+        storage_path: &str,
+        description: &str,
+    ) -> Ark {
+        let ark = arks.mint(ArkRecord {
+            who: "Open Science Data Cloud".into(),
+            what: title.into(),
+            when: "2012".into(),
+            where_: storage_path.into(),
+            commitment: "replicated on OSDC-Root; reviewed annually".into(),
+        });
+        self.records.insert(
+            ark.clone(),
+            DatasetRecord {
+                ark: ark.clone(),
+                title: title.into(),
+                discipline,
+                size_bytes,
+                storage_path: storage_path.into(),
+                description: description.into(),
+                published: false,
+            },
+        );
+        ark
+    }
+
+    pub fn publish(&mut self, ark: &Ark) -> bool {
+        match self.records.get_mut(ark) {
+            Some(r) => {
+                r.published = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn get(&self, ark: &Ark) -> Option<&DatasetRecord> {
+        self.records.get(ark)
+    }
+
+    /// Public browse: published records only, sorted by title.
+    pub fn browse(&self) -> Vec<&DatasetRecord> {
+        let mut out: Vec<&DatasetRecord> =
+            self.records.values().filter(|r| r.published).collect();
+        out.sort_by(|a, b| a.title.cmp(&b.title));
+        out
+    }
+
+    /// Case-insensitive keyword search over title + description
+    /// (published records only).
+    pub fn search(&self, query: &str) -> Vec<&DatasetRecord> {
+        let q = query.to_lowercase();
+        self.browse()
+            .into_iter()
+            .filter(|r| {
+                r.title.to_lowercase().contains(&q) || r.description.to_lowercase().contains(&q)
+            })
+            .collect()
+    }
+
+    pub fn by_discipline(&self, discipline: Discipline) -> Vec<&DatasetRecord> {
+        self.browse()
+            .into_iter()
+            .filter(|r| r.discipline == discipline)
+            .collect()
+    }
+
+    /// Total published bytes — the "more than 600 TB" headline of §6.3.
+    pub fn published_bytes(&self) -> u64 {
+        self.records
+            .values()
+            .filter(|r| r.published)
+            .map(|r| r.size_bytes)
+            .sum()
+    }
+
+    /// Seed the catalog with the datasets the paper names (§4), sizes per
+    /// the paper where stated, representative otherwise.
+    pub fn osdc_public_datasets(arks: &ArkService) -> DatasetCatalog {
+        const TB: u64 = 1_000_000_000_000;
+        let mut cat = DatasetCatalog::new();
+        let entries: [(&str, Discipline, u64, &str); 12] = [
+            ("1000 Genomes", Discipline::BiologicalSciences, 200 * TB,
+             "Whole-genome sequence variation across human populations"),
+            ("NCBI public datasets", Discipline::BiologicalSciences, 120 * TB,
+             "Mirrors of NIH NCBI reference collections"),
+            ("Protein Data Bank", Discipline::BiologicalSciences, TB,
+             "3D structures of proteins and nucleic acids"),
+            ("modENCODE", Discipline::BiologicalSciences, 50 * TB,
+             "Model-organism encyclopedia of DNA elements"),
+            ("ENCODE backup", Discipline::BiologicalSciences, 60 * TB,
+             "Backup with cloud-enabled computation for the ENCODE project"),
+            ("EO-1 ALI & Hyperion", Discipline::EarthSciences, 30 * TB,
+             "Three years of NASA EO-1 Level 0 and Level 1 satellite imagery"),
+            ("Sloan Digital Sky Survey", Discipline::EarthSciences, 70 * TB,
+             "Multi-spectral astronomical survey backup"),
+            ("Bookworm ngrams", Discipline::DigitalHumanities, 20 * TB,
+             "Ngrams from public-domain books with library metadata"),
+            ("U.S. Census & CPS", Discipline::SocialSciences, 5 * TB,
+             "U.S. Census, Current Population Survey, General Social Survey"),
+            ("ICPSR collections", Discipline::SocialSciences, 10 * TB,
+             "Inter-University Consortium for Political and Social Research"),
+            ("Common Crawl", Discipline::InformationSciences, 60 * TB,
+             "Open web-crawl corpus for big-data algorithm research"),
+            ("Enron + City of Chicago", Discipline::InformationSciences, 2 * TB,
+             "Enron corpus and City of Chicago open datasets"),
+        ];
+        for (title, disc, size, desc) in entries {
+            let path = format!(
+                "/glusterfs/public/{}",
+                title.to_lowercase().replace([' ', '&', '+'], "_")
+            );
+            let ark = cat.add(arks, title, disc, size, &path, desc);
+            cat.publish(&ark);
+        }
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arks() -> ArkService {
+        ArkService::new("31807", "b2")
+    }
+
+    #[test]
+    fn add_publish_browse() {
+        let svc = arks();
+        let mut cat = DatasetCatalog::new();
+        let ark = cat.add(&svc, "Test Data", Discipline::InformationSciences, 100, "/p", "d");
+        assert!(cat.browse().is_empty(), "staged datasets are not public");
+        assert!(cat.publish(&ark));
+        assert_eq!(cat.browse().len(), 1);
+        assert_eq!(cat.get(&ark).expect("exists").title, "Test Data");
+    }
+
+    #[test]
+    fn ark_resolution_reaches_storage_path() {
+        let svc = arks();
+        let mut cat = DatasetCatalog::new();
+        let ark = cat.add(&svc, "X", Discipline::EarthSciences, 1, "/glusterfs/x", "d");
+        assert_eq!(svc.resolve(&ark.to_uri()).expect("resolves"), "/glusterfs/x");
+        let brief = svc.resolve(&format!("{ark}?")).expect("brief");
+        assert!(brief.contains("what: X"));
+    }
+
+    #[test]
+    fn search_is_case_insensitive_over_title_and_description() {
+        let svc = arks();
+        let cat = DatasetCatalog::osdc_public_datasets(&svc);
+        assert_eq!(cat.search("genomes").len(), 1);
+        assert!(!cat.search("SATELLITE").is_empty(), "description hit");
+        assert!(cat.search("nonexistent-topic-xyz").is_empty());
+    }
+
+    #[test]
+    fn discipline_filter() {
+        let svc = arks();
+        let cat = DatasetCatalog::osdc_public_datasets(&svc);
+        let bio = cat.by_discipline(Discipline::BiologicalSciences);
+        assert_eq!(bio.len(), 5);
+        assert!(bio.iter().all(|r| r.discipline == Discipline::BiologicalSciences));
+    }
+
+    #[test]
+    fn paper_scale_headline_holds() {
+        // §6.3: "more than 600 TB of public datasets".
+        let svc = arks();
+        let cat = DatasetCatalog::osdc_public_datasets(&svc);
+        assert!(cat.published_bytes() > 600_000_000_000_000);
+        // §4.1: "over 400 TB for the biological sciences community".
+        let bio_bytes: u64 = cat
+            .by_discipline(Discipline::BiologicalSciences)
+            .iter()
+            .map(|r| r.size_bytes)
+            .sum();
+        assert!(bio_bytes > 400_000_000_000_000);
+    }
+
+    #[test]
+    fn publish_unknown_ark_is_false() {
+        let svc = arks();
+        let mut cat = DatasetCatalog::new();
+        let foreign = svc.mint(crate::ark::ArkRecord {
+            who: "x".into(),
+            what: "x".into(),
+            when: "2012".into(),
+            where_: "/x".into(),
+            commitment: "none".into(),
+        });
+        assert!(!cat.publish(&foreign));
+    }
+
+    #[test]
+    fn browse_sorted_by_title() {
+        let svc = arks();
+        let cat = DatasetCatalog::osdc_public_datasets(&svc);
+        let titles: Vec<&str> = cat.browse().iter().map(|r| r.title.as_str()).collect();
+        let mut sorted = titles.clone();
+        sorted.sort_unstable();
+        assert_eq!(titles, sorted);
+    }
+}

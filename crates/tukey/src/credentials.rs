@@ -1,0 +1,155 @@
+//! The user database mapping identities to per-cloud credentials (§5.2).
+//!
+//! "After receiving either a Shibboleth or OpenID identifier, the proxy
+//! looks for the cloud credentials associated with the identifier in the
+//! user database. These credentials are securely provided to the API
+//! translation proxies."
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::auth::Identity;
+
+/// A credential for one cloud (EC2-style access/secret pair; OpenStack
+/// token-style credentials are shaped the same way here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CloudCredential {
+    pub cloud: String,
+    /// The username the *cloud* knows (distinct from the federated id).
+    pub cloud_user: String,
+    pub access_key: String,
+    secret_key: String,
+}
+
+impl CloudCredential {
+    pub fn new(
+        cloud: impl Into<String>,
+        cloud_user: impl Into<String>,
+        access_key: impl Into<String>,
+        secret_key: impl Into<String>,
+    ) -> Self {
+        CloudCredential {
+            cloud: cloud.into(),
+            cloud_user: cloud_user.into(),
+            access_key: access_key.into(),
+            secret_key: secret_key.into(),
+        }
+    }
+
+    /// Secrets are only ever handed to translation proxies, not rendered.
+    /// (The in-repo stacks authenticate by construction, so this is read
+    /// only by signing paths and tests.)
+    pub fn secret(&self) -> &str {
+        &self.secret_key
+    }
+}
+
+// Secrets must not leak through logs: Debug is derived on the struct but
+// the secret field is private; belt-and-braces, Display omits it.
+impl std::fmt::Display for CloudCredential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@{} (access {}, secret ***)",
+            self.cloud_user, self.cloud, self.access_key
+        )
+    }
+}
+
+/// The middleware's user database.
+#[derive(Default)]
+pub struct CredentialVault {
+    by_identity: RwLock<BTreeMap<Identity, Vec<CloudCredential>>>,
+}
+
+impl CredentialVault {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enroll a federated identity with its credential for one cloud
+    /// (adding or replacing that cloud's entry).
+    pub fn enroll(&self, id: &Identity, credential: CloudCredential) {
+        let mut map = self.by_identity.write();
+        let creds = map.entry(id.clone()).or_default();
+        if let Some(existing) = creds.iter_mut().find(|c| c.cloud == credential.cloud) {
+            *existing = credential;
+        } else {
+            creds.push(credential);
+        }
+    }
+
+    /// All clouds this identity can reach.
+    pub fn clouds_for(&self, id: &Identity) -> Vec<String> {
+        self.by_identity
+            .read()
+            .get(id)
+            .map(|cs| cs.iter().map(|c| c.cloud.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Credential for one cloud, if enrolled.
+    pub fn lookup(&self, id: &Identity, cloud: &str) -> Option<CloudCredential> {
+        self.by_identity
+            .read()
+            .get(id)?
+            .iter()
+            .find(|c| c.cloud == cloud)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Identity {
+        Identity {
+            canonical: "shib:alice@uchicago.edu".into(),
+        }
+    }
+
+    #[test]
+    fn enroll_and_lookup() {
+        let vault = CredentialVault::new();
+        vault.enroll(
+            &alice(),
+            CloudCredential::new("adler", "alice", "AKIA1", "s3cr3t"),
+        );
+        vault.enroll(
+            &alice(),
+            CloudCredential::new("sullivan", "agrossman", "AKIA2", "t0ps3cret"),
+        );
+        assert_eq!(vault.clouds_for(&alice()), vec!["adler", "sullivan"]);
+        let c = vault.lookup(&alice(), "sullivan").expect("enrolled");
+        assert_eq!(c.cloud_user, "agrossman");
+        assert!(vault.lookup(&alice(), "matsu").is_none());
+    }
+
+    #[test]
+    fn re_enroll_replaces() {
+        let vault = CredentialVault::new();
+        vault.enroll(&alice(), CloudCredential::new("adler", "a", "K1", "old"));
+        vault.enroll(&alice(), CloudCredential::new("adler", "a", "K2", "new"));
+        let c = vault.lookup(&alice(), "adler").expect("enrolled");
+        assert_eq!(c.access_key, "K2");
+        assert_eq!(c.secret(), "new");
+        assert_eq!(vault.clouds_for(&alice()).len(), 1);
+    }
+
+    #[test]
+    fn unknown_identity_is_empty() {
+        let vault = CredentialVault::new();
+        assert!(vault.clouds_for(&alice()).is_empty());
+        assert!(vault.lookup(&alice(), "adler").is_none());
+    }
+
+    #[test]
+    fn display_hides_secret() {
+        let c = CloudCredential::new("adler", "alice", "AKIA1", "hunter2");
+        let shown = format!("{c}");
+        assert!(!shown.contains("hunter2"));
+        assert!(shown.contains("AKIA1"));
+    }
+}

@@ -1,0 +1,488 @@
+//! API-translation proxies: one console dialect, many cloud stacks (§5.2).
+//!
+//! "The translation proxies take in requests based on the OpenStack API
+//! and then issue commands to each cloud based on mappings outlined in
+//! configuration files for each cloud. The result of each request is then
+//! transformed according to the rules of the configuration file, tagged
+//! with the cloud name and aggregated into a JSON response that matches
+//! the format of the OpenStack API."
+//!
+//! Implemented exactly so: a [`CloudMapping`] is a (serde-loadable)
+//! per-cloud configuration naming the stack dialect plus flavor/image
+//! alias tables; [`TranslationProxy`] takes OpenStack-shaped requests,
+//! speaks each backend's native dialect (JSON to the OpenStack stack,
+//! `Action=...` query strings to the Eucalyptus stack — parsing its
+//! XML-ish replies back), tags every result with `"cloud": <name>`, and
+//! merges everything into one OpenStack-format JSON document.
+
+use std::collections::BTreeMap;
+
+use osdc_compute::{ApiError, CloudController, EucalyptusApi, OpenStackApi};
+use osdc_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use crate::auth::Identity;
+use crate::credentials::CredentialVault;
+
+/// Which software stack a cloud runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CloudStackKind {
+    OpenStack,
+    Eucalyptus,
+}
+
+/// Per-cloud mapping configuration — the "configuration files" of §5.2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CloudMapping {
+    pub cloud: String,
+    pub kind: CloudStackKind,
+    /// Unified flavor name → native flavor name.
+    #[serde(default)]
+    pub flavor_aliases: BTreeMap<String, String>,
+    /// Unified image name → native image id.
+    #[serde(default)]
+    pub image_aliases: BTreeMap<String, u64>,
+}
+
+impl CloudMapping {
+    /// Load one mapping from its JSON configuration document.
+    pub fn from_json(config: &str) -> Result<CloudMapping, String> {
+        serde_json::from_str(config).map_err(|e| format!("bad cloud mapping config: {e}"))
+    }
+
+    fn native_flavor<'a>(&'a self, unified: &'a str) -> &'a str {
+        self.flavor_aliases
+            .get(unified)
+            .map(String::as_str)
+            .unwrap_or(unified)
+    }
+}
+
+/// Errors surfaced to the console.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The identity has no credential for the target cloud.
+    NotEnrolled { cloud: String },
+    UnknownCloud(String),
+    UnknownImage(String),
+    Backend(String),
+}
+
+impl From<ApiError> for ProxyError {
+    fn from(e: ApiError) -> Self {
+        ProxyError::Backend(format!("{e:?}"))
+    }
+}
+
+/// The middleware's translation layer: owns the backend clouds.
+pub struct TranslationProxy {
+    backends: Vec<(CloudMapping, CloudController)>,
+}
+
+/// Pull `<tag>value</tag>` occurrences out of the Eucalyptus XML dialect.
+fn xml_values<'a>(xml: &'a str, tag: &str) -> Vec<&'a str> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let mut out = Vec::new();
+    let mut rest = xml;
+    while let Some(start) = rest.find(&open) {
+        let after = &rest[start + open.len()..];
+        match after.find(&close) {
+            Some(end) => {
+                out.push(&after[..end]);
+                rest = &after[end + close.len()..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+impl TranslationProxy {
+    pub fn new(backends: Vec<(CloudMapping, CloudController)>) -> Self {
+        assert!(
+            {
+                let mut names: Vec<&str> =
+                    backends.iter().map(|(m, _)| m.cloud.as_str()).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate cloud names in proxy config"
+        );
+        TranslationProxy { backends }
+    }
+
+    pub fn cloud_names(&self) -> Vec<&str> {
+        self.backends.iter().map(|(m, _)| m.cloud.as_str()).collect()
+    }
+
+    pub fn controller(&self, cloud: &str) -> Option<&CloudController> {
+        self.backends
+            .iter()
+            .find(|(m, _)| m.cloud == cloud)
+            .map(|(_, c)| c)
+    }
+
+    fn backend_mut(
+        &mut self,
+        cloud: &str,
+    ) -> Result<&mut (CloudMapping, CloudController), ProxyError> {
+        self.backends
+            .iter_mut()
+            .find(|(m, _)| m.cloud == cloud)
+            .ok_or_else(|| ProxyError::UnknownCloud(cloud.to_string()))
+    }
+
+    /// Resolve the cloud-local username for this identity on this cloud.
+    fn cloud_user(
+        vault: &CredentialVault,
+        id: &Identity,
+        cloud: &str,
+    ) -> Result<String, ProxyError> {
+        vault
+            .lookup(id, cloud)
+            .map(|c| c.cloud_user)
+            .ok_or_else(|| ProxyError::NotEnrolled {
+                cloud: cloud.to_string(),
+            })
+    }
+
+    /// `GET /servers` across every cloud the identity is enrolled in —
+    /// the console's landing page. Each entry carries `"cloud": name`.
+    pub fn list_servers(
+        &mut self,
+        vault: &CredentialVault,
+        id: &Identity,
+        now: SimTime,
+    ) -> Value {
+        let mut merged: Vec<Value> = Vec::new();
+        for (mapping, controller) in &mut self.backends {
+            let Some(cred) = vault.lookup(id, &mapping.cloud) else {
+                continue; // not enrolled on this cloud: skip silently
+            };
+            let user = cred.cloud_user;
+            match mapping.kind {
+                CloudStackKind::OpenStack => {
+                    // Native call is already OpenStack-shaped.
+                    if let Ok(resp) =
+                        OpenStackApi::new(controller).handle(&user, "GET", "/servers", None, now)
+                    {
+                        if let Some(servers) = resp["servers"].as_array() {
+                            for s in servers {
+                                let mut s = s.clone();
+                                s["cloud"] = json!(mapping.cloud);
+                                merged.push(s);
+                            }
+                        }
+                    }
+                }
+                CloudStackKind::Eucalyptus => {
+                    // Native call speaks the query dialect; parse the XML
+                    // back into OpenStack-format JSON.
+                    if let Ok(xml) = EucalyptusApi::new(controller)
+                        .handle(&user, "Action=DescribeInstances", now)
+                    {
+                        let ids = xml_values(&xml, "instanceId");
+                        let types = xml_values(&xml, "instanceType");
+                        let states = xml_values(&xml, "name");
+                        for ((iid, ty), st) in ids.iter().zip(&types).zip(&states) {
+                            merged.push(json!({
+                                "id": u64::from_str_radix(
+                                    iid.trim_start_matches("i-"), 16).unwrap_or(0),
+                                "name": iid,
+                                "status": match *st {
+                                    "running" => "ACTIVE",
+                                    "pending" => "BUILD",
+                                    "stopped" => "SHUTOFF",
+                                    other => other,
+                                },
+                                "flavor": {"name": ty},
+                                "cloud": mapping.cloud,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        json!({ "servers": merged })
+    }
+
+    /// `POST /servers` targeted at one cloud, with unified flavor/image
+    /// names translated through the mapping config. (The argument list
+    /// mirrors the console form's fields one-to-one.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn boot_server(
+        &mut self,
+        vault: &CredentialVault,
+        id: &Identity,
+        cloud: &str,
+        name: &str,
+        unified_flavor: &str,
+        unified_image: &str,
+        now: SimTime,
+    ) -> Result<Value, ProxyError> {
+        let user = Self::cloud_user(vault, id, cloud)?;
+        let (mapping, controller) = self.backend_mut(cloud)?;
+        let image_id = *mapping
+            .image_aliases
+            .get(unified_image)
+            .ok_or_else(|| ProxyError::UnknownImage(unified_image.to_string()))?;
+        let flavor = mapping.native_flavor(unified_flavor).to_string();
+        let mut result = match mapping.kind {
+            CloudStackKind::OpenStack => {
+                let body = json!({"server": {
+                    "name": name, "flavorRef": flavor, "imageRef": image_id,
+                }});
+                OpenStackApi::new(controller).handle(&user, "POST", "/servers", Some(&body), now)?
+            }
+            CloudStackKind::Eucalyptus => {
+                let query = format!(
+                    "Action=RunInstances&ImageId=emi-{image_id:08x}&InstanceType={flavor}&ClientToken={name}"
+                );
+                let xml = EucalyptusApi::new(controller).handle(&user, &query, now)?;
+                let iid = xml_values(&xml, "instanceId")
+                    .first()
+                    .map(|s| s.to_string())
+                    .unwrap_or_default();
+                json!({"server": {
+                    "id": u64::from_str_radix(iid.trim_start_matches("i-"), 16).unwrap_or(0),
+                    "name": name,
+                    "status": "ACTIVE",
+                }})
+            }
+        };
+        result["server"]["cloud"] = json!(cloud);
+        Ok(result)
+    }
+
+    /// `DELETE /servers/{id}` on one cloud.
+    pub fn delete_server(
+        &mut self,
+        vault: &CredentialVault,
+        id: &Identity,
+        cloud: &str,
+        server_id: u64,
+        now: SimTime,
+    ) -> Result<(), ProxyError> {
+        let user = Self::cloud_user(vault, id, cloud)?;
+        let (mapping, controller) = self.backend_mut(cloud)?;
+        match mapping.kind {
+            CloudStackKind::OpenStack => {
+                OpenStackApi::new(controller).handle(
+                    &user,
+                    "DELETE",
+                    &format!("/servers/{server_id}"),
+                    None,
+                    now,
+                )?;
+            }
+            CloudStackKind::Eucalyptus => {
+                EucalyptusApi::new(controller).handle(
+                    &user,
+                    &format!("Action=TerminateInstances&InstanceId.1=i-{server_id:08x}"),
+                    now,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate per-minute usage across clouds for the billing poller
+    /// (§6.4): `cloud → active cores`.
+    pub fn usage(
+        &self,
+        vault: &CredentialVault,
+        id: &Identity,
+    ) -> BTreeMap<String, u32> {
+        let mut usage = BTreeMap::new();
+        for (mapping, controller) in &self.backends {
+            if let Some(cred) = vault.lookup(id, &mapping.cloud) {
+                let snap = controller.usage(&cred.cloud_user);
+                if snap.cores > 0 {
+                    usage.insert(mapping.cloud.clone(), snap.cores);
+                }
+            }
+        }
+        usage
+    }
+
+    /// Every (identity-agnostic) active cloud user, for billing sweeps.
+    pub fn active_cloud_users(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (mapping, controller) in &self.backends {
+            for user in controller.active_users() {
+                out.push((mapping.cloud.clone(), user));
+            }
+        }
+        out
+    }
+}
+
+/// The standard two-cloud OSDC proxy configuration (OSDC-Adler on
+/// OpenStack, OSDC-Sullivan on Eucalyptus), one rack each by default.
+pub fn osdc_proxy(racks_each: usize) -> TranslationProxy {
+    let adler_cfg = r#"{
+        "cloud": "adler",
+        "kind": "OpenStack",
+        "flavor_aliases": {},
+        "image_aliases": {"ubuntu-base": 1, "bionimbus-genomics": 2,
+                           "matsu-earth-obs": 3, "bookworm-nlp": 4}
+    }"#;
+    let sullivan_cfg = r#"{
+        "cloud": "sullivan",
+        "kind": "Eucalyptus",
+        "flavor_aliases": {"m1.small": "m1.small", "m1.medium": "m1.medium",
+                            "m1.large": "m1.large", "m1.xlarge": "m1.xlarge"},
+        "image_aliases": {"ubuntu-base": 1, "bionimbus-genomics": 2,
+                           "matsu-earth-obs": 3, "bookworm-nlp": 4}
+    }"#;
+    TranslationProxy::new(vec![
+        (
+            CloudMapping::from_json(adler_cfg).expect("static config parses"),
+            CloudController::with_racks("adler", racks_each),
+        ),
+        (
+            CloudMapping::from_json(sullivan_cfg).expect("static config parses"),
+            CloudController::with_racks("sullivan", racks_each),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credentials::CloudCredential;
+
+    fn setup() -> (TranslationProxy, CredentialVault, Identity) {
+        let proxy = osdc_proxy(1);
+        let vault = CredentialVault::new();
+        let id = Identity {
+            canonical: "shib:alice@uchicago.edu".into(),
+        };
+        vault.enroll(&id, CloudCredential::new("adler", "alice", "K1", "S1"));
+        vault.enroll(&id, CloudCredential::new("sullivan", "alice-s", "K2", "S2"));
+        (proxy, vault, id)
+    }
+
+    #[test]
+    fn config_files_parse() {
+        let m = CloudMapping::from_json(
+            r#"{"cloud": "x", "kind": "Eucalyptus", "image_aliases": {"img": 7}}"#,
+        )
+        .expect("parses");
+        assert_eq!(m.kind, CloudStackKind::Eucalyptus);
+        assert_eq!(m.image_aliases["img"], 7);
+        assert!(CloudMapping::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn boot_on_both_stacks_and_aggregate() {
+        let (mut proxy, vault, id) = setup();
+        let t = SimTime::ZERO;
+        let a = proxy
+            .boot_server(&vault, &id, "adler", "vm-a", "m1.small", "ubuntu-base", t)
+            .expect("adler boots");
+        assert_eq!(a["server"]["cloud"], "adler");
+        let s = proxy
+            .boot_server(&vault, &id, "sullivan", "vm-s", "m1.large", "bionimbus-genomics", t)
+            .expect("sullivan boots");
+        assert_eq!(s["server"]["cloud"], "sullivan");
+
+        // The aggregated listing is OpenStack-format JSON with per-cloud tags.
+        let listing = proxy.list_servers(&vault, &id, t);
+        let servers = listing["servers"].as_array().expect("array");
+        assert_eq!(servers.len(), 2);
+        let clouds: Vec<&str> = servers
+            .iter()
+            .map(|s| s["cloud"].as_str().expect("tagged"))
+            .collect();
+        assert!(clouds.contains(&"adler") && clouds.contains(&"sullivan"));
+        // Eucalyptus state was translated into the OpenStack vocabulary.
+        assert!(servers.iter().all(|s| s["status"] == "ACTIVE"));
+    }
+
+    #[test]
+    fn usage_aggregates_cores_per_cloud() {
+        let (mut proxy, vault, id) = setup();
+        let t = SimTime::ZERO;
+        proxy
+            .boot_server(&vault, &id, "adler", "a", "m1.xlarge", "ubuntu-base", t)
+            .expect("boots");
+        proxy
+            .boot_server(&vault, &id, "sullivan", "b", "m1.medium", "ubuntu-base", t)
+            .expect("boots");
+        let usage = proxy.usage(&vault, &id);
+        assert_eq!(usage["adler"], 8);
+        assert_eq!(usage["sullivan"], 2);
+    }
+
+    #[test]
+    fn delete_works_through_both_dialects() {
+        let (mut proxy, vault, id) = setup();
+        let t = SimTime::ZERO;
+        let a = proxy
+            .boot_server(&vault, &id, "adler", "a", "m1.small", "ubuntu-base", t)
+            .expect("boots");
+        let s = proxy
+            .boot_server(&vault, &id, "sullivan", "s", "m1.small", "ubuntu-base", t)
+            .expect("boots");
+        proxy
+            .delete_server(&vault, &id, "adler", a["server"]["id"].as_u64().expect("id"), t)
+            .expect("deletes");
+        proxy
+            .delete_server(&vault, &id, "sullivan", s["server"]["id"].as_u64().expect("id"), t)
+            .expect("deletes");
+        let listing = proxy.list_servers(&vault, &id, t);
+        assert!(listing["servers"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn unenrolled_cloud_is_rejected_and_skipped() {
+        let (mut proxy, vault, id) = setup();
+        let poor = Identity {
+            canonical: "openid:https://id.example/poor".into(),
+        };
+        let err = proxy
+            .boot_server(&vault, &poor, "adler", "x", "m1.small", "ubuntu-base", SimTime::ZERO)
+            .expect_err("not enrolled");
+        assert_eq!(err, ProxyError::NotEnrolled { cloud: "adler".into() });
+        // And the listing for an unenrolled identity is empty, not an error.
+        let listing = proxy.list_servers(&vault, &poor, SimTime::ZERO);
+        assert!(listing["servers"].as_array().expect("array").is_empty());
+        let _ = id;
+    }
+
+    #[test]
+    fn unknown_cloud_and_image() {
+        let (mut proxy, vault, id) = setup();
+        assert!(matches!(
+            proxy.boot_server(&vault, &id, "nimbus", "x", "m1.small", "ubuntu-base", SimTime::ZERO),
+            Err(ProxyError::NotEnrolled { .. }) | Err(ProxyError::UnknownCloud(_))
+        ));
+        assert_eq!(
+            proxy
+                .boot_server(&vault, &id, "adler", "x", "m1.small", "windows-3.1", SimTime::ZERO)
+                .unwrap_err(),
+            ProxyError::UnknownImage("windows-3.1".into())
+        );
+    }
+
+    #[test]
+    fn xml_extraction() {
+        let xml = "<a><instanceId>i-1</instanceId><x/><instanceId>i-2</instanceId></a>";
+        assert_eq!(xml_values(xml, "instanceId"), vec!["i-1", "i-2"]);
+        assert!(xml_values(xml, "missing").is_empty());
+        assert!(xml_values("<open>unclosed", "open").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cloud names")]
+    fn duplicate_clouds_rejected() {
+        let m = CloudMapping::from_json(r#"{"cloud": "a", "kind": "OpenStack"}"#).expect("parses");
+        TranslationProxy::new(vec![
+            (m.clone(), CloudController::with_racks("a", 1)),
+            (m, CloudController::with_racks("a2", 1)),
+        ]);
+    }
+}

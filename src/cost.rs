@@ -1,0 +1,151 @@
+//! The §9.1 cost model: "Why not just use Amazon?"
+//!
+//! "As a rough rule of thumb, when we operate an OSDC rack at
+//! approximately 80% efficiency or greater, it is less expensive than
+//! using Amazon for the same services." (A rack is "39 servers, each
+//! with 8 cores and 8 TB of disk".)
+//!
+//! The model amortizes rack capital over its service life, adds monthly
+//! operations (power, cooling, space, the CSOC admin share of §2), and
+//! compares the resulting cost per *utilized* core-hour with the
+//! equivalent AWS on-demand price. The crossover utilization is where
+//! the curves meet; experiment X2 sweeps it.
+
+/// Cost parameters, 2012-calibrated.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Rack hardware capital, USD.
+    pub rack_capex_usd: f64,
+    /// Amortization period, months.
+    pub amortization_months: f64,
+    /// Power, cooling, space, support share — USD per month.
+    pub rack_opex_usd_month: f64,
+    /// Cores per rack (39 × 8).
+    pub rack_cores: u32,
+    /// AWS effective on-demand price per core-hour, USD (2012 m1-class
+    /// blend).
+    pub aws_core_hour_usd: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            rack_capex_usd: 150_000.0,
+            amortization_months: 36.0,
+            rack_opex_usd_month: 15_800.0,
+            rack_cores: 39 * 8,
+            aws_core_hour_usd: 0.112,
+        }
+    }
+}
+
+/// Hours per month used in the amortization arithmetic.
+const HOURS_PER_MONTH: f64 = 720.0;
+
+impl CostModel {
+    /// Total monthly cost of owning and running one rack.
+    pub fn rack_monthly_usd(&self) -> f64 {
+        self.rack_capex_usd / self.amortization_months + self.rack_opex_usd_month
+    }
+
+    /// Core-hours a rack *delivers* per month at a given utilization.
+    pub fn utilized_core_hours(&self, utilization: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&utilization));
+        self.rack_cores as f64 * HOURS_PER_MONTH * utilization
+    }
+
+    /// Cost per utilized core-hour at a given utilization; infinite at 0.
+    pub fn osdc_core_hour_usd(&self, utilization: f64) -> f64 {
+        let hours = self.utilized_core_hours(utilization);
+        if hours == 0.0 {
+            f64::INFINITY
+        } else {
+            self.rack_monthly_usd() / hours
+        }
+    }
+
+    /// Utilization above which the OSDC rack beats AWS.
+    pub fn crossover_utilization(&self) -> f64 {
+        // osdc(u) = monthly / (cores · 720 · u) = aws  ⇒  u* solves directly.
+        (self.rack_monthly_usd()
+            / (self.rack_cores as f64 * HOURS_PER_MONTH * self.aws_core_hour_usd))
+            .min(1.0)
+    }
+
+    /// Sweep: `(utilization, osdc $/core-hr, aws $/core-hr)` rows.
+    pub fn sweep(&self, points: usize) -> Vec<(f64, f64, f64)> {
+        (1..=points)
+            .map(|i| {
+                let u = i as f64 / points as f64;
+                (u, self.osdc_core_hour_usd(u), self.aws_core_hour_usd)
+            })
+            .collect()
+    }
+
+    /// Monthly saving (positive) or loss (negative) of running one rack
+    /// at `utilization` instead of buying the same used hours from AWS.
+    pub fn monthly_saving_usd(&self, utilization: f64) -> f64 {
+        self.utilized_core_hours(utilization) * self.aws_core_hour_usd
+            - self.rack_monthly_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_near_eighty_percent() {
+        // The paper's rule of thumb.
+        let m = CostModel::default();
+        let u = m.crossover_utilization();
+        assert!(
+            (0.75..0.85).contains(&u),
+            "crossover at {:.0}% (paper: ~80%)",
+            u * 100.0
+        );
+    }
+
+    #[test]
+    fn above_crossover_osdc_is_cheaper() {
+        let m = CostModel::default();
+        let u = m.crossover_utilization();
+        assert!(m.osdc_core_hour_usd(u + 0.05) < m.aws_core_hour_usd);
+        assert!(m.osdc_core_hour_usd(u - 0.05) > m.aws_core_hour_usd);
+        assert!(m.monthly_saving_usd(u + 0.05) > 0.0);
+        assert!(m.monthly_saving_usd(u - 0.05) < 0.0);
+    }
+
+    #[test]
+    fn zero_utilization_is_infinitely_expensive() {
+        let m = CostModel::default();
+        assert_eq!(m.osdc_core_hour_usd(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn cost_decreases_monotonically_with_utilization() {
+        let m = CostModel::default();
+        let sweep = m.sweep(20);
+        assert_eq!(sweep.len(), 20);
+        for w in sweep.windows(2) {
+            assert!(w[0].1 > w[1].1, "cost must fall as utilization rises");
+        }
+        assert!((sweep.last().expect("non-empty").0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheap_cloud_never_crosses() {
+        // If AWS were nearly free the crossover clamps at 100%.
+        let m = CostModel {
+            aws_core_hour_usd: 0.001,
+            ..Default::default()
+        };
+        assert_eq!(m.crossover_utilization(), 1.0);
+    }
+
+    #[test]
+    fn monthly_cost_includes_amortization() {
+        let m = CostModel::default();
+        assert!((m.rack_monthly_usd() - (150_000.0 / 36.0 + 15_800.0)).abs() < 1e-9);
+    }
+}

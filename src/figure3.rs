@@ -1,0 +1,196 @@
+//! Figure 3: the cluster diagram, as a connectivity/operational matrix.
+//!
+//! "A diagram of the current OSDC clusters, with the solid arrows
+//! indicating systems fully operational and accessible with Tukey. The
+//! Hadoop clusters are operational and support some of the Tukey
+//! services but not all of them."
+//!
+//! The figure is a graph; this module renders it as a queryable matrix:
+//! for every cluster, which Tukey services are live (solid), partial
+//! (dashed), or absent — including §6.4's note that billing "will roll
+//! out" to the Hadoop clusters later.
+
+/// The Tukey-fronted services of Figure 1's service stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TukeyService {
+    VmProvisioning,
+    BillingAccounting,
+    FileSharing,
+    PublicDatasets,
+    DatasetIds,
+    DataTransport,
+}
+
+impl TukeyService {
+    pub const ALL: [TukeyService; 6] = [
+        TukeyService::VmProvisioning,
+        TukeyService::BillingAccounting,
+        TukeyService::FileSharing,
+        TukeyService::PublicDatasets,
+        TukeyService::DatasetIds,
+        TukeyService::DataTransport,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TukeyService::VmProvisioning => "VM provisioning",
+            TukeyService::BillingAccounting => "billing & accounting",
+            TukeyService::FileSharing => "file sharing",
+            TukeyService::PublicDatasets => "public datasets",
+            TukeyService::DatasetIds => "dataset IDs (ARK)",
+            TukeyService::DataTransport => "data transport (UDR)",
+        }
+    }
+}
+
+/// Arrow style in the figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operational {
+    /// Solid arrow: fully operational and accessible with Tukey.
+    Solid,
+    /// Dashed: operational but only partially integrated with Tukey.
+    Dashed,
+    /// Not applicable to this cluster.
+    Absent,
+}
+
+impl Operational {
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Operational::Solid => "──▶",
+            Operational::Dashed => "┄┄▶",
+            Operational::Absent => "   ",
+        }
+    }
+}
+
+/// The clusters of Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cluster {
+    Adler,
+    Sullivan,
+    Root,
+    OccY,
+    OccMatsu,
+}
+
+impl Cluster {
+    pub const ALL: [Cluster; 5] = [
+        Cluster::Adler,
+        Cluster::Sullivan,
+        Cluster::Root,
+        Cluster::OccY,
+        Cluster::OccMatsu,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Cluster::Adler => "OSDC-Adler",
+            Cluster::Sullivan => "OSDC-Sullivan",
+            Cluster::Root => "OSDC-Root",
+            Cluster::OccY => "OCC-Y",
+            Cluster::OccMatsu => "OCC-Matsu",
+        }
+    }
+
+    pub fn is_hadoop(self) -> bool {
+        matches!(self, Cluster::OccY | Cluster::OccMatsu)
+    }
+}
+
+/// The 2012 state of the facility, per the figure caption and §6.4.
+pub fn service_matrix(cluster: Cluster, service: TukeyService) -> Operational {
+    use Operational::*;
+    use TukeyService::*;
+    match (cluster, service) {
+        // The utility clouds: everything solid.
+        (Cluster::Adler | Cluster::Sullivan, _) => Solid,
+        // OSDC-Root is storage: no VMs, no per-VM billing yet.
+        (Cluster::Root, VmProvisioning) => Absent,
+        (Cluster::Root, BillingAccounting) => Dashed, // storage sweeps only
+        (Cluster::Root, _) => Solid,
+        // Hadoop clusters: "support some of the Tukey services but not
+        // all of them"; billing "will roll out" (§6.4) → dashed.
+        (c, VmProvisioning) if c.is_hadoop() => Absent,
+        (c, BillingAccounting) if c.is_hadoop() => Dashed,
+        (c, FileSharing) if c.is_hadoop() => Dashed,
+        (c, _) if c.is_hadoop() => Solid,
+        _ => Absent,
+    }
+}
+
+/// Render the whole matrix as the text form of Figure 3.
+pub fn render_matrix() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:22}", "cluster \\ service"));
+    for s in TukeyService::ALL {
+        out.push_str(&format!("{:>24}", s.label()));
+    }
+    out.push('\n');
+    for c in Cluster::ALL {
+        out.push_str(&format!("{:22}", c.label()));
+        for s in TukeyService::ALL {
+            out.push_str(&format!("{:>24}", service_matrix(c, s).glyph().trim_end()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_clouds_are_fully_integrated() {
+        for c in [Cluster::Adler, Cluster::Sullivan] {
+            for s in TukeyService::ALL {
+                assert_eq!(service_matrix(c, s), Operational::Solid, "{c:?}/{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hadoop_clusters_are_partial() {
+        // The caption: operational, but not all Tukey services.
+        for c in [Cluster::OccY, Cluster::OccMatsu] {
+            let solid = TukeyService::ALL
+                .iter()
+                .filter(|&&s| service_matrix(c, s) == Operational::Solid)
+                .count();
+            let non_solid = TukeyService::ALL.len() - solid;
+            assert!(solid > 0, "{c:?} supports some services");
+            assert!(non_solid > 0, "{c:?} does not support all services");
+        }
+    }
+
+    #[test]
+    fn billing_not_yet_on_hadoop() {
+        // §6.4: "We plan to roll out similar billing and accounting on
+        // the Hadoop clusters."
+        assert_ne!(
+            service_matrix(Cluster::OccY, TukeyService::BillingAccounting),
+            Operational::Solid
+        );
+    }
+
+    #[test]
+    fn no_vms_on_storage_or_hadoop() {
+        for c in [Cluster::Root, Cluster::OccY, Cluster::OccMatsu] {
+            assert_eq!(
+                service_matrix(c, TukeyService::VmProvisioning),
+                Operational::Absent
+            );
+        }
+    }
+
+    #[test]
+    fn render_covers_every_cell() {
+        let text = render_matrix();
+        for c in Cluster::ALL {
+            assert!(text.contains(c.label()));
+        }
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + Cluster::ALL.len());
+    }
+}

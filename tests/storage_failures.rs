@@ -1,0 +1,127 @@
+//! Cross-crate failure drills: storage loss, monitoring reaction, and
+//! recovery — the operational lessons of §4.1 and §7.1 chained together.
+
+use std::collections::BTreeMap;
+
+use osdc::monitor::{
+    CheckDefinition, CheckStatus, HostAgent, NagiosMaster, ServiceDefinition, ThresholdDirection,
+};
+use osdc::storage::{BackupService, BrickId, FileData, GlusterVersion, Volume};
+use osdc_sim::{SimDuration, SimRng, SimTime};
+
+/// The full §7.1 story in one test: v3.1 loses data under the silent
+/// mirror-drop bug, the upgrade to v3.3 plus heal makes the same failure
+/// pattern lossless.
+#[test]
+fn gluster_upgrade_story() {
+    let write_corpus = |vol: &mut Volume| -> Vec<String> {
+        (0..300)
+            .map(|i| {
+                let p = format!("/data/f{i}");
+                vol.write(&p, FileData::synthetic(1 << 16, i), "lab").expect("write");
+                p
+            })
+            .collect()
+    };
+
+    // Era 1: v3.1 with the mirroring defect.
+    let mut v31 = Volume::new("adler-v31", GlusterVersion::V3_1 { replica_drop_prob: 0.2 }, 6, 2, 1 << 33, 1);
+    let paths31 = write_corpus(&mut v31);
+    v31.fail_brick(BrickId(0));
+    v31.fail_brick(BrickId(2));
+    v31.fail_brick(BrickId(4));
+    let lost = v31.audit_lost(&paths31);
+    assert!(!lost.is_empty(), "the v3.1 defect must cost data");
+    assert!(v31.silent_drops > 0);
+
+    // Era 2: v3.3 — same failure pattern, zero loss, heal repopulates.
+    let mut v33 = Volume::new("adler-v33", GlusterVersion::V3_3, 6, 2, 1 << 33, 1);
+    let paths33 = write_corpus(&mut v33);
+    v33.fail_brick(BrickId(0));
+    assert!(v33.audit_lost(&paths33).is_empty(), "replicas cover the failure");
+    v33.replace_brick(BrickId(0));
+    let report = v33.heal();
+    assert!(report.repaired > 0);
+    // Now the *other* side of that set can fail too.
+    v33.fail_brick(BrickId(1));
+    assert!(v33.audit_lost(&paths33).is_empty(), "healed brick carries the data");
+}
+
+/// Monitoring notices a brick filling up before it tips over, and the
+/// backup+restore drill recovers a site loss (the modENCODE scenario).
+#[test]
+fn monitored_backup_recovery_drill() {
+    // Primary and backup volumes at two sites.
+    let mut primary = Volume::new("dcc", GlusterVersion::V3_3, 4, 2, 1 << 34, 9);
+    let mut rng = SimRng::new(42);
+    let paths: Vec<String> = (0..150)
+        .map(|i| {
+            let p = format!("/modencode/run{i}.bam");
+            primary
+                .write(&p, FileData::synthetic(rng.range_inclusive(1 << 20, 1 << 24), i), "dcc")
+                .expect("write");
+            p
+        })
+        .collect();
+    let mut backup = Volume::new("osdc-root", GlusterVersion::V3_3, 4, 2, 1 << 36, 10);
+    let out = BackupService::backup(&primary, &mut backup);
+    assert_eq!(out.copied, 150);
+    assert!(BackupService::verify(&primary, &backup).is_empty());
+
+    // Nagios watches the primary's fill level via an NRPE agent.
+    let agent = HostAgent::new("dcc-brick0");
+    let fill = primary.used_bytes() as f64 / primary.total_capacity_bytes() as f64 * 100.0;
+    agent.metrics.set("disk_used_pct", fill);
+    let mut master = NagiosMaster::new();
+    master.add_service(ServiceDefinition {
+        host: "dcc-brick0".into(),
+        check: CheckDefinition::new("check_disk", "disk_used_pct", 80.0, 95.0, ThresholdDirection::HighIsBad),
+        check_interval: SimDuration::from_mins(5),
+        retry_interval: SimDuration::from_mins(1),
+        max_check_attempts: 3,
+    });
+    let agents: BTreeMap<String, &HostAgent> = BTreeMap::from([("dcc-brick0".to_string(), &agent)]);
+    master.tick(SimTime::ZERO, &agents);
+    assert!(master.notifications.is_empty(), "healthy volume, no alert");
+
+    // Site catastrophe: every brick dies; the agent goes dark and Nagios
+    // escalates to a hard UNKNOWN.
+    for i in 0..primary.brick_count() {
+        primary.fail_brick(BrickId(i));
+    }
+    agent.set_reachable(false);
+    for m in 1..10 {
+        master.tick(SimTime::ZERO + SimDuration::from_mins(m), &agents);
+    }
+    assert!(
+        master
+            .notifications
+            .iter()
+            .any(|n| n.problem && n.service == "HOST" && n.status == CheckStatus::Critical),
+        "dark host must page the admins with a HOST DOWN"
+    );
+    assert_eq!(primary.audit_lost(&paths).len(), paths.len());
+
+    // Restore onto fresh hardware from the OSDC copy.
+    let mut rebuilt = Volume::new("dcc-rebuilt", GlusterVersion::V3_3, 4, 2, 1 << 34, 11);
+    let restore = BackupService::restore(&backup, &mut rebuilt);
+    assert_eq!(restore.copied, 150);
+    assert!(rebuilt.audit_lost(&paths).is_empty(), "full recovery");
+}
+
+/// The Samba gate composes with volume failures: a replica loss is
+/// invisible to authorized readers.
+#[test]
+fn export_gate_transparent_to_replica_failure() {
+    use osdc::storage::SambaExport;
+    let volume = Volume::new("share", GlusterVersion::V3_3, 2, 2, 1 << 30, 13);
+    let export = SambaExport::new(volume);
+    export.add_account("alice", "pw");
+    export.grant("/d", "alice", osdc::storage::AccessKind::Write);
+    export
+        .write("alice", "pw", "/d/file", FileData::bytes(b"payload".to_vec()))
+        .expect("write");
+    export.with_volume(|v| v.fail_brick(BrickId(0)));
+    let data = export.read("alice", "pw", "/d/file").expect("replica serves");
+    assert_eq!(data, FileData::bytes(b"payload".to_vec()));
+}

@@ -1,0 +1,93 @@
+//! The Table 3 *shape* invariants, asserted as tests.
+//!
+//! We do not chase the paper's absolute numbers here (the bench harness
+//! prints those side by side); what must hold structurally, per §7.2:
+//!
+//! 1. UDR beats rsync in every matched configuration;
+//! 2. unencrypted beats encrypted for each tool;
+//! 3. the two rsync ciphers land close together (TCP/ssh-bound, not
+//!    cipher-bound);
+//! 4. LLR < 1 always (WAN transfers cannot beat the local disk bound),
+//!    and UDR-plain's LLR is far above rsync-plain's;
+//! 5. dataset size (108 GB vs 1.1 TB) barely moves steady-state rates.
+
+use osdc::crypto::CipherKind;
+use osdc::net::{osdc_wan, FluidNet, OsdcSite};
+use osdc::transfer::{Protocol, TransferEngine, TransferReport, TransferSpec};
+use osdc_sim::SimDuration;
+
+fn run(protocol: Protocol, cipher: CipherKind, bytes: u64, seed: u64) -> TransferReport {
+    let wan = osdc_wan(1.2e-7);
+    let src = wan.node(OsdcSite::ChicagoKenwood);
+    let dst = wan.node(OsdcSite::Lvoc);
+    let mut engine = TransferEngine::new(FluidNet::new(wan.topology, seed));
+    engine.run(
+        &TransferSpec { protocol, cipher, bytes, files: 1, src, dst },
+        SimDuration::from_days(2),
+    )
+}
+
+const GB108: u64 = 108_000_000_000;
+
+#[test]
+fn udr_beats_rsync_in_every_configuration() {
+    for cipher in [CipherKind::None, CipherKind::Blowfish] {
+        let udr = run(Protocol::Udr, cipher, GB108, 1).mbps;
+        let rsync = run(Protocol::Rsync, cipher, GB108, 1).mbps;
+        assert!(udr > rsync, "{cipher}: UDR {udr:.0} vs rsync {rsync:.0}");
+    }
+}
+
+#[test]
+fn encryption_costs_throughput_for_both_tools() {
+    let udr_plain = run(Protocol::Udr, CipherKind::None, GB108, 2).mbps;
+    let udr_bf = run(Protocol::Udr, CipherKind::Blowfish, GB108, 2).mbps;
+    assert!(udr_plain > udr_bf * 1.3, "{udr_plain:.0} vs {udr_bf:.0}");
+    let rsync_plain = run(Protocol::Rsync, CipherKind::None, GB108, 2).mbps;
+    let rsync_bf = run(Protocol::Rsync, CipherKind::Blowfish, GB108, 2).mbps;
+    assert!(rsync_plain > rsync_bf * 1.2, "{rsync_plain:.0} vs {rsync_bf:.0}");
+}
+
+#[test]
+fn rsync_ciphers_are_transport_bound_not_cipher_bound() {
+    // Paper rows: blowfish 280/281 vs 3des 284/285 — nearly identical,
+    // because the ssh/TCP channel, not the cipher, is the bottleneck.
+    let bf = run(Protocol::Rsync, CipherKind::Blowfish, GB108, 3).mbps;
+    let des = run(Protocol::Rsync, CipherKind::TripleDes, GB108, 3).mbps;
+    let ratio = bf.max(des) / bf.min(des);
+    assert!(ratio < 1.10, "rsync ciphers should land together: {bf:.0} vs {des:.0}");
+}
+
+#[test]
+fn llr_bounds_and_ordering() {
+    let udr = run(Protocol::Udr, CipherKind::None, GB108, 4);
+    let rsync = run(Protocol::Rsync, CipherKind::None, GB108, 4);
+    for r in [&udr, &rsync] {
+        assert!(r.llr > 0.0 && r.llr < 1.0, "LLR in (0,1): {}", r.llr);
+    }
+    assert!(udr.llr > rsync.llr * 1.5, "UDR {:.2} vs rsync {:.2}", udr.llr, rsync.llr);
+    // The paper's UDR-plain band: LLR ≈ 0.64–0.66.
+    assert!((0.55..0.75).contains(&udr.llr), "UDR LLR {:.2}", udr.llr);
+}
+
+#[test]
+fn steady_state_is_size_invariant() {
+    // Paper: 108 GB and 1.1 TB rows agree within ~2%. Use 108 GB vs
+    // 432 GB to keep the debug-mode test quick; same property.
+    let small = run(Protocol::Rsync, CipherKind::None, GB108, 5).mbps;
+    let large = run(Protocol::Rsync, CipherKind::None, 4 * GB108, 5).mbps;
+    assert!((large / small - 1.0).abs() < 0.08, "{small:.0} vs {large:.0}");
+}
+
+#[test]
+fn headline_speedup_bands() {
+    // §7.2: "87% and 41% faster ... in the unencrypted and encrypted
+    // cases". Allow generous bands around the published points.
+    let plain = run(Protocol::Udr, CipherKind::None, GB108, 6).mbps
+        / run(Protocol::Rsync, CipherKind::None, GB108, 6).mbps;
+    let enc = run(Protocol::Udr, CipherKind::Blowfish, GB108, 6).mbps
+        / run(Protocol::Rsync, CipherKind::Blowfish, GB108, 6).mbps;
+    assert!((1.5..2.4).contains(&plain), "unencrypted speedup {plain:.2} (paper 1.87)");
+    assert!((1.2..1.7).contains(&enc), "encrypted speedup {enc:.2} (paper 1.41)");
+    assert!(plain > enc, "encryption compresses UDR's edge, as in the paper");
+}
