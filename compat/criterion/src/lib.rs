@@ -1,0 +1,304 @@
+//! Offline compat shim: the `criterion` API surface this workspace's
+//! benches use, backed by a simple wall-clock measurement loop.
+//!
+//! No statistics beyond median-of-samples and no HTML reports — each bench
+//! prints one line: name, per-iteration time, and throughput when
+//! configured. Good enough to compare hot paths before/after a change on
+//! the same machine, which is all the workspace benches are for.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Median per-iteration nanoseconds of the last `iter` call.
+    pub(crate) last_ns: f64,
+    sample_size: usize,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, auto-scaling the batch size so one sample takes a
+    /// useful amount of wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the cost of one iteration.
+        let mut iters = 1u64;
+        let per_iter_estimate = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_millis(1) || iters >= 1 << 20 {
+                break dt.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        // Pick a batch size so `sample_size` samples fit in the window.
+        let budget = self.measure.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter_estimate.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64 * 1e9);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            last_ns: 0.0,
+            sample_size: self.criterion.sample_size,
+            measure: self.criterion.measurement_time,
+        };
+        f(&mut b);
+        self.report(&id.id, b.last_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            last_ns: 0.0,
+            sample_size: self.criterion.sample_size,
+            measure: self.criterion.measurement_time,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.last_ns);
+        self
+    }
+
+    fn report(&mut self, id: &str, ns: f64) {
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", n as f64 / (ns / 1e9) / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / (ns / 1e9) / 1e6)
+            }
+            None => String::new(),
+        };
+        let line = format!("{}/{:<40} {:>12}{}", self.name, id, format_ns(ns), tp);
+        println!("{line}");
+        self.criterion
+            .results
+            .push((format!("{}/{id}", self.name), ns));
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// `(full id, median ns/iter)` for every bench run so far; exposed so
+    /// in-crate asserting harnesses (e.g. `telemetry_overhead`) can compare
+    /// entries after running.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// `criterion_group!{name = benches; config = ..; targets = a, b}` or
+/// `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!(group_a, group_b)` — benches are `harness = false`
+/// binaries, so this emits `main`. Cargo's `--bench` flag (and any other
+/// CLI arguments) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0, "measured {} ns", c.results[0].1);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", "1MiB").id, "f/1MiB");
+    }
+}

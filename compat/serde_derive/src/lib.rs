@@ -1,0 +1,302 @@
+//! Offline compat shim: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! without syn or quote.
+//!
+//! The derives hand-parse the item token stream. Supported shapes — the
+//! ones this workspace actually derives on:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured on fields),
+//! * newtype tuple structs (`struct Id(pub u64)`), serialized transparently
+//!   as their inner value,
+//! * enums whose variants are all units, serialized as the variant name
+//!   string (serde's "externally tagged" form degenerates to this).
+//!
+//! Anything else produces a `compile_error!` naming the limitation rather
+//! than silently generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: `(field_name, has_serde_default)`.
+    Named(Vec<(String, bool)>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum of unit variants.
+    UnitEnum(Vec<String>),
+}
+
+fn err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Does this attribute group body (the `(...)` of `#[serde(...)]`) contain
+/// the bare `default` ident?
+fn serde_attr_has_default(body: &TokenStream) -> bool {
+    body.clone()
+        .into_iter()
+        .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "default"))
+}
+
+/// Consume leading attributes from `iter`, reporting whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // `#` is followed by a bracketed group: `[serde(default)]`,
+                // `[doc = "..."]`, ...
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(name)) = inner.next() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(body)) = inner.next() {
+                                has_default |= serde_attr_has_default(&body.stream());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the body of a named-field struct: `{ pub a: T, #[serde(default)] b: U }`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let has_default = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume tokens until a comma at angle-bracket
+        // depth zero (groups arrive as single trees, so only `<`/`>` need
+        // depth tracking).
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push((name, has_default));
+    }
+    Ok(fields)
+}
+
+/// Parse an enum body, requiring every variant to be a unit.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("variant `{name}` has a discriminant; unsupported"))
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit variants are supported"
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token after variant `{name}`: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}` is generic; generics are unsupported"));
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            shape: Shape::Named(parse_named_fields(g.stream())?),
+        }),
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            // Count top-level fields: a comma at angle depth 0 separates.
+            let mut depth = 0i32;
+            let mut commas = 0usize;
+            let mut nonempty = false;
+            for tt in g.stream() {
+                nonempty = true;
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => commas += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if !nonempty || commas > 0 {
+                return Err(format!(
+                    "tuple struct `{name}` must have exactly one field for derive support"
+                ));
+            }
+            Ok(Item {
+                name,
+                shape: Shape::Newtype,
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+            name,
+            shape: Shape::UnitEnum(parse_unit_variants(g.stream())?),
+        }),
+        _ => Err(format!("unsupported item shape for `{name}`")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return err(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inserts = String::new();
+            for (f, _) in fields {
+                inserts.push_str(&format!(
+                    "map.insert({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "let mut map = ::std::collections::BTreeMap::new();\n{inserts}::serde::Value::Object(map)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("{name}::{v} => {v:?},\n"));
+            }
+            format!("::serde::Value::String(String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return err(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for (f, has_default) in fields {
+                let missing = if *has_default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::DeError::missing_field({name:?}, {f:?}))")
+                };
+                inits.push_str(&format!(
+                    "{f}: match obj.get({f:?}) {{\n\
+                         Some(v) => ::serde::Deserialize::from_json_value(v)?,\n\
+                         None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(value)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n"));
+            }
+            format!(
+                "let s = value.as_str().ok_or_else(|| \
+                     ::serde::DeError::expected(\"string\", {name:?}))?;\n\
+                 match s {{ {arms} _ => Err(::serde::DeError::unknown_variant({name:?}, s)) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

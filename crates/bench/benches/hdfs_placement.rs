@@ -12,15 +12,20 @@ fn bench_hdfs(c: &mut Criterion) {
         b.iter(|| {
             let mut fs = Hdfs::new(4, 29, 42); // OCC-Y shape
             for i in 0..100u64 {
-                fs.create(&format!("/f{i}"), 4 * BLOCK_SIZE, DataNodeId((i % 116) as usize))
-                    .expect("create");
+                fs.create(
+                    &format!("/f{i}"),
+                    4 * BLOCK_SIZE,
+                    DataNodeId((i % 116) as usize),
+                )
+                .expect("create");
             }
             fs.node_count()
         })
     });
     group.bench_function("schedule_400_blocks", |b| {
         let mut fs = Hdfs::new(4, 29, 42);
-        fs.create("/big", 400 * BLOCK_SIZE, DataNodeId(0)).expect("create");
+        fs.create("/big", 400 * BLOCK_SIZE, DataNodeId(0))
+            .expect("create");
         let sched = TaskScheduler::new(4);
         b.iter(|| sched.schedule(&fs, "/big").expect("schedules").0.len())
     });

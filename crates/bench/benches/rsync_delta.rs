@@ -49,9 +49,11 @@ fn bench_signatures(c: &mut Criterion) {
     for mib in [1usize, 4] {
         let data = pseudo_bytes(mib << 20, 2);
         group.throughput(Throughput::Bytes(data.len() as u64));
-        group.bench_with_input(BenchmarkId::new("compute", format!("{mib}MiB")), &data, |b, d| {
-            b.iter(|| compute_signatures(black_box(d), 2048))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compute", format!("{mib}MiB")),
+            &data,
+            |b, d| b.iter(|| compute_signatures(black_box(d), 2048)),
+        );
     }
     group.finish();
 }
@@ -68,7 +70,11 @@ fn bench_delta(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("delta_generation");
     group.throughput(Throughput::Bytes(basis.len() as u64));
-    for (label, new) in [("identical", &identical), ("small_edit", &edited), ("disjoint", &disjoint)] {
+    for (label, new) in [
+        ("identical", &identical),
+        ("small_edit", &edited),
+        ("disjoint", &disjoint),
+    ] {
         group.bench_with_input(BenchmarkId::new("generate", label), new, |b, n| {
             b.iter(|| generate_delta(black_box(&sigs), black_box(n)))
         });

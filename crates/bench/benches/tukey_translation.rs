@@ -41,10 +41,26 @@ fn bench_boot_cycle(c: &mut Criterion) {
         let t = SimTime::ZERO;
         for i in 0..10 {
             proxy
-                .boot_server(&vault, &id, "adler", &format!("a{i}"), "m1.small", "ubuntu-base", t)
+                .boot_server(
+                    &vault,
+                    &id,
+                    "adler",
+                    &format!("a{i}"),
+                    "m1.small",
+                    "ubuntu-base",
+                    t,
+                )
                 .expect("boots");
             proxy
-                .boot_server(&vault, &id, "sullivan", &format!("s{i}"), "m1.small", "ubuntu-base", t)
+                .boot_server(
+                    &vault,
+                    &id,
+                    "sullivan",
+                    &format!("s{i}"),
+                    "m1.small",
+                    "ubuntu-base",
+                    t,
+                )
                 .expect("boots");
         }
         b.iter(|| proxy.list_servers(&vault, &id, t))

@@ -125,15 +125,16 @@ fn main() {
         "billing as a behavioral control: hoarding with and without accounting",
     );
     seed_line(SEED);
-    println!(
-        "{USERS} users ({HOARDERS} hoarders) share a 144-core slice for {DAYS} days\n"
-    );
+    println!("{USERS} users ({HOARDERS} hoarders) share a 144-core slice for {DAYS} days\n");
 
     let without = run_regime(false, SEED);
     let with = run_regime(true, SEED);
 
     let widths = [30usize, 18, 18];
-    println!("{}", row(&["", "no accounting", "with accounting"], &widths));
+    println!(
+        "{}",
+        row(&["", "no accounting", "with accounting"], &widths)
+    );
     println!("{}", "-".repeat(70));
     println!(
         "{}",

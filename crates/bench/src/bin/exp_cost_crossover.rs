@@ -11,7 +11,10 @@ use osdc::cost::CostModel;
 use osdc_bench::{banner, row};
 
 fn main() {
-    banner("Experiment X2 (§9.1)", "OSDC rack vs AWS: cost per utilized core-hour");
+    banner(
+        "Experiment X2 (§9.1)",
+        "OSDC rack vs AWS: cost per utilized core-hour",
+    );
 
     let model = CostModel::default();
     println!(
@@ -22,12 +25,18 @@ fn main() {
         model.rack_opex_usd_month / 1e3,
         model.rack_monthly_usd()
     );
-    println!("AWS on-demand equivalent: ${:.3}/core-hour (2012 m1-class)\n", model.aws_core_hour_usd);
+    println!(
+        "AWS on-demand equivalent: ${:.3}/core-hour (2012 m1-class)\n",
+        model.aws_core_hour_usd
+    );
 
     let widths = [12usize, 16, 16, 14];
     println!(
         "{}",
-        row(&["utilization", "OSDC $/core-hr", "AWS $/core-hr", "cheaper"], &widths)
+        row(
+            &["utilization", "OSDC $/core-hr", "AWS $/core-hr", "cheaper"],
+            &widths
+        )
     );
     println!("{}", "-".repeat(64));
     for (u, osdc, aws) in model.sweep(10) {

@@ -28,7 +28,8 @@ fn campaign(version: GlusterVersion, heal_first: bool) -> (f64, u64) {
         let paths: Vec<String> = (0..FILES)
             .map(|i| {
                 let p = format!("/corpus/f{i}");
-                vol.write(&p, FileData::synthetic(1 << 20, i), "lab").expect("write");
+                vol.write(&p, FileData::synthetic(1 << 20, i), "lab")
+                    .expect("write");
                 p
             })
             .collect();
@@ -58,13 +59,18 @@ fn main() {
         "{FILES} files × {TRIALS} trials; after writing, one brick of every replica set fails\n"
     );
 
-    let v31 = GlusterVersion::V3_1 { replica_drop_prob: 0.15 };
+    let v31 = GlusterVersion::V3_1 {
+        replica_drop_prob: 0.15,
+    };
     let (lost31, drops31) = campaign(v31, false);
     let (lost33, _) = campaign(GlusterVersion::V3_3, false);
     let (lost33h, _) = campaign(GlusterVersion::V3_3, true);
 
     let widths = [38usize, 14, 16];
-    println!("{}", row(&["configuration", "data lost", "silent drops"], &widths));
+    println!(
+        "{}",
+        row(&["configuration", "data lost", "silent drops"], &widths)
+    );
     println!("{}", "-".repeat(72));
     println!(
         "{}",
@@ -79,11 +85,17 @@ fn main() {
     );
     println!(
         "{}",
-        row(&["v3.3 (transactional writes)", &format!("{lost33:.1}%"), "0"], &widths)
+        row(
+            &["v3.3 (transactional writes)", &format!("{lost33:.1}%"), "0"],
+            &widths
+        )
     );
     println!(
         "{}",
-        row(&["v3.3 + self-heal pass", &format!("{lost33h:.1}%"), "0"], &widths)
+        row(
+            &["v3.3 + self-heal pass", &format!("{lost33h:.1}%"), "0"],
+            &widths
+        )
     );
     println!(
         "\npaper's experience reproduced: v3.1 mirroring loses data on failure; v3.3 does not.\n"
@@ -95,18 +107,34 @@ fn main() {
     let paths: Vec<String> = (0..200)
         .map(|i| {
             let p = format!("/modencode/ds{i}.bam");
-            dcc.write(&p, FileData::synthetic(1 << 30, i), "dcc").expect("write");
+            dcc.write(&p, FileData::synthetic(1 << 30, i), "dcc")
+                .expect("write");
             p
         })
         .collect();
     let mut osdc_root = Volume::new("osdc-root", GlusterVersion::V3_3, 4, 2, 1 << 42, SEED + 1);
     let b = BackupService::backup(&dcc, &mut osdc_root);
-    println!("  go-forward backup to OSDC-Root: {} files, {} GB", b.copied, b.bytes_copied >> 30);
+    println!(
+        "  go-forward backup to OSDC-Root: {} files, {} GB",
+        b.copied,
+        b.bytes_copied >> 30
+    );
     for i in 0..dcc.brick_count() {
         dcc.fail_brick(BrickId(i));
     }
-    println!("  disaster: DCC loses {} / {} datasets", dcc.audit_lost(&paths).len(), paths.len());
-    let mut rebuilt = Volume::new("modencode-rebuilt", GlusterVersion::V3_3, 4, 2, 1 << 40, SEED + 2);
+    println!(
+        "  disaster: DCC loses {} / {} datasets",
+        dcc.audit_lost(&paths).len(),
+        paths.len()
+    );
+    let mut rebuilt = Volume::new(
+        "modencode-rebuilt",
+        GlusterVersion::V3_3,
+        4,
+        2,
+        1 << 40,
+        SEED + 2,
+    );
     let r = BackupService::restore(&osdc_root, &mut rebuilt);
     let verify = BackupService::verify(&osdc_root, &rebuilt);
     println!(

@@ -38,8 +38,7 @@ fn workload(seed: u64) -> Vec<JobSpec> {
                 name: format!("{dept}-adhoc{j}"),
                 tasks: rng.range_inclusive(10, 60) as u32,
                 task_duration: SimDuration::from_mins(rng.range_inclusive(3, 8)),
-                submitted_at: SimTime::ZERO
-                    + SimDuration::from_mins(5 + 10 * j as u64 + i as u64),
+                submitted_at: SimTime::ZERO + SimDuration::from_mins(5 + 10 * j as u64 + i as u64),
             });
         }
     }
@@ -62,7 +61,11 @@ fn main() {
     );
     seed_line(SEED);
     let jobs = workload(SEED);
-    println!("workload: {} jobs ({} ad-hoc + 2 nightly monsters), {SLOTS} task slots\n", jobs.len(), jobs.len() - 2);
+    println!(
+        "workload: {} jobs ({} ad-hoc + 2 nightly monsters), {SLOTS} task slots\n",
+        jobs.len(),
+        jobs.len() - 2
+    );
 
     let (fair, shares) = run_fair_share(SLOTS, jobs.clone());
     let fifo = run_fifo(SLOTS, jobs);

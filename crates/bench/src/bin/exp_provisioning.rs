@@ -12,7 +12,10 @@ use osdc_provision::{manual_rack_install, provision_rack, ManualParams, Pipeline
 const SEED: u64 = 2012;
 
 fn main() {
-    banner("Experiment X1 (§7.3)", "rack provisioning: manual baseline vs automated pipeline");
+    banner(
+        "Experiment X1 (§7.3)",
+        "rack provisioning: manual baseline vs automated pipeline",
+    );
     seed_line(SEED);
 
     let manual = manual_rack_install(&ManualParams::default(), SEED);
@@ -49,7 +52,10 @@ fn main() {
             &[
                 "servers delivered",
                 &format!("39 ({} reworked)", manual.reworked_servers),
-                &format!("{} ready, {} failed", auto.servers_ready, auto.servers_failed),
+                &format!(
+                    "{} ready, {} failed",
+                    auto.servers_ready, auto.servers_failed
+                ),
             ],
             &widths
         )
@@ -62,7 +68,18 @@ fn main() {
     );
 
     println!("failure-rate sweep (automated pipeline):");
-    println!("{}", row(&["stage failure prob", "wall hours", "retries", "failed servers"], &[20, 12, 9, 16]));
+    println!(
+        "{}",
+        row(
+            &[
+                "stage failure prob",
+                "wall hours",
+                "retries",
+                "failed servers"
+            ],
+            &[20, 12, 9, 16]
+        )
+    );
     for p in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let r = provision_rack(
             &PipelineParams {

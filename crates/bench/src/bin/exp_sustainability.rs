@@ -52,10 +52,16 @@ fn print_run(label: &str, params: &SustainabilityParams) {
 }
 
 fn main() {
-    banner("Experiment X6 (§8)", "the OSDC sustainability model over eight years");
+    banner(
+        "Experiment X6 (§8)",
+        "the OSDC sustainability model over eight years",
+    );
     seed_line(SEED);
 
-    print_run("baseline (all five rules in force)", &SustainabilityParams::default());
+    print_run(
+        "baseline (all five rules in force)",
+        &SustainabilityParams::default(),
+    );
 
     // §3.1: "we will be more than doubling these resources in 2013".
     let doubling = simulate(

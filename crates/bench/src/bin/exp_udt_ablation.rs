@@ -82,7 +82,10 @@ fn main() {
     // ---- 1. RTT sweep -------------------------------------------------------
     println!("RTT sweep (loss 0.9e-7, app cap 750 mbit/s):");
     let widths = [14usize, 16, 16, 10];
-    println!("{}", row(&["RTT", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths));
+    println!(
+        "{}",
+        row(&["RTT", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths)
+    );
     for one_way in [5u64, 25, 52, 100] {
         let rtt = 2.0 * one_way as f64 / 1000.0;
         let tcp = goodput(CongestionControl::reno(rtt), one_way, 0.45e-7);
@@ -104,7 +107,10 @@ fn main() {
 
     // ---- 2. Loss sweep ------------------------------------------------------
     println!("loss sweep at 104 ms RTT:");
-    println!("{}", row(&["pkt loss", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths));
+    println!(
+        "{}",
+        row(&["pkt loss", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths)
+    );
     for loss in [0.0f64, 1e-8, 1e-7, 1e-6, 1e-5] {
         let tcp = goodput(CongestionControl::reno(0.104), 52, loss / 2.0);
         let udt = goodput(CongestionControl::udt(10e9), 52, loss / 2.0);

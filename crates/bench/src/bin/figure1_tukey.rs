@@ -8,9 +8,16 @@
 //! poller.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin figure1_tukey`
+//!
+//! With `--trace <path>`, every console request emits spans (console →
+//! auth → translation → aggregation) and per-cloud latency histograms
+//! into a telemetry JSONL artifact at `<path>`, plus a federation ops
+//! report on stdout. Runs are deterministic: artifacts are byte-identical
+//! across invocations.
 
-use osdc_bench::banner;
+use osdc_bench::{banner, finish_trace, trace_path};
 use osdc_sim::{SimDuration, SimTime};
+use osdc_telemetry::Telemetry;
 use osdc_tukey::auth::{AuthProxy, Identity, OpenIdProvider, ShibbolethIdp};
 use osdc_tukey::credentials::CloudCredential;
 use osdc_tukey::translation::osdc_proxy;
@@ -33,38 +40,87 @@ fn main() {
     auth.trust_openid("https://www.opensciencedatacloud.org/openid/");
 
     let mut console = TukeyConsole::new(auth, osdc_proxy(2));
+    let trace = trace_path();
+    let tele = match &trace {
+        Some(_) => Telemetry::new(),
+        None => Telemetry::disabled(),
+    };
+    console.set_telemetry(tele.clone());
     println!("middleware up: clouds = {:?}", console.proxy.cloud_names());
 
     // --- enrollment: identifier → per-cloud credentials (§5.2) ---------------
-    let shib_id = Identity { canonical: "shib:grossman@uchicago.edu".into() };
-    console.enroll(&shib_id, CloudCredential::new("adler", "grossman", "AK1", "SK1"));
-    console.enroll(&shib_id, CloudCredential::new("sullivan", "grossman", "AK2", "SK2"));
+    let shib_id = Identity {
+        canonical: "shib:grossman@uchicago.edu".into(),
+    };
+    console.enroll(
+        &shib_id,
+        CloudCredential::new("adler", "grossman", "AK1", "SK1"),
+    );
+    console.enroll(
+        &shib_id,
+        CloudCredential::new("sullivan", "grossman", "AK2", "SK2"),
+    );
     let openid_id = Identity {
         canonical: "openid:https://www.opensciencedatacloud.org/openid/heath".into(),
     };
-    console.enroll(&openid_id, CloudCredential::new("adler", "heath", "AK3", "SK3"));
+    console.enroll(
+        &openid_id,
+        CloudCredential::new("adler", "heath", "AK3", "SK3"),
+    );
 
     // --- login via Shibboleth --------------------------------------------------
     let assertion = idp.assert("grossman@uchicago.edu").expect("campus login");
-    let token = console.login_shibboleth(&assertion).expect("assertion accepted");
-    println!("shibboleth login ok: {}", console.whoami(token).expect("session"));
+    let token = console
+        .login_shibboleth(&assertion)
+        .expect("assertion accepted");
+    println!(
+        "shibboleth login ok: {}",
+        console.whoami(token).expect("session")
+    );
 
     // --- login via OpenID -------------------------------------------------------
     let token2 = console
-        .login_openid(&openid, "https://www.opensciencedatacloud.org/openid/heath", "pw")
+        .login_openid(
+            &openid,
+            "https://www.opensciencedatacloud.org/openid/heath",
+            "pw",
+        )
         .expect("openid verified");
-    println!("openid login ok:     {}", console.whoami(token2).expect("session"));
+    println!(
+        "openid login ok:     {}",
+        console.whoami(token2).expect("session")
+    );
 
     // --- provision VMs on both stacks through one API --------------------------
     let t0 = SimTime::ZERO;
     let a = console
-        .launch_instance(token, "adler", "analysis-0", "m1.xlarge", "bionimbus-genomics", t0)
+        .launch_instance(
+            token,
+            "adler",
+            "analysis-0",
+            "m1.xlarge",
+            "bionimbus-genomics",
+            t0,
+        )
         .expect("OpenStack-backed launch");
     let s = console
-        .launch_instance(token, "sullivan", "preprocess-0", "m1.large", "matsu-earth-obs", t0)
+        .launch_instance(
+            token,
+            "sullivan",
+            "preprocess-0",
+            "m1.large",
+            "matsu-earth-obs",
+            t0,
+        )
         .expect("Eucalyptus-backed launch");
-    println!("\nlaunched on adler    → {}", serde_json::to_string(&a).expect("json"));
-    println!("launched on sullivan → {}", serde_json::to_string(&s).expect("json"));
+    println!(
+        "\nlaunched on adler    → {}",
+        serde_json::to_string(&a).expect("json")
+    );
+    println!(
+        "launched on sullivan → {}",
+        serde_json::to_string(&s).expect("json")
+    );
 
     // --- the aggregated, cloud-tagged OpenStack-format response ---------------
     let page = console.instances_page(token, t0).expect("listing");
@@ -101,4 +157,7 @@ fn main() {
         );
     }
     println!("\nFigure 1 flow exercised end-to-end: console → middleware → {{OpenStack, Eucalyptus}} → aggregated JSON → billing.");
+    if let Some(path) = trace {
+        finish_trace(&tele, &path);
+    }
 }

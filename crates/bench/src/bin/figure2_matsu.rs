@@ -27,8 +27,13 @@ fn main() {
     let n = params.tiles_per_side as usize;
     println!(
         "scene: {}×{} tiles of {}×{} px, flood injected at ({:.2}, {:.2}) r={:.2}\n",
-        n, n, params.tile_size, params.tile_size,
-        params.flood_center.0, params.flood_center.1, params.flood_radius
+        n,
+        n,
+        params.tile_size,
+        params.tile_size,
+        params.flood_center.0,
+        params.flood_center.1,
+        params.flood_radius
     );
 
     // Stage the scene file on the simulated Matsu HDFS and report how
@@ -36,10 +41,16 @@ fn main() {
     let mut fs = Hdfs::new(3, 5, SEED);
     // Full Hyperion radiance depth: 242 bands × 2 bytes per pixel.
     let scene_bytes = (tiles.len() * params.tile_size * params.tile_size * 242 * 2) as u64;
-    fs.create("/matsu/eo1/namibia.seq", scene_bytes.max(BLOCK_SIZE), DataNodeId(0))
-        .expect("stage scene");
+    fs.create(
+        "/matsu/eo1/namibia.seq",
+        scene_bytes.max(BLOCK_SIZE),
+        DataNodeId(0),
+    )
+    .expect("stage scene");
     let sched = TaskScheduler::new(4);
-    let (placements, hist) = sched.schedule(&fs, "/matsu/eo1/namibia.seq").expect("schedule");
+    let (placements, hist) = sched
+        .schedule(&fs, "/matsu/eo1/namibia.seq")
+        .expect("schedule");
     println!(
         "map tasks: {} blocks, {:.0}% data-local ({:?})\n",
         placements.len(),
@@ -80,7 +91,11 @@ fn main() {
     let pgm = osdc::matsu::render_pgm(&tiles, params.tiles_per_side);
     let out = std::env::temp_dir().join("figure2_namibia.pgm");
     match std::fs::write(&out, &pgm) {
-        Ok(()) => println!("\nraster written to {} ({} KiB)", out.display(), pgm.len() >> 10),
+        Ok(()) => println!(
+            "\nraster written to {} ({} KiB)",
+            out.display(),
+            pgm.len() >> 10
+        ),
         Err(e) => println!("\n(could not write raster: {e})"),
     }
     println!("(the paper's figure shows the same artifact: a tile mosaic over Namibia with detected flood areas)");

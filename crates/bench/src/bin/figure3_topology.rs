@@ -12,7 +12,10 @@ use osdc_bench::banner;
 use osdc_net::{osdc_wan, OsdcSite};
 
 fn main() {
-    banner("Figure 3", "OSDC clusters, WAN paths, and Tukey service connectivity");
+    banner(
+        "Figure 3",
+        "OSDC clusters, WAN paths, and Tukey service connectivity",
+    );
 
     let wan = osdc_wan(1.2e-7);
     println!("sites and measured RTTs over the 10G research WAN:");

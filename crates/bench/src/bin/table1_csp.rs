@@ -27,12 +27,18 @@ fn main() {
     let sw = run_flow_mix(&science, web, SEED);
 
     // Row: Computing and storage / Flows — large data flows.
-    let bulk = FlowMix::Elephant { flows: 4, gb_each: 50 };
+    let bulk = FlowMix::Elephant {
+        flows: 4,
+        gb_each: 50,
+    };
     let cb = run_flow_mix(&commercial, bulk, SEED + 1);
     let sb = run_flow_mix(&science, bulk, SEED + 1);
 
     let widths = [30usize, 22, 22];
-    println!("{}", row(&["row", "commercial CSP", "science CSP"], &widths));
+    println!(
+        "{}",
+        row(&["row", "commercial CSP", "science CSP"], &widths)
+    );
     println!("{}", "-".repeat(78));
     println!(
         "{}",
@@ -68,7 +74,11 @@ fn main() {
         row(
             &[
                 "image export supported",
-                if commercial_export { "yes" } else { "no (lock-in)" },
+                if commercial_export {
+                    "yes"
+                } else {
+                    "no (lock-in)"
+                },
                 if science_export { "yes" } else { "no" },
             ],
             &widths
@@ -93,5 +103,7 @@ fn main() {
         "  · science CSP moves bulk data {:.1}× faster (high-performance storage + uncontended 10G)",
         sb.elephant_mbps.expect("measured") / cb.elephant_mbps.expect("measured")
     );
-    println!("  · science CSP supports moving computation between CSPs; commercial favours lock-in");
+    println!(
+        "  · science CSP supports moving computation between CSPs; commercial favours lock-in"
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
     let widths = [24usize, 44, 10, 10, 36];
     println!(
         "{}",
-        row(&["resource", "type", "cores", "disk TB", "paper says"], &widths)
+        row(
+            &["resource", "type", "cores", "disk TB", "paper says"],
+            &widths
+        )
     );
     println!("{}", "-".repeat(130));
     for (summary, (_, paper_size)) in fed.inventory().iter().zip(paper) {

@@ -7,22 +7,36 @@
 //! speedups (87 % unencrypted, 41 % encrypted).
 //!
 //! Run: `cargo run --release -p osdc-bench --bin table3_udr`
+//!
+//! With `--trace <path>`, every transfer additionally emits per-stage
+//! spans (disk read → delta → cipher → wire → disk write) and per-flow
+//! throughput traces into a telemetry JSONL artifact at `<path>`, plus a
+//! federation ops report on stdout. Same-seed runs produce byte-identical
+//! artifacts.
 
-use osdc_bench::{banner, row, seed_line};
+use osdc_bench::{banner, finish_trace, row, seed_line, trace_path};
 use osdc_crypto::CipherKind;
 use osdc_net::{osdc_wan, FluidNet, OsdcSite};
 use osdc_sim::SimDuration;
+use osdc_telemetry::Telemetry;
 use osdc_transfer::{Protocol, TransferEngine, TransferReport, TransferSpec};
 
 /// The WAN residual-loss calibration of DESIGN.md §5.
 const LONG_HAUL_LOSS: f64 = 0.9e-7;
 const SEED: u64 = 2012;
 
-fn transfer(protocol: Protocol, cipher: CipherKind, bytes: u64, seed: u64) -> TransferReport {
+fn transfer(
+    protocol: Protocol,
+    cipher: CipherKind,
+    bytes: u64,
+    seed: u64,
+    tele: &Telemetry,
+) -> TransferReport {
     let wan = osdc_wan(LONG_HAUL_LOSS);
     let src = wan.node(OsdcSite::ChicagoKenwood);
     let dst = wan.node(OsdcSite::Lvoc);
     let mut engine = TransferEngine::new(FluidNet::new(wan.topology, seed));
+    engine.set_telemetry(tele.clone());
     engine.run(
         &TransferSpec {
             protocol,
@@ -42,6 +56,11 @@ fn main() {
         "overall transfer speeds (mbit/s) and LLR, Chicago ↔ Livermore, RTT 104 ms",
     );
     seed_line(SEED);
+    let trace = trace_path();
+    let tele = match &trace {
+        Some(_) => Telemetry::new(),
+        None => Telemetry::disabled(),
+    };
 
     let gb108: u64 = 108_000_000_000;
     let tb1_1: u64 = 1_100_000_000_000;
@@ -49,20 +68,48 @@ fn main() {
     // (label, protocol, cipher, paper [mbit/s; LLR] for 108 GB and 1.1 TB).
     type Row = (&'static str, Protocol, CipherKind, [f64; 2], [f64; 2]);
     let rows: [Row; 5] = [
-        ("UDR (no encryption)", Protocol::Udr, CipherKind::None, [752.0, 738.0], [0.66, 0.64]),
-        ("rsync (no encryption)", Protocol::Rsync, CipherKind::None, [401.0, 405.0], [0.35, 0.36]),
-        ("UDR (blowfish)", Protocol::Udr, CipherKind::Blowfish, [394.0, 396.0], [0.35, 0.35]),
-        ("rsync (blowfish)", Protocol::Rsync, CipherKind::Blowfish, [280.0, 281.0], [0.25, 0.25]),
-        ("rsync (3des)", Protocol::Rsync, CipherKind::TripleDes, [284.0, 285.0], [0.25, 0.25]),
+        (
+            "UDR (no encryption)",
+            Protocol::Udr,
+            CipherKind::None,
+            [752.0, 738.0],
+            [0.66, 0.64],
+        ),
+        (
+            "rsync (no encryption)",
+            Protocol::Rsync,
+            CipherKind::None,
+            [401.0, 405.0],
+            [0.35, 0.36],
+        ),
+        (
+            "UDR (blowfish)",
+            Protocol::Udr,
+            CipherKind::Blowfish,
+            [394.0, 396.0],
+            [0.35, 0.35],
+        ),
+        (
+            "rsync (blowfish)",
+            Protocol::Rsync,
+            CipherKind::Blowfish,
+            [280.0, 281.0],
+            [0.25, 0.25],
+        ),
+        (
+            "rsync (3des)",
+            Protocol::Rsync,
+            CipherKind::TripleDes,
+            [284.0, 285.0],
+            [0.25, 0.25],
+        ),
     ];
 
     let widths = [22usize, 10, 6, 14, 14, 10, 6, 14, 14];
     println!(
         "{}",
         row(
-            &[
-                "", "108 GB", "", "(paper)", "", "1.1 TB", "", "(paper)", ""
-            ],
+            &["", "108 GB", "", "(paper)", "", "1.1 TB", "", "(paper)", ""],
             &widths
         )
     );
@@ -70,7 +117,14 @@ fn main() {
         "{}",
         row(
             &[
-                "protocol (cipher)", "mbit/s", "LLR", "mbit/s", "LLR", "mbit/s", "LLR", "mbit/s",
+                "protocol (cipher)",
+                "mbit/s",
+                "LLR",
+                "mbit/s",
+                "LLR",
+                "mbit/s",
+                "LLR",
+                "mbit/s",
                 "LLR"
             ],
             &widths
@@ -80,8 +134,8 @@ fn main() {
 
     let mut measured: Vec<(&str, f64, f64)> = Vec::new();
     for (label, protocol, cipher, paper_mbps, paper_llr) in rows {
-        let small = transfer(protocol, cipher, gb108, SEED);
-        let large = transfer(protocol, cipher, tb1_1, SEED + 1);
+        let small = transfer(protocol, cipher, gb108, SEED, &tele);
+        let large = transfer(protocol, cipher, tb1_1, SEED + 1, &tele);
         println!(
             "{}",
             row(
@@ -119,7 +173,8 @@ fn main() {
         plain * 100.0,
         enc * 100.0
     );
-    println!(
-        "LLR denominator: min(source read 3072, target write 1136) = 1136 mbit/s, as in §7.2"
-    );
+    println!("LLR denominator: min(source read 3072, target write 1136) = 1136 mbit/s, as in §7.2");
+    if let Some(path) = trace {
+        finish_trace(&tele, &path);
+    }
 }

@@ -32,6 +32,41 @@ pub fn vs(measured: f64, paper: f64, unit: &str) -> String {
     format!("{measured:.0}{unit} (paper {paper:.0}{unit})")
 }
 
+/// Parse `--trace <path>` out of an argument list (the harnesses' shared
+/// flag for emitting a telemetry JSONL artifact).
+pub fn trace_path_from(args: &[String]) -> Option<std::path::PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            return Some(std::path::PathBuf::from(it.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            })));
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// [`trace_path_from`] over the process arguments.
+pub fn trace_path() -> Option<std::path::PathBuf> {
+    trace_path_from(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+/// Write the telemetry JSONL artifact and print the ops report — the
+/// shared tail of every `--trace`-capable harness.
+pub fn finish_trace(tele: &osdc_telemetry::Telemetry, path: &std::path::Path) {
+    tele.export_jsonl_to(path).unwrap_or_else(|e| {
+        eprintln!("cannot write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!();
+    print!("{}", tele.ops_report());
+    println!("trace written to {}", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +80,20 @@ mod tests {
     #[test]
     fn vs_formatting() {
         assert_eq!(vs(751.6, 752.0, ""), "752 (paper 752)");
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            trace_path_from(&args(&["--trace", "/tmp/t.jsonl"])),
+            Some(std::path::PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            trace_path_from(&args(&["--trace=/tmp/t.jsonl"])),
+            Some(std::path::PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert_eq!(trace_path_from(&args(&["--other"])), None);
+        assert_eq!(trace_path_from(&[]), None);
     }
 }

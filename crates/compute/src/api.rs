@@ -135,16 +135,15 @@ impl<'c> OpenStackApi<'c> {
                         if method != "POST" {
                             return Err(ApiError::BadRequest(format!("{method} {path}")));
                         }
-                        let id: u64 = id_str
-                            .parse()
-                            .map_err(|_| ApiError::BadRequest(format!("bad server id '{id_str}'")))?;
+                        let id: u64 = id_str.parse().map_err(|_| {
+                            ApiError::BadRequest(format!("bad server id '{id_str}'"))
+                        })?;
                         let id = InstanceId(id);
                         if self.cloud.instance(id).map(|i| i.owner.as_str()) != Some(user) {
                             return Err(ApiError::NotFound(format!("server {}", id.0)));
                         }
-                        let body = body.ok_or_else(|| {
-                            ApiError::BadRequest("action requires a body".into())
-                        })?;
+                        let body = body
+                            .ok_or_else(|| ApiError::BadRequest("action requires a body".into()))?;
                         if body.get("os-stop").is_some() {
                             self.cloud.stop(id, now)?;
                         } else if body.get("os-start").is_some() {
@@ -210,11 +209,15 @@ impl<'c> EucalyptusApi<'c> {
     }
 
     fn parse_ec2_id(s: &str) -> Option<InstanceId> {
-        u64::from_str_radix(s.strip_prefix("i-")?, 16).ok().map(InstanceId)
+        u64::from_str_radix(s.strip_prefix("i-")?, 16)
+            .ok()
+            .map(InstanceId)
     }
 
     fn parse_emi(s: &str) -> Option<ImageId> {
-        u64::from_str_radix(s.strip_prefix("emi-")?, 16).ok().map(ImageId)
+        u64::from_str_radix(s.strip_prefix("emi-")?, 16)
+            .ok()
+            .map(ImageId)
     }
 
     /// Dispatch an `Action=...` query string, acting as `user`. Supported:
@@ -232,7 +235,10 @@ impl<'c> EucalyptusApi<'c> {
                     .get("InstanceType")
                     .copied()
                     .ok_or_else(|| ApiError::BadRequest("missing InstanceType".into()))?;
-                let name = params.get("ClientToken").copied().unwrap_or("euca-instance");
+                let name = params
+                    .get("ClientToken")
+                    .copied()
+                    .unwrap_or("euca-instance");
                 let id = self.cloud.boot(user, name, flavor, image, now)?;
                 Ok(format!(
                     "<RunInstancesResponse><instancesSet><item><instanceId>{}</instanceId>\
@@ -354,8 +360,14 @@ mod tests {
             .expect("lists");
         assert_eq!(list["servers"].as_array().expect("array").len(), 1);
 
-        api.handle("alice", "DELETE", &format!("/servers/{id}"), None, SimTime(2))
-            .expect("deletes");
+        api.handle(
+            "alice",
+            "DELETE",
+            &format!("/servers/{id}"),
+            None,
+            SimTime(2),
+        )
+        .expect("deletes");
         let list = api
             .handle("alice", "GET", "/servers", None, SimTime(3))
             .expect("lists");
@@ -395,7 +407,13 @@ mod tests {
             .expect("boots");
         let id = resp["server"]["id"].as_u64().expect("id");
         let err = api
-            .handle("mallory", "DELETE", &format!("/servers/{id}"), None, SimTime(1))
+            .handle(
+                "mallory",
+                "DELETE",
+                &format!("/servers/{id}"),
+                None,
+                SimTime(1),
+            )
             .expect_err("foreign delete rejected");
         assert!(matches!(err, ApiError::NotFound(_)));
     }
@@ -443,7 +461,10 @@ mod tests {
                 SimTime::ZERO,
             )
             .expect("runs");
-        assert!(resp.contains("<instanceId>i-00000001</instanceId>"), "{resp}");
+        assert!(
+            resp.contains("<instanceId>i-00000001</instanceId>"),
+            "{resp}"
+        );
         assert!(resp.contains("running"));
 
         let desc = api
@@ -471,7 +492,11 @@ mod tests {
         let mut c = cloud();
         let mut api = EucalyptusApi::new(&mut c);
         assert!(matches!(
-            api.handle("u", "Action=RunInstances&InstanceType=m1.small", SimTime::ZERO),
+            api.handle(
+                "u",
+                "Action=RunInstances&InstanceType=m1.small",
+                SimTime::ZERO
+            ),
             Err(ApiError::BadRequest(_))
         ));
         assert!(matches!(
@@ -519,20 +544,44 @@ mod tests {
             .expect("boots");
         let id = resp["server"]["id"].as_u64().expect("id");
         let stopped = api
-            .handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-stop": null})), SimTime(1))
+            .handle(
+                "alice",
+                "POST",
+                &format!("/servers/{id}/action"),
+                Some(&json!({"os-stop": null})),
+                SimTime(1),
+            )
             .expect("stops");
         assert_eq!(stopped["server"]["status"], "SHUTOFF");
         let started = api
-            .handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-start": null})), SimTime(2))
+            .handle(
+                "alice",
+                "POST",
+                &format!("/servers/{id}/action"),
+                Some(&json!({"os-start": null})),
+                SimTime(2),
+            )
             .expect("starts");
         assert_eq!(started["server"]["status"], "ACTIVE");
         // Unknown action and foreign access rejected.
         assert!(matches!(
-            api.handle("alice", "POST", &format!("/servers/{id}/action"), Some(&json!({"reboot": null})), SimTime(3)),
+            api.handle(
+                "alice",
+                "POST",
+                &format!("/servers/{id}/action"),
+                Some(&json!({"reboot": null})),
+                SimTime(3)
+            ),
             Err(ApiError::BadRequest(_))
         ));
         assert!(matches!(
-            api.handle("mallory", "POST", &format!("/servers/{id}/action"), Some(&json!({"os-stop": null})), SimTime(4)),
+            api.handle(
+                "mallory",
+                "POST",
+                &format!("/servers/{id}/action"),
+                Some(&json!({"os-stop": null})),
+                SimTime(4)
+            ),
             Err(ApiError::NotFound(_))
         ));
     }
@@ -548,11 +597,19 @@ mod tests {
         )
         .expect("runs");
         let stopped = api
-            .handle("alice", "Action=StopInstances&InstanceId.1=i-00000001", SimTime(1))
+            .handle(
+                "alice",
+                "Action=StopInstances&InstanceId.1=i-00000001",
+                SimTime(1),
+            )
             .expect("stops");
         assert!(stopped.contains("<name>stopped</name>"), "{stopped}");
         let started = api
-            .handle("alice", "Action=StartInstances&InstanceId.1=i-00000001", SimTime(2))
+            .handle(
+                "alice",
+                "Action=StartInstances&InstanceId.1=i-00000001",
+                SimTime(2),
+            )
             .expect("starts");
         assert!(started.contains("<name>running</name>"), "{started}");
     }

@@ -20,7 +20,9 @@ pub enum SchedulingError {
     UnknownFlavor(String),
     UnknownImage(ImageId),
     /// No host has room for the flavor.
-    NoCapacity { requested_cores: u32 },
+    NoCapacity {
+        requested_cores: u32,
+    },
     UnknownInstance(InstanceId),
 }
 
@@ -67,10 +69,7 @@ impl CloudController {
         let name = name.into();
         let hosts = (0..racks * 39)
             .map(|i| {
-                Host::osdc_standard(
-                    HostId(i),
-                    format!("{name}-rack{}-server{}", i / 39, i % 39),
-                )
+                Host::osdc_standard(HostId(i), format!("{name}-rack{}-server{}", i / 39, i % 39))
             })
             .collect();
         CloudController::new(name, hosts)
@@ -296,7 +295,10 @@ mod tests {
         assert_eq!(inst.state, InstanceState::Active);
         assert_eq!(cloud.allocated_cores(), 4);
         cloud.terminate(id, SimTime(60)).expect("terminates");
-        assert_eq!(cloud.instance(id).expect("still listed").state, InstanceState::Terminated);
+        assert_eq!(
+            cloud.instance(id).expect("still listed").state,
+            InstanceState::Terminated
+        );
         assert_eq!(cloud.allocated_cores(), 0);
         // Idempotent: resources are not double-released.
         cloud.terminate(id, SimTime(61)).expect("idempotent");
@@ -308,7 +310,13 @@ mod tests {
         let mut cloud = small_cloud();
         for i in 0..4 {
             cloud
-                .boot("u", &format!("vm{i}"), "m1.medium", ImageId(1), SimTime::ZERO)
+                .boot(
+                    "u",
+                    &format!("vm{i}"),
+                    "m1.medium",
+                    ImageId(1),
+                    SimTime::ZERO,
+                )
                 .expect("boots");
         }
         // Least-loaded spreading: one VM per host.
@@ -324,7 +332,13 @@ mod tests {
         let mut cloud = small_cloud(); // 32 cores total
         for i in 0..4 {
             cloud
-                .boot("u", &format!("big{i}"), "m1.xlarge", ImageId(1), SimTime::ZERO)
+                .boot(
+                    "u",
+                    &format!("big{i}"),
+                    "m1.xlarge",
+                    ImageId(1),
+                    SimTime::ZERO,
+                )
                 .expect("boots");
         }
         let err = cloud
@@ -339,7 +353,13 @@ mod tests {
         let ids: Vec<InstanceId> = (0..4)
             .map(|i| {
                 cloud
-                    .boot("u", &format!("vm{i}"), "m1.xlarge", ImageId(1), SimTime::ZERO)
+                    .boot(
+                        "u",
+                        &format!("vm{i}"),
+                        "m1.xlarge",
+                        ImageId(1),
+                        SimTime::ZERO,
+                    )
                     .expect("boots")
             })
             .collect();
@@ -378,7 +398,10 @@ mod tests {
         assert_eq!(alice.instances, 2);
         assert_eq!(alice.cores, 5);
         assert_eq!(cloud.usage("bob").cores, 2);
-        assert_eq!(cloud.active_users(), vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(
+            cloud.active_users(),
+            vec!["alice".to_string(), "bob".to_string()]
+        );
         cloud.terminate(a, SimTime(9)).expect("terminate");
         assert_eq!(cloud.usage("alice").cores, 1);
     }
@@ -391,16 +414,25 @@ mod tests {
             .expect("boots");
         assert_eq!(cloud.allocated_cores(), 8);
         cloud.stop(id, SimTime(1)).expect("stops");
-        assert_eq!(cloud.instance(id).expect("exists").state, InstanceState::Shutoff);
+        assert_eq!(
+            cloud.instance(id).expect("exists").state,
+            InstanceState::Shutoff
+        );
         assert_eq!(cloud.allocated_cores(), 0, "cores returned");
-        assert!(!cloud.instance(id).expect("exists").billable(), "§6.4: stopped VMs stop billing");
+        assert!(
+            !cloud.instance(id).expect("exists").billable(),
+            "§6.4: stopped VMs stop billing"
+        );
         // Stop is idempotent.
         cloud.stop(id, SimTime(2)).expect("idempotent");
         assert_eq!(cloud.allocated_cores(), 0);
         // Restart re-claims cores on the same host.
         cloud.start(id, SimTime(3)).expect("starts");
         assert_eq!(cloud.allocated_cores(), 8);
-        assert_eq!(cloud.instance(id).expect("exists").state, InstanceState::Active);
+        assert_eq!(
+            cloud.instance(id).expect("exists").state,
+            InstanceState::Active
+        );
     }
 
     #[test]
@@ -417,7 +449,10 @@ mod tests {
             .expect("boots into the freed cores");
         let err = cloud.start(parked, SimTime(3)).expect_err("cores gone");
         assert_eq!(err, SchedulingError::NoCapacity { requested_cores: 8 });
-        assert_eq!(cloud.instance(parked).expect("exists").state, InstanceState::Shutoff);
+        assert_eq!(
+            cloud.instance(parked).expect("exists").state,
+            InstanceState::Shutoff
+        );
     }
 
     #[test]
@@ -440,7 +475,9 @@ mod tests {
     #[test]
     fn imported_image_is_bootable() {
         let mut cloud = small_cloud();
-        let bundle = MachineImage::osdc_catalog()[1].export_bundle().expect("exportable");
+        let bundle = MachineImage::osdc_catalog()[1]
+            .export_bundle()
+            .expect("exportable");
         let img = MachineImage::import_bundle(&bundle, ImageId(0)).expect("parses");
         let id = cloud.register_image(img);
         cloud

@@ -66,7 +66,10 @@ impl Host {
     }
 
     pub fn release(&mut self, cores: u32, ram_mb: u64, disk_gb: u64) {
-        debug_assert!(self.allocated_cores >= cores, "release more cores than allocated");
+        debug_assert!(
+            self.allocated_cores >= cores,
+            "release more cores than allocated"
+        );
         self.allocated_cores = self.allocated_cores.saturating_sub(cores);
         self.allocated_ram_mb = self.allocated_ram_mb.saturating_sub(ram_mb);
         self.allocated_disk_gb = self.allocated_disk_gb.saturating_sub(disk_gb);

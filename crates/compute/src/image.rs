@@ -113,7 +113,10 @@ mod tests {
     fn catalog_has_community_images() {
         let cat = MachineImage::osdc_catalog();
         assert!(cat.iter().any(|i| i.name == "bionimbus-genomics"));
-        let bio = cat.iter().find(|i| i.name == "bionimbus-genomics").expect("exists");
+        let bio = cat
+            .iter()
+            .find(|i| i.name == "bionimbus-genomics")
+            .expect("exists");
         assert!(bio.tools.iter().any(|t| t == "samtools"));
     }
 

@@ -266,7 +266,9 @@ mod tests {
         let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
         for _ in 0..500 {
             assert_eq!(des.decrypt_block_u64(des.encrypt_block_u64(x)), x);
-            x = x.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7EF767814F);
+            x = x
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x14057B7EF767814F);
         }
     }
 

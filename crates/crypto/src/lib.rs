@@ -25,12 +25,12 @@
 //! *executable and measurable*, not to be a vetted cryptography library. Do
 //! not use them to protect real data.
 
-mod pi_tables;
 pub mod bbp;
 pub mod blowfish;
 pub mod des;
 pub mod md5;
 pub mod modes;
+mod pi_tables;
 
 pub use blowfish::Blowfish;
 pub use des::{Des, TripleDes};

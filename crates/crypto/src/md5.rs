@@ -181,7 +181,9 @@ mod tests {
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(
-            hex(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+            hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
             "57edf4a22be3c955ac49da2e2107b67a"
         );
     }

@@ -12,12 +12,16 @@ pub trait BlockCipher64 {
 
     /// Encrypt an 8-byte block in place (big-endian convention).
     fn encrypt_block(&self, block: &mut [u8; 8]) {
-        *block = self.encrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+        *block = self
+            .encrypt_block_u64(u64::from_be_bytes(*block))
+            .to_be_bytes();
     }
 
     /// Decrypt an 8-byte block in place.
     fn decrypt_block(&self, block: &mut [u8; 8]) {
-        *block = self.decrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+        *block = self
+            .decrypt_block_u64(u64::from_be_bytes(*block))
+            .to_be_bytes();
     }
 }
 

@@ -10,6 +10,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
+use osdc_sim::SimTime;
+use osdc_telemetry::Telemetry;
+
 use crate::counters::JobCounters;
 
 /// Tuning for one job.
@@ -88,9 +91,51 @@ where
     M: Fn(I, &mut dyn FnMut(K2, V2)) + Sync,
     R: Fn(&K2, Vec<V2>) -> O + Sync,
 {
+    run_job_traced(
+        inputs,
+        config,
+        &Telemetry::disabled(),
+        "job",
+        SimTime::ZERO,
+        mapper,
+        reducer,
+    )
+}
+
+/// [`run_job`] with telemetry: task/job spans plus engine counters.
+///
+/// The engine runs on real threads but is *instantaneous* on the sim
+/// clock, so every span starts and ends at the caller-supplied `at` —
+/// honest zero-duration markers that carry structure (job → map tasks →
+/// reduce tasks) and attributes (records, emitted pairs, groups), not
+/// wall-clock timings that would break same-seed reproducibility. Worker
+/// threads record through thread-local [`osdc_telemetry::MetricShard`]s
+/// merged at scope exit.
+pub fn run_job_traced<I, K2, V2, O, M, R>(
+    inputs: Vec<I>,
+    config: &JobConfig,
+    tele: &Telemetry,
+    job: &str,
+    at: SimTime,
+    mapper: M,
+    reducer: R,
+) -> JobResult<K2, O>
+where
+    I: Send,
+    K2: Ord + Hash + Send + Clone,
+    V2: Send,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K2, V2)) + Sync,
+    R: Fn(&K2, Vec<V2>) -> O + Sync,
+{
     assert!(config.map_workers >= 1 && config.reducers >= 1);
     let counters = JobCounters::new();
     let reducers = config.reducers;
+    let job_span = tele.span_start(&format!("mapreduce/{job}"), at);
+    let map_records_id = tele.counter("mapreduce.map.records");
+    let map_emitted_id = tele.counter("mapreduce.map.emitted");
+    let reduce_groups_id = tele.counter("mapreduce.reduce.groups");
+    tele.incr(tele.counter("mapreduce.jobs"));
 
     // ---- Map phase -------------------------------------------------------
     // Chunk inputs across workers; each worker produces per-partition
@@ -111,14 +156,21 @@ where
     }
     let mapper = &mapper;
     let counters_ref = &counters;
+    let tele_ref = tele;
     let mut per_worker: Vec<Vec<Vec<(K2, V2)>>> = Vec::with_capacity(chunks.len());
+    let mut map_emitted: Vec<u64> = Vec::with_capacity(chunks.len());
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move |_| {
-                    let mut partitions: Vec<Vec<(K2, V2)>> = (0..reducers).map(|_| Vec::new()).collect();
+                    // Thread-local metric shard: lock-free recording inside
+                    // the worker, one merge into the registry on drop.
+                    let mut shard = tele_ref.shard();
+                    let mut partitions: Vec<Vec<(K2, V2)>> =
+                        (0..reducers).map(|_| Vec::new()).collect();
                     let mut emitted = 0u64;
+                    let records = chunk.len() as u64;
                     for input in chunk {
                         mapper(input, &mut |k, v| {
                             emitted += 1;
@@ -127,15 +179,24 @@ where
                         });
                     }
                     counters_ref.add("map.output.records", emitted);
-                    partitions
+                    shard.add(map_records_id, records);
+                    shard.add(map_emitted_id, emitted);
+                    (partitions, emitted)
                 })
             })
             .collect();
         for h in handles {
-            per_worker.push(h.join().expect("map worker panicked"));
+            let (partitions, emitted) = h.join().expect("map worker panicked");
+            per_worker.push(partitions);
+            map_emitted.push(emitted);
         }
     })
     .expect("crossbeam scope");
+    for (i, emitted) in map_emitted.iter().enumerate() {
+        let span = tele.span_start(&format!("map/task{i}"), at);
+        tele.attr(span, "emitted", *emitted);
+        tele.span_end(span, at);
+    }
 
     // ---- Shuffle ----------------------------------------------------------
     // Group each partition's pairs by key (BTreeMap gives sorted keys, so
@@ -158,9 +219,11 @@ where
             .into_iter()
             .map(|partition| {
                 scope.spawn(move |_| {
+                    let mut shard = tele_ref.shard();
                     let mut out = Vec::with_capacity(partition.len());
                     for (k, vs) in partition {
                         counters_ref.increment("reduce.input.groups");
+                        shard.incr(reduce_groups_id);
                         let o = reducer(&k, vs);
                         out.push((k, o));
                     }
@@ -173,10 +236,17 @@ where
         }
     })
     .expect("crossbeam scope");
+    for (i, part) in reduced.iter().enumerate() {
+        let span = tele.span_start(&format!("reduce/task{i}"), at);
+        tele.attr(span, "groups", part.len());
+        tele.span_end(span, at);
+    }
 
     let mut output: Vec<(K2, O)> = reduced.into_iter().flatten().collect();
     output.sort_by(|a, b| a.0.cmp(&b.0));
     counters.add("reduce.output.records", output.len() as u64);
+    tele.attr(job_span, "output_records", output.len());
+    tele.span_end(job_span, at);
     JobResult { output, counters }
 }
 
@@ -220,7 +290,13 @@ mod tests {
             .map(|i| format!("w{} w{} shared", i % 17, i % 5))
             .collect();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-        let baseline = wordcount(refs.clone(), &JobConfig { map_workers: 1, reducers: 1 });
+        let baseline = wordcount(
+            refs.clone(),
+            &JobConfig {
+                map_workers: 1,
+                reducers: 1,
+            },
+        );
         for (workers, reducers) in [(2, 3), (4, 4), (8, 2), (3, 7)] {
             let out = wordcount(
                 refs.clone(),
@@ -243,7 +319,10 @@ mod tests {
     fn counters_account_for_records() {
         let result = run_job(
             vec![1u32, 2, 3, 4, 5],
-            &JobConfig { map_workers: 2, reducers: 2 },
+            &JobConfig {
+                map_workers: 2,
+                reducers: 2,
+            },
             |n, emit| {
                 emit(n % 2, n as u64); // parity buckets
             },
@@ -260,7 +339,10 @@ mod tests {
     fn mapper_can_emit_nothing_or_many() {
         let result = run_job(
             vec![0u32, 1, 2, 3],
-            &JobConfig { map_workers: 2, reducers: 3 },
+            &JobConfig {
+                map_workers: 2,
+                reducers: 3,
+            },
             |n, emit| {
                 for i in 0..n {
                     emit("k", i);
@@ -276,7 +358,10 @@ mod tests {
         // Sum of all emitted values survives the shuffle intact.
         let result = run_job(
             (0..1000u64).collect::<Vec<_>>(),
-            &JobConfig { map_workers: 4, reducers: 5 },
+            &JobConfig {
+                map_workers: 4,
+                reducers: 5,
+            },
             |n, emit| emit(n % 10, n),
             |_k, vs| vs.iter().sum::<u64>(),
         );
@@ -286,10 +371,82 @@ mod tests {
     }
 
     #[test]
+    fn traced_job_fills_shards_and_spans() {
+        let tele = Telemetry::new();
+        let result = run_job_traced(
+            vec!["big data big cloud", "cloud cloud"],
+            &JobConfig {
+                map_workers: 2,
+                reducers: 2,
+            },
+            &tele,
+            "wordcount",
+            SimTime(5_000_000_000),
+            |text, emit| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |_k, vs| vs.iter().sum::<u64>(),
+        );
+        assert_eq!(result.output.len(), 3);
+        // Shard-merged counters agree with the job's own counters.
+        assert_eq!(tele.counter_value("mapreduce.jobs"), 1);
+        assert_eq!(tele.counter_value("mapreduce.map.records"), 2);
+        assert_eq!(
+            tele.counter_value("mapreduce.map.emitted"),
+            result.counters.get("map.output.records")
+        );
+        assert_eq!(
+            tele.counter_value("mapreduce.reduce.groups"),
+            result.counters.get("reduce.input.groups")
+        );
+        let jsonl = tele.export_jsonl();
+        assert!(jsonl.contains("mapreduce/wordcount"));
+        assert!(jsonl.contains("map/task0"));
+        assert!(jsonl.contains("reduce/task0"));
+        // All spans sit at the caller's virtual instant — no wall time.
+        assert!(jsonl.contains("\"t_ns\":5000000000"));
+    }
+
+    #[test]
+    fn traced_job_matches_untraced_output() {
+        let texts = vec!["a b a", "c b", "a"];
+        let untraced = wordcount(
+            texts.clone(),
+            &JobConfig {
+                map_workers: 3,
+                reducers: 2,
+            },
+        );
+        let traced = run_job_traced(
+            texts,
+            &JobConfig {
+                map_workers: 3,
+                reducers: 2,
+            },
+            &Telemetry::new(),
+            "wc",
+            SimTime::ZERO,
+            |text, emit| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |_k, vs| vs.iter().sum::<u64>(),
+        )
+        .output;
+        assert_eq!(untraced, traced);
+    }
+
+    #[test]
     fn keys_are_sorted_in_output() {
         let result = run_job(
             vec!["c", "a", "b", "a"],
-            &JobConfig { map_workers: 2, reducers: 2 },
+            &JobConfig {
+                map_workers: 2,
+                reducers: 2,
+            },
             |s, emit| emit(s.to_string(), 1u32),
             |_k, vs| vs.len(),
         );

@@ -67,8 +67,9 @@ impl Cluster {
             let mut inflight_by_tenant: BTreeMap<&str, u32> = BTreeMap::new();
             for j in &self.jobs {
                 if j.remaining > 0 || j.inflight > 0 {
-                    *inflight_by_tenant.entry(j.spec.tenant.as_str()).or_insert(0) +=
-                        j.inflight;
+                    *inflight_by_tenant
+                        .entry(j.spec.tenant.as_str())
+                        .or_insert(0) += j.inflight;
                 }
             }
             // Pick the tenant with runnable tasks holding the fewest
@@ -113,10 +114,8 @@ impl Simulation for Cluster {
             Ev::TaskDone { job } => {
                 let j = &mut self.jobs[job];
                 j.inflight -= 1;
-                *self
-                    .slot_secs
-                    .entry(j.spec.tenant.clone())
-                    .or_insert(0.0) += j.spec.task_duration.as_secs_f64();
+                *self.slot_secs.entry(j.spec.tenant.clone()).or_insert(0.0) +=
+                    j.spec.task_duration.as_secs_f64();
                 if j.remaining == 0 && j.inflight == 0 {
                     self.outcomes.push(JobOutcome {
                         tenant: j.spec.tenant.clone(),
@@ -178,7 +177,14 @@ pub fn run_fifo(slots: u32, mut jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
 
 /// The eight M45 departments of §4.5.
 pub const M45_DEPARTMENTS: [&str; 8] = [
-    "cmu", "berkeley", "cornell", "umass", "purdue", "uwashington", "ucsd", "illinois",
+    "cmu",
+    "berkeley",
+    "cornell",
+    "umass",
+    "purdue",
+    "uwashington",
+    "ucsd",
+    "illinois",
 ];
 
 #[cfg(test)]
@@ -200,7 +206,10 @@ mod tests {
         let (outcomes, _) = run_fair_share(100, vec![job("cmu", "crawl", 300, 10, 0)]);
         assert_eq!(outcomes.len(), 1);
         // 300 tasks on 100 slots → 3 waves of 10 min.
-        assert_eq!(outcomes[0].finished_at, SimTime::ZERO + SimDuration::from_mins(30));
+        assert_eq!(
+            outcomes[0].finished_at,
+            SimTime::ZERO + SimDuration::from_mins(30)
+        );
     }
 
     #[test]
@@ -227,10 +236,7 @@ mod tests {
     #[test]
     fn concurrent_tenants_share_equally() {
         // Two tenants, identical endless-ish jobs submitted together.
-        let workload = vec![
-            job("cmu", "a", 400, 5, 0),
-            job("berkeley", "b", 400, 5, 0),
-        ];
+        let workload = vec![job("cmu", "a", 400, 5, 0), job("berkeley", "b", 400, 5, 0)];
         let (outcomes, shares) = run_fair_share(100, workload);
         assert_eq!(outcomes.len(), 2);
         let cmu = shares["cmu"];
@@ -268,10 +274,7 @@ mod tests {
 
     #[test]
     fn slot_accounting_conserves_work() {
-        let workload = vec![
-            job("cmu", "a", 37, 3, 0),
-            job("ucsd", "b", 53, 7, 100),
-        ];
+        let workload = vec![job("cmu", "a", 37, 3, 0), job("ucsd", "b", 53, 7, 100)];
         let (outcomes, shares) = run_fair_share(10, workload);
         let total_out: f64 = outcomes.iter().map(|o| o.slot_secs).sum();
         let total_shares: f64 = shares.values().sum();
@@ -282,7 +285,15 @@ mod tests {
     #[test]
     fn deterministic() {
         let workload: Vec<JobSpec> = (0..6)
-            .map(|i| job(M45_DEPARTMENTS[i % 8], &format!("j{i}"), 50 + i as u32, 5, i as u64 * 30))
+            .map(|i| {
+                job(
+                    M45_DEPARTMENTS[i % 8],
+                    &format!("j{i}"),
+                    50 + i as u32,
+                    5,
+                    i as u64 * 30,
+                )
+            })
             .collect();
         let (a, _) = run_fair_share(40, workload.clone());
         let (b, _) = run_fair_share(40, workload);

@@ -142,12 +142,7 @@ impl Hdfs {
 
     /// Create a file of `len` bytes written from `writer`'s node, chunking
     /// into blocks and placing replicas.
-    pub fn create(
-        &mut self,
-        path: &str,
-        len: u64,
-        writer: DataNodeId,
-    ) -> Result<(), HdfsError> {
+    pub fn create(&mut self, path: &str, len: u64, writer: DataNodeId) -> Result<(), HdfsError> {
         if self.files.contains_key(path) {
             return Err(HdfsError::FileExists(path.to_string()));
         }
@@ -197,11 +192,7 @@ impl Hdfs {
             .files
             .get(path)
             .ok_or_else(|| HdfsError::NotFound(path.to_string()))?;
-        Ok(inode
-            .blocks
-            .iter()
-            .map(|b| &self.blocks[b])
-            .collect())
+        Ok(inode.blocks.iter().map(|b| &self.blocks[b]).collect())
     }
 
     /// Live replica locations of a block (dead nodes filtered out).
@@ -254,18 +245,26 @@ mod tests {
         let blocks = fs.blocks_of("/data/tiles.seq").expect("exists");
         assert_eq!(blocks.len(), 4); // 200MB / 64MB → 4 blocks
         assert_eq!(blocks[3].len, 8 * 1024 * 1024); // tail block
-        assert_eq!(fs.stat("/data/tiles.seq").expect("exists"), 200 * 1024 * 1024);
+        assert_eq!(
+            fs.stat("/data/tiles.seq").expect("exists"),
+            200 * 1024 * 1024
+        );
     }
 
     #[test]
     fn replica_policy_spans_racks() {
         let mut fs = Hdfs::new(3, 4, 2);
-        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         let blocks = fs.blocks_of("/f").expect("exists");
         let replicas = &blocks[0].replicas;
         assert_eq!(replicas.len(), 3);
         assert_eq!(replicas[0], DataNodeId(0), "first replica on writer");
-        assert_eq!(fs.rack_of(replicas[1]), 0, "second replica in writer's rack");
+        assert_eq!(
+            fs.rack_of(replicas[1]),
+            0,
+            "second replica in writer's rack"
+        );
         assert_ne!(fs.rack_of(replicas[2]), 0, "third replica off-rack");
         // All distinct.
         let mut sorted = replicas.clone();
@@ -285,13 +284,17 @@ mod tests {
         for n in 0..4 {
             fs.fail_node(DataNodeId(n));
         }
-        assert!(fs.missing_blocks().is_empty(), "rack-aware placement survives rack loss");
+        assert!(
+            fs.missing_blocks().is_empty(),
+            "rack-aware placement survives rack loss"
+        );
     }
 
     #[test]
     fn node_losses_can_lose_blocks() {
         let mut fs = Hdfs::new(2, 2, 4);
-        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         for n in 0..4 {
             fs.fail_node(DataNodeId(n));
         }
@@ -313,7 +316,8 @@ mod tests {
     fn replication_needs_enough_nodes() {
         let mut fs = Hdfs::new(1, 2, 6); // 2 nodes < 3 replicas
         assert_eq!(
-            fs.create("/f", 1, DataNodeId(0)).expect_err("too few nodes"),
+            fs.create("/f", 1, DataNodeId(0))
+                .expect_err("too few nodes"),
             HdfsError::InsufficientNodes
         );
         fs.set_replication(2);
@@ -331,7 +335,8 @@ mod tests {
     #[test]
     fn storage_accounting() {
         let mut fs = Hdfs::new(2, 3, 8);
-        fs.create("/f", BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/f", BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         let total: u64 = (0..6).map(|i| fs.stored_bytes(DataNodeId(i))).sum();
         assert_eq!(total, 3 * BLOCK_SIZE, "3 replicas stored");
     }

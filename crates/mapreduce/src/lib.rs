@@ -19,13 +19,13 @@
 //! * [`counters`] — per-job counters in the Hadoop style.
 
 pub mod counters;
-pub mod fairshare;
 pub mod engine;
+pub mod fairshare;
 pub mod hdfs;
 pub mod scheduler;
 
 pub use counters::JobCounters;
+pub use engine::{run_job, run_job_traced, JobConfig, JobResult};
 pub use fairshare::{run_fair_share, run_fifo, JobOutcome, JobSpec, M45_DEPARTMENTS};
-pub use engine::{run_job, JobConfig, JobResult};
 pub use hdfs::{BlockId, DataNodeId, Hdfs, HdfsError, BLOCK_SIZE};
 pub use scheduler::{Locality, TaskPlacement, TaskScheduler};

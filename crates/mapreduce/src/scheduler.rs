@@ -62,8 +62,7 @@ impl TaskScheduler {
             }
             // 2. Rack-local: any node sharing a rack with a replica.
             if choice.is_none() {
-                let replica_racks: Vec<usize> =
-                    replicas.iter().map(|&r| fs.rack_of(r)).collect();
+                let replica_racks: Vec<usize> = replicas.iter().map(|&r| fs.rack_of(r)).collect();
                 'outer: for n in 0..fs.node_count() {
                     let node = DataNodeId(n);
                     if replica_racks.contains(&fs.rack_of(node))
@@ -94,6 +93,43 @@ impl TaskScheduler {
         Ok((placements, histogram))
     }
 
+    /// Publish a schedule's locality histogram into telemetry:
+    /// `mapreduce.locality.{data_local,rack_local,remote}` counters plus
+    /// the running `mapreduce.locality.data_local_fraction` gauge.
+    pub fn publish_locality(
+        tele: &osdc_telemetry::Telemetry,
+        histogram: &BTreeMap<Locality, usize>,
+    ) {
+        if !tele.is_enabled() {
+            return;
+        }
+        for (locality, name) in [
+            (Locality::DataLocal, "mapreduce.locality.data_local"),
+            (Locality::RackLocal, "mapreduce.locality.rack_local"),
+            (Locality::Remote, "mapreduce.locality.remote"),
+        ] {
+            tele.add(
+                tele.counter(name),
+                *histogram.get(&locality).unwrap_or(&0) as u64,
+            );
+        }
+        // Recompute the fraction over everything published so far, so the
+        // gauge stays correct across multiple jobs.
+        let local = tele.counter_value("mapreduce.locality.data_local");
+        let total = local
+            + tele.counter_value("mapreduce.locality.rack_local")
+            + tele.counter_value("mapreduce.locality.remote");
+        let fraction = if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        };
+        tele.set_gauge(
+            tele.gauge("mapreduce.locality.data_local_fraction"),
+            fraction,
+        );
+    }
+
     /// Fraction of tasks that were data-local.
     pub fn data_local_fraction(histogram: &BTreeMap<Locality, usize>) -> f64 {
         let total: usize = histogram.values().sum();
@@ -112,7 +148,8 @@ mod tests {
     #[test]
     fn small_job_is_fully_data_local() {
         let mut fs = Hdfs::new(3, 4, 1);
-        fs.create("/tiles", 10 * BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/tiles", 10 * BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         let sched = TaskScheduler::new(4);
         let (placements, hist) = sched.schedule(&fs, "/tiles").expect("schedules");
         assert_eq!(placements.len(), 10);
@@ -128,7 +165,8 @@ mod tests {
         let mut fs = Hdfs::new(2, 2, 2);
         fs.set_replication(2);
         // Write everything from one node: its slots exhaust quickly.
-        fs.create("/big", 40 * BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/big", 40 * BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         let sched = TaskScheduler::new(2);
         let (placements, hist) = sched.schedule(&fs, "/big").expect("schedules");
         assert_eq!(placements.len(), 40);
@@ -141,7 +179,8 @@ mod tests {
     #[test]
     fn dead_replicas_push_tasks_off_node() {
         let mut fs = Hdfs::new(2, 3, 3);
-        fs.create("/f", 5 * BLOCK_SIZE, DataNodeId(0)).expect("create ok");
+        fs.create("/f", 5 * BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
         // Kill every node that holds a replica.
         let holders: Vec<DataNodeId> = fs
             .blocks_of("/f")
@@ -168,5 +207,30 @@ mod tests {
     #[test]
     fn empty_histogram_fraction_is_one() {
         assert_eq!(TaskScheduler::data_local_fraction(&BTreeMap::new()), 1.0);
+    }
+
+    #[test]
+    fn locality_publishes_to_telemetry() {
+        let tele = osdc_telemetry::Telemetry::new();
+        let mut fs = Hdfs::new(3, 4, 1);
+        fs.create("/tiles", 10 * BLOCK_SIZE, DataNodeId(0))
+            .expect("create ok");
+        let sched = TaskScheduler::new(4);
+        let (_, hist) = sched.schedule(&fs, "/tiles").expect("schedules");
+        TaskScheduler::publish_locality(&tele, &hist);
+        assert_eq!(tele.counter_value("mapreduce.locality.data_local"), 10);
+        assert_eq!(tele.counter_value("mapreduce.locality.remote"), 0);
+        assert_eq!(
+            tele.gauge_value("mapreduce.locality.data_local_fraction"),
+            Some(1.0)
+        );
+        // Publishing a second, worse schedule keeps the gauge cumulative.
+        let mut worse = BTreeMap::new();
+        worse.insert(Locality::Remote, 10);
+        TaskScheduler::publish_locality(&tele, &worse);
+        assert_eq!(
+            tele.gauge_value("mapreduce.locality.data_local_fraction"),
+            Some(0.5)
+        );
     }
 }

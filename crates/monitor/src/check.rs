@@ -129,7 +129,13 @@ mod tests {
     use super::*;
 
     fn disk_check() -> CheckDefinition {
-        CheckDefinition::new("check_disk", "disk_used_pct", 80.0, 95.0, ThresholdDirection::HighIsBad)
+        CheckDefinition::new(
+            "check_disk",
+            "disk_used_pct",
+            80.0,
+            95.0,
+            ThresholdDirection::HighIsBad,
+        )
     }
 
     #[test]

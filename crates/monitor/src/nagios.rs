@@ -252,7 +252,12 @@ mod tests {
         assert_eq!(problems.len(), 1, "exactly one PROBLEM alert");
         assert_eq!(problems[0].status, CheckStatus::Critical);
         assert_eq!(problems[0].at, SimTime::ZERO + SimDuration::from_mins(2));
-        assert!(master.service_state("h1", "check_disk").expect("exists").hard_problem);
+        assert!(
+            master
+                .service_state("h1", "check_disk")
+                .expect("exists")
+                .hard_problem
+        );
     }
 
     #[test]
@@ -282,7 +287,12 @@ mod tests {
             master.notifications.iter().filter(|n| !n.problem).collect();
         assert_eq!(recoveries.len(), 1);
         assert_eq!(recoveries[0].status, CheckStatus::Ok);
-        assert!(!master.service_state("h1", "check_disk").expect("exists").hard_problem);
+        assert!(
+            !master
+                .service_state("h1", "check_disk")
+                .expect("exists")
+                .hard_problem
+        );
     }
 
     #[test]
@@ -321,7 +331,13 @@ mod tests {
         master.add_service(svc("h1"));
         master.add_service(ServiceDefinition {
             host: "h1".into(),
-            check: CheckDefinition::new("check_load", "load1", 8.0, 16.0, ThresholdDirection::HighIsBad),
+            check: CheckDefinition::new(
+                "check_load",
+                "load1",
+                8.0,
+                16.0,
+                ThresholdDirection::HighIsBad,
+            ),
             check_interval: SimDuration::from_mins(5),
             retry_interval: SimDuration::from_mins(1),
             max_check_attempts: 1,

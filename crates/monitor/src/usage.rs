@@ -30,7 +30,11 @@ impl PublicStatus {
             inst,
             used,
             total,
-            if total == 0 { 0.0 } else { 100.0 * used as f64 / total as f64 }
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * used as f64 / total as f64
+            }
         )
     }
 }
@@ -93,8 +97,14 @@ mod tests {
     fn cloud_with_vms() -> CloudController {
         let mut c = CloudController::with_racks("adler", 1);
         for i in 0..3 {
-            c.boot("alice", &format!("a{i}"), "m1.small", ImageId(1), SimTime::ZERO)
-                .expect("boot");
+            c.boot(
+                "alice",
+                &format!("a{i}"),
+                "m1.small",
+                ImageId(1),
+                SimTime::ZERO,
+            )
+            .expect("boot");
         }
         c.boot("bob", "b0", "m1.xlarge", ImageId(1), SimTime::ZERO)
             .expect("boot");

@@ -230,7 +230,11 @@ mod tests {
         let mut s = RenoState::new(0.104);
         s.cwnd_pkts = 3561.0; // ≈ what 400 mbit/s needs at 104 ms
         let rate = s.desired_rate_bps();
-        assert!((rate / 1e6 - 400.0).abs() < 1.0, "rate {} mbit/s", rate / 1e6);
+        assert!(
+            (rate / 1e6 - 400.0).abs() < 1.0,
+            "rate {} mbit/s",
+            rate / 1e6
+        );
     }
 
     #[test]
@@ -241,7 +245,10 @@ mod tests {
             s.on_tick(UDT_SYN_SECS); // one simulated second
         }
         let r1 = s.desired_rate_bps();
-        assert!(r1 > r0 + 1e9, "UDT should gain >1 Gbit/s per second when idle: {r0} → {r1}");
+        assert!(
+            r1 > r0 + 1e9,
+            "UDT should gain >1 Gbit/s per second when idle: {r0} → {r1}"
+        );
     }
 
     #[test]

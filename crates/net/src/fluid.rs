@@ -16,10 +16,40 @@
 
 use osdc_sim::stats::Series;
 use osdc_sim::{SimDuration, SimRng, SimTime};
+use osdc_telemetry::{CounterId, GaugeId, HistogramId, Telemetry};
 
 use crate::cc::CongestionControl;
 use crate::topology::{LinkId, NodeId, Topology};
 use crate::MSS_BYTES;
+
+/// Pre-interned ids for the network-wide metrics; per-flow series go out
+/// as trace points instead, so flow count never grows the registry.
+#[derive(Clone, Copy, Debug)]
+struct NetIds {
+    flows_started: CounterId,
+    flows_completed: CounterId,
+    loss_events: CounterId,
+    active_flows: GaugeId,
+    flow_throughput_mbps: HistogramId,
+}
+
+impl NetIds {
+    fn register(tele: &Telemetry) -> Self {
+        NetIds {
+            flows_started: tele.counter("net.flows_started"),
+            flows_completed: tele.counter("net.flows_completed"),
+            loss_events: tele.counter("net.loss_events"),
+            active_flows: tele.gauge("net.active_flows"),
+            flow_throughput_mbps: tele.histogram("net.flow_throughput_mbps"),
+        }
+    }
+}
+
+/// Emit one trace point for every `TRACE_POINT_STRIDE` local `Series`
+/// samples. The local series keeps its fine 500 ms grid for plots; the
+/// shared ring gets one point per ~5 simulated seconds so a terabyte-scale
+/// Table 3 transfer cannot evict everything else.
+const TRACE_POINT_STRIDE: u64 = 10;
 
 /// Handle to a flow inside a [`FluidNet`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,6 +87,11 @@ struct FlowState {
     trace: Series,
     next_trace_at: SimTime,
     loss_events: u64,
+    /// Samples taken so far, for striding telemetry points.
+    samples: u64,
+    /// `("net.flowN.mbps", "net.flowN.cwnd_mbps")`, precomputed at
+    /// `start_flow` only when telemetry is live.
+    point_names: Option<(String, String)>,
 }
 
 /// The simulator. Owns a topology, the flows, a clock and a seeded RNG.
@@ -70,6 +105,8 @@ pub struct FluidNet {
     congestion_loss: f64,
     /// Interval between throughput trace samples.
     trace_every: SimDuration,
+    tele: Telemetry,
+    ids: Option<NetIds>,
 }
 
 impl FluidNet {
@@ -82,7 +119,17 @@ impl FluidNet {
             rng: SimRng::new(seed),
             congestion_loss: 1e-4,
             trace_every: SimDuration::from_millis(500),
+            tele: Telemetry::disabled(),
+            ids: None,
         }
+    }
+
+    /// Attach a telemetry handle. Per-flow throughput/cwnd go into the
+    /// trace ring as strided points; loss events and flow lifecycle go
+    /// into counters; completed-flow goodput into a histogram.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.ids = tele.is_enabled().then(|| NetIds::register(&tele));
+        self.tele = tele;
     }
 
     pub fn topology(&self) -> &Topology {
@@ -113,6 +160,12 @@ impl FluidNet {
         assert!(!path.is_empty(), "flow endpoints must differ");
         let path_loss = self.topo.path_loss_rate(&path);
         let id = FlowId(self.flows.len());
+        let point_names = self.ids.map(|_| {
+            (
+                format!("net.flow{}.mbps", id.0),
+                format!("net.flow{}.cwnd_mbps", id.0),
+            )
+        });
         self.flows.push(FlowState {
             path,
             path_loss,
@@ -125,7 +178,14 @@ impl FluidNet {
             trace: Series::new(format!("flow{}", id.0)),
             next_trace_at: self.now,
             loss_events: 0,
+            samples: 0,
+            point_names,
         });
+        if let Some(ids) = &self.ids {
+            self.tele.incr(ids.flows_started);
+            self.tele
+                .set_gauge(ids.active_flows, self.active_flows() as f64);
+        }
         id
     }
 
@@ -220,11 +280,7 @@ impl FluidNet {
                 if frozen[k] {
                     continue;
                 }
-                if self.flows[i]
-                    .path
-                    .iter()
-                    .any(|&l| remaining[l.0] <= 1e-3)
-                {
+                if self.flows[i].path.iter().any(|&l| remaining[l.0] <= 1e-3) {
                     frozen[k] = true;
                     progressed = true;
                 }
@@ -268,6 +324,8 @@ impl FluidNet {
                 .collect()
         };
         let end = self.now + self.tick;
+        let ids = self.ids;
+        let mut completed = 0usize;
         for &(i, rate) in &alloc {
             let f = &mut self.flows[i];
             let bytes = rate * dt / 8.0;
@@ -276,10 +334,27 @@ impl FluidNet {
             if f.bytes_done >= f.bytes_total as f64 {
                 f.bytes_done = f.bytes_total as f64;
                 f.status = FlowStatus::Done { at: end };
+                completed += 1;
+                if let Some(ids) = &ids {
+                    self.tele.incr(ids.flows_completed);
+                    let secs = end.saturating_since(f.started).as_secs_f64();
+                    if secs > 0.0 {
+                        self.tele
+                            .observe(ids.flow_throughput_mbps, f.bytes_done * 8.0 / secs / 1e6);
+                    }
+                }
             }
             if end >= f.next_trace_at {
                 f.trace.push(end, rate / 1e6);
                 f.next_trace_at = end + self.trace_every;
+                if let Some((mbps_name, cwnd_name)) = &f.point_names {
+                    if f.samples.is_multiple_of(TRACE_POINT_STRIDE) {
+                        self.tele.point(mbps_name, end, rate / 1e6);
+                        self.tele
+                            .point(cwnd_name, end, f.cc.desired_rate_bps() / 1e6);
+                    }
+                }
+                f.samples += 1;
             }
             // Loss sampling: path residual loss plus congestion loss on any
             // saturated link of the path.
@@ -291,7 +366,20 @@ impl FluidNet {
                 if self.rng.chance(p_event) {
                     f.cc.on_loss();
                     f.loss_events += 1;
+                    if let Some(ids) = &ids {
+                        self.tele.incr(ids.loss_events);
+                    }
                 }
+            }
+        }
+        if completed > 0 {
+            if let Some(ids) = &ids {
+                let active = self
+                    .flows
+                    .iter()
+                    .filter(|f| f.status == FlowStatus::Active)
+                    .count();
+                self.tele.set_gauge(ids.active_flows, active as f64);
             }
         }
         self.now = end;
@@ -348,7 +436,9 @@ mod tests {
             cc: CongestionControl::Constant { rate_bps: 100e6 },
             app_limit_bps: f64::INFINITY,
         });
-        let done = net.run_flow_to_completion(f, deadline_secs(60)).expect("finishes");
+        let done = net
+            .run_flow_to_completion(f, deadline_secs(60))
+            .expect("finishes");
         let secs = done.as_secs_f64();
         assert!((secs - 8.0).abs() < 0.1, "took {secs}s");
         assert_eq!(net.bytes_done(f), 100_000_000);
@@ -364,7 +454,9 @@ mod tests {
             cc: CongestionControl::Constant { rate_bps: 10e9 },
             app_limit_bps: 1e9,
         });
-        let done = net.run_flow_to_completion(f, deadline_secs(60)).expect("finishes");
+        let done = net
+            .run_flow_to_completion(f, deadline_secs(60))
+            .expect("finishes");
         assert!((done.as_secs_f64() - 1.0).abs() < 0.05);
     }
 
@@ -414,7 +506,10 @@ mod tests {
         }
         let rate_small = net.bytes_done(small) as f64 * 8.0 / 1.0;
         let rate_big = net.bytes_done(big) as f64 * 8.0 / 1.0;
-        assert!((rate_small / 100e6 - 1.0).abs() < 0.02, "small got {rate_small}");
+        assert!(
+            (rate_small / 100e6 - 1.0).abs() < 0.02,
+            "small got {rate_small}"
+        );
         assert!((rate_big / 900e6 - 1.0).abs() < 0.02, "big got {rate_big}");
     }
 
@@ -517,6 +612,53 @@ mod tests {
         let trace = net.trace(f);
         assert!(trace.len() >= 9, "got {} samples", trace.len());
         assert!((trace.mean_after(SimTime::ZERO) - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn telemetry_traces_flow_lifecycle() {
+        let (mut net, a, b) = two_node_net(1e9, 5, 1e-5);
+        let tele = Telemetry::new();
+        net.set_telemetry(tele.clone());
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: 100_000_000,
+            cc: CongestionControl::Constant { rate_bps: 100e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        assert_eq!(tele.counter_value("net.flows_started"), 1);
+        assert_eq!(tele.gauge_value("net.active_flows"), Some(1.0));
+        net.run_flow_to_completion(f, deadline_secs(60))
+            .expect("finishes");
+        assert_eq!(tele.counter_value("net.flows_completed"), 1);
+        assert_eq!(tele.gauge_value("net.active_flows"), Some(0.0));
+        assert_eq!(tele.counter_value("net.loss_events"), net.loss_events(f));
+        let snap = tele.histograms_snapshot();
+        let tp = snap
+            .iter()
+            .find(|h| h.name == "net.flow_throughput_mbps")
+            .expect("throughput histogram");
+        assert_eq!(tp.count, 1);
+        let jsonl = tele.export_jsonl();
+        assert!(jsonl.contains("net.flow0.mbps"));
+        assert!(jsonl.contains("net.flow0.cwnd_mbps"));
+    }
+
+    #[test]
+    fn telemetry_disabled_leaves_no_trace() {
+        let (mut net, a, b) = two_node_net(1e9, 5, 0.0);
+        net.set_telemetry(Telemetry::disabled());
+        let f = net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: 1_000_000,
+            cc: CongestionControl::Constant { rate_bps: 100e6 },
+            app_limit_bps: f64::INFINITY,
+        });
+        net.run_flow_to_completion(f, deadline_secs(60))
+            .expect("finishes");
+        // The local Series still records; the shared ring stays empty.
+        assert!(!net.trace(f).is_empty() || net.bytes_done(f) > 0);
     }
 
     #[test]

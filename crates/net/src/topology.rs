@@ -62,7 +62,10 @@ impl Topology {
         loss_rate: f64,
     ) -> LinkId {
         assert!(capacity_bps > 0.0, "link capacity must be positive");
-        assert!((0.0..1.0).contains(&loss_rate), "loss rate must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0,1)"
+        );
         let id = LinkId(self.links.len());
         self.links.push(Link {
             from,
@@ -106,10 +109,7 @@ impl Topology {
 
     /// Find the node with the given name (linear scan; topologies are tiny).
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Lowest-latency path from `src` to `dst` (Dijkstra on delay), returned
@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn self_path_is_empty() {
         let (t, a, ..) = triangle();
-        assert_eq!(t.shortest_path(a, a).expect("trivial"), Vec::<LinkId>::new());
+        assert_eq!(
+            t.shortest_path(a, a).expect("trivial"),
+            Vec::<LinkId>::new()
+        );
     }
 
     #[test]

@@ -81,10 +81,7 @@ pub fn osdc_wan(long_haul_loss: f64) -> OsdcWan {
     t.add_duplex_link(nodes[2], nodes[4], gbps10, ms(51), long_haul_loss / 2.0);
     // Chicago ↔ Miami: ~58 ms RTT over research backbones.
     t.add_duplex_link(nodes[3], nodes[4], gbps10, ms(28), long_haul_loss / 2.0);
-    OsdcWan {
-        topology: t,
-        nodes,
-    }
+    OsdcWan { topology: t, nodes }
 }
 
 #[cfg(test)]

@@ -150,8 +150,7 @@ impl RackWorld {
             Stage::Reboot => self.sample_fixed(150.0),
             Stage::ChefRegister => self.sample_fixed(45.0),
             Stage::ChefConverge => {
-                let service =
-                    self.sample_fixed(self.params.chef_converge_mins * 60.0);
+                let service = self.sample_fixed(self.params.chef_converge_mins * 60.0);
                 let (_, finish) = self.chef.schedule(now, service);
                 finish.saturating_since(now)
             }
@@ -308,7 +307,10 @@ mod tests {
             7,
         );
         assert!(flaky.total_retries > 0);
-        assert!(flaky.servers_failed > 0, "with p=0.5 and 2 attempts some servers die");
+        assert!(
+            flaky.servers_failed > 0,
+            "with p=0.5 and 2 attempts some servers die"
+        );
     }
 
     #[test]
@@ -345,8 +347,15 @@ mod tests {
         assert_eq!(
             order,
             vec![
-                IpmiPowerOn, PxeImagePull, PreseedInstall, PostInstallScript,
-                Reboot, ChefRegister, ChefConverge, Cleanup, Ready
+                IpmiPowerOn,
+                PxeImagePull,
+                PreseedInstall,
+                PostInstallScript,
+                Reboot,
+                ChefRegister,
+                ChefConverge,
+                Cleanup,
+                Ready
             ]
         );
     }

@@ -33,6 +33,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, Scheduler, Simulation};
+pub use engine::{Engine, EngineProbe, Scheduler, Simulation};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

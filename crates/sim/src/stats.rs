@@ -8,7 +8,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Running scalar summary using Welford's algorithm; O(1) memory.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -18,12 +18,24 @@ pub struct Summary {
     sum: f64,
 }
 
+/// `Default` must agree with [`Summary::new`]: a zeroed `min`/`max` would
+/// silently corrupt the extrema of whatever is recorded first (and of any
+/// `merge` into a default-constructed summary).
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Summary {
     pub fn new() -> Self {
         Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            ..Default::default()
+            sum: 0.0,
         }
     }
 
@@ -86,9 +98,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -196,12 +206,36 @@ impl Log2Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 is
+    /// `[0, 2)`). Exposed for exporters and merge-invariant tests.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Fold `other` into `self`. Bucket counts, totals and sums add
+    /// exactly, so merging shards is equivalent to recording the
+    /// concatenated observations (merging an empty histogram, in either
+    /// direction, is a no-op on the other operand).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
@@ -333,7 +367,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime(NS), 10.0); // 0 for 1s
         tw.set(SimTime(3 * NS), 20.0); // 10 for 2s
-        // 20 for 1s → average over 4s = (0 + 20 + 20) / 4 = 10
+                                       // 20 for 1s → average over 4s = (0 + 20 + 20) / 4 = 10
         assert!((tw.average(SimTime(4 * NS)) - 10.0).abs() < 1e-9);
         assert_eq!(tw.max(), 20.0);
         assert_eq!(tw.value(), 20.0);
@@ -370,6 +404,71 @@ mod tests {
         h.record(1.5);
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_upper_bound(1.0), 2.0);
+    }
+
+    #[test]
+    fn default_summary_matches_new() {
+        // Regression: the derived Default used min = max = 0.0, so the
+        // first recorded value never registered as the minimum.
+        let mut s = Summary::default();
+        s.record(5.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut a = Summary::new();
+        for x in [3.0, 9.0] {
+            a.record(x);
+        }
+        let before = (a.count(), a.mean(), a.min(), a.max());
+        a.merge(&Summary::new());
+        assert_eq!((a.count(), a.mean(), a.min(), a.max()), before);
+        let mut empty = Summary::default();
+        empty.merge(&a);
+        assert_eq!(empty.min(), 3.0);
+        assert_eq!(empty.max(), 9.0);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concat() {
+        let mut whole = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in 0..500 {
+            let x = (v * 13 % 997) as f64;
+            whole.record(x);
+            if v % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.bucket_counts(), whole.bucket_counts());
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_upper_bound(q), whole.quantile_upper_bound(q));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_empty_edge_cases() {
+        let mut empty = Log2Histogram::new();
+        let mut other = Log2Histogram::new();
+        other.record(17.0);
+        empty.merge(&other); // empty ← non-empty
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 17.0);
+        other.merge(&Log2Histogram::new()); // non-empty ← empty
+        assert_eq!(other.count(), 1);
+        let mut e1 = Log2Histogram::new();
+        e1.merge(&Log2Histogram::new()); // empty ← empty
+        assert_eq!(e1.count(), 0);
+        assert_eq!(e1.quantile_upper_bound(0.5), 0.0);
     }
 
     #[test]

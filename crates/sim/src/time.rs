@@ -243,9 +243,15 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(SimDuration::from_secs(10).mul_f64(0.5), SimDuration::from_secs(5));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(0.5),
+            SimDuration::from_secs(5)
+        );
         assert_eq!(SimDuration::from_secs(10) * 3, SimDuration::from_secs(30));
-        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_millis(2500));
+        assert_eq!(
+            SimDuration::from_secs(10) / 4,
+            SimDuration::from_millis(2500)
+        );
     }
 
     #[test]

@@ -129,8 +129,12 @@ mod tests {
         // One new file, one modified.
         dcc.write("/modencode/new.bam", FileData::synthetic(1, 99), "dcc")
             .expect("write ok");
-        dcc.write("/modencode/dataset0.bam", FileData::synthetic(2 << 20, 100), "dcc")
-            .expect("write ok");
+        dcc.write(
+            "/modencode/dataset0.bam",
+            FileData::synthetic(2 << 20, 100),
+            "dcc",
+        )
+        .expect("write ok");
         let out = BackupService::backup(&dcc, &mut root);
         assert_eq!(out.copied, 2);
         assert_eq!(out.skipped, 19);
@@ -164,8 +168,12 @@ mod tests {
         populate(&mut a, 5);
         let mut b = vol("b", 9);
         BackupService::backup(&a, &mut b);
-        a.write("/modencode/dataset3.bam", FileData::synthetic(7, 777), "dcc")
-            .expect("write ok");
+        a.write(
+            "/modencode/dataset3.bam",
+            FileData::synthetic(7, 777),
+            "dcc",
+        )
+        .expect("write ok");
         let bad = BackupService::verify(&a, &b);
         assert_eq!(bad, vec!["/modencode/dataset3.bam".to_string()]);
     }

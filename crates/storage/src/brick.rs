@@ -210,10 +210,17 @@ mod tests {
         b.fail();
         assert_eq!(b.health(), BrickHealth::Failed);
         assert_eq!(b.read("/f"), Err(BrickError::Offline));
-        assert_eq!(b.write("/g", FileData::synthetic(1, 0), meta(1, "a", 1)), Err(BrickError::Offline));
+        assert_eq!(
+            b.write("/g", FileData::synthetic(1, 0), meta(1, "a", 1)),
+            Err(BrickError::Offline)
+        );
         b.replace();
         assert_eq!(b.health(), BrickHealth::Online);
-        assert_eq!(b.read("/f"), Err(BrickError::NotFound), "replacement starts empty");
+        assert_eq!(
+            b.read("/f"),
+            Err(BrickError::NotFound),
+            "replacement starts empty"
+        );
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl SambaExport {
 
     /// Mark a prefix world-readable (public datasets).
     pub fn make_public(&self, prefix: &str) {
-        self.rules.write().entry(prefix.to_string()).or_default().public_read = true;
+        self.rules
+            .write()
+            .entry(prefix.to_string())
+            .or_default()
+            .public_read = true;
     }
 
     fn authenticate(&self, user: &str, password: &str) -> Result<(), ExportError> {
@@ -184,8 +188,13 @@ mod tests {
     #[test]
     fn owner_writes_reader_reads() {
         let e = export();
-        e.write("alice", "pw-a", "/projects/genomics/run1.bam", FileData::bytes(b"reads".to_vec()))
-            .expect("alice can write");
+        e.write(
+            "alice",
+            "pw-a",
+            "/projects/genomics/run1.bam",
+            FileData::bytes(b"reads".to_vec()),
+        )
+        .expect("alice can write");
         let data = e
             .read("bob", "pw-b", "/projects/genomics/run1.bam")
             .expect("bob can read");
@@ -196,7 +205,12 @@ mod tests {
     fn reader_cannot_write() {
         let e = export();
         let err = e
-            .write("bob", "pw-b", "/projects/genomics/x", FileData::bytes(vec![1]))
+            .write(
+                "bob",
+                "pw-b",
+                "/projects/genomics/x",
+                FileData::bytes(vec![1]),
+            )
             .expect_err("bob is read-only");
         assert_eq!(err, ExportError::PermissionDenied);
     }
@@ -207,11 +221,13 @@ mod tests {
         // "root" on the VM has no cloud account: authentication, not
         // authorization, rejects — the Samba gate's whole purpose.
         assert_eq!(
-            e.read("root", "", "/projects/genomics/run1.bam").unwrap_err(),
+            e.read("root", "", "/projects/genomics/run1.bam")
+                .unwrap_err(),
             ExportError::AuthenticationFailed
         );
         assert_eq!(
-            e.read("alice", "wrong", "/projects/genomics/run1.bam").unwrap_err(),
+            e.read("alice", "wrong", "/projects/genomics/run1.bam")
+                .unwrap_err(),
             ExportError::AuthenticationFailed
         );
     }
@@ -221,8 +237,13 @@ mod tests {
         let e = export();
         e.grant("/projects/climate", "bob", AccessKind::Write);
         assert_eq!(
-            e.write("alice", "pw-a", "/projects/climate/t.nc", FileData::bytes(vec![0]))
-                .unwrap_err(),
+            e.write(
+                "alice",
+                "pw-a",
+                "/projects/climate/t.nc",
+                FileData::bytes(vec![0])
+            )
+            .unwrap_err(),
             ExportError::PermissionDenied
         );
     }
@@ -231,15 +252,25 @@ mod tests {
     fn public_datasets_readable_by_any_account() {
         let e = export();
         e.grant("/public", "alice", AccessKind::Write);
-        e.write("alice", "pw-a", "/public/1000genomes/chr1", FileData::bytes(vec![7]))
-            .expect("curator writes");
+        e.write(
+            "alice",
+            "pw-a",
+            "/public/1000genomes/chr1",
+            FileData::bytes(vec![7]),
+        )
+        .expect("curator writes");
         e.make_public("/public");
         e.read("bob", "pw-b", "/public/1000genomes/chr1")
             .expect("public read");
         // But still not writable by others.
         assert_eq!(
-            e.write("bob", "pw-b", "/public/1000genomes/chr1", FileData::bytes(vec![8]))
-                .unwrap_err(),
+            e.write(
+                "bob",
+                "pw-b",
+                "/public/1000genomes/chr1",
+                FileData::bytes(vec![8])
+            )
+            .unwrap_err(),
             ExportError::PermissionDenied
         );
     }
@@ -248,10 +279,20 @@ mod tests {
     fn listing_is_permission_filtered() {
         let e = export();
         e.grant("/private/alice", "alice", AccessKind::Write);
-        e.write("alice", "pw-a", "/private/alice/secret", FileData::bytes(vec![1]))
-            .expect("write ok");
-        e.write("alice", "pw-a", "/projects/genomics/shared", FileData::bytes(vec![2]))
-            .expect("write ok");
+        e.write(
+            "alice",
+            "pw-a",
+            "/private/alice/secret",
+            FileData::bytes(vec![1]),
+        )
+        .expect("write ok");
+        e.write(
+            "alice",
+            "pw-a",
+            "/projects/genomics/shared",
+            FileData::bytes(vec![2]),
+        )
+        .expect("write ok");
         let bob_sees = e.list("bob", "pw-b").expect("list ok");
         assert_eq!(bob_sees, vec!["/projects/genomics/shared".to_string()]);
         let alice_sees = e.list("alice", "pw-a").expect("list ok");
@@ -262,7 +303,8 @@ mod tests {
     fn volume_errors_pass_through() {
         let e = export();
         assert_eq!(
-            e.read("alice", "pw-a", "/projects/genomics/missing").unwrap_err(),
+            e.read("alice", "pw-a", "/projects/genomics/missing")
+                .unwrap_err(),
             ExportError::Volume(VolumeError::NotFound)
         );
     }

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn digests_discriminate() {
-        assert_ne!(FileData::bytes(b"a".to_vec()).digest(), FileData::bytes(b"b".to_vec()).digest());
+        assert_ne!(
+            FileData::bytes(b"a".to_vec()).digest(),
+            FileData::bytes(b"b".to_vec()).digest()
+        );
         assert_ne!(
             FileData::synthetic(100, 1).digest(),
             FileData::synthetic(100, 2).digest()

@@ -94,7 +94,11 @@ impl Volume {
             .map(|i| {
                 Brick::new(
                     BrickId(i),
-                    format!("{name}-server{}:/brick{}", i / replica_count, i % replica_count),
+                    format!(
+                        "{name}-server{}:/brick{}",
+                        i / replica_count,
+                        i % replica_count
+                    ),
                     brick_capacity,
                 )
             })
@@ -238,7 +242,11 @@ impl Volume {
     pub fn usage_by_owner(&self) -> std::collections::BTreeMap<String, u64> {
         let mut usage = std::collections::BTreeMap::new();
         let mut seen = std::collections::BTreeSet::new();
-        for b in self.bricks.iter().filter(|b| b.health() == BrickHealth::Online) {
+        for b in self
+            .bricks
+            .iter()
+            .filter(|b| b.health() == BrickHealth::Online)
+        {
             for (path, (data, meta)) in b.entries() {
                 if seen.insert(path.to_string()) {
                     *usage.entry(meta.owner.clone()).or_insert(0) += data.size();
@@ -303,12 +311,18 @@ impl Volume {
                     match self.bricks[idx].read(path) {
                         Ok((_, m)) if m.version == meta.version => {}
                         Ok(_) => {
-                            if self.bricks[idx].write(path, data.clone(), meta.clone()).is_ok() {
+                            if self.bricks[idx]
+                                .write(path, data.clone(), meta.clone())
+                                .is_ok()
+                            {
                                 reconciled_here = true;
                             }
                         }
                         Err(BrickError::NotFound) => {
-                            if self.bricks[idx].write(path, data.clone(), meta.clone()).is_ok() {
+                            if self.bricks[idx]
+                                .write(path, data.clone(), meta.clone())
+                                .is_ok()
+                            {
                                 repaired_here = true;
                             }
                         }
@@ -365,7 +379,10 @@ mod tests {
         }
         // Every replica set should have received some files.
         let per_brick: Vec<usize> = (0..8).map(|i| v.bricks[i].file_count()).collect();
-        assert!(per_brick.iter().all(|&c| c > 10), "skewed placement: {per_brick:?}");
+        assert!(
+            per_brick.iter().all(|&c| c > 10),
+            "skewed placement: {per_brick:?}"
+        );
         assert_eq!(per_brick.iter().sum::<usize>(), 200);
     }
 
@@ -395,9 +412,14 @@ mod tests {
         );
         let paths: Vec<String> = (0..200).map(|i| format!("/f{i}")).collect();
         for (i, p) in paths.iter().enumerate() {
-            v.write(p, FileData::synthetic(10, i as u64), "u").expect("write ok");
+            v.write(p, FileData::synthetic(10, i as u64), "u")
+                .expect("write ok");
         }
-        assert!(v.silent_drops > 30, "defect should fire: {}", v.silent_drops);
+        assert!(
+            v.silent_drops > 30,
+            "defect should fire: {}",
+            v.silent_drops
+        );
         // All reads still fine (primary alive)...
         assert!(v.audit_lost(&paths).is_empty());
         // ...until the primary dies: files whose mirror write was dropped
@@ -414,7 +436,8 @@ mod tests {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 5);
         let paths: Vec<String> = (0..100).map(|i| format!("/f{i}")).collect();
         for (i, p) in paths.iter().enumerate() {
-            v.write(p, FileData::synthetic(10, i as u64), "u").expect("write ok");
+            v.write(p, FileData::synthetic(10, i as u64), "u")
+                .expect("write ok");
         }
         v.fail_brick(BrickId(1));
         v.replace_brick(BrickId(1));
@@ -429,10 +452,12 @@ mod tests {
     #[test]
     fn heal_reconciles_stale_versions() {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 6);
-        v.write("/f", FileData::bytes(b"v1".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"v1".to_vec()), "u")
+            .expect("write ok");
         // Brick 1 goes down; a new version lands only on brick 0.
         v.fail_brick(BrickId(1));
-        v.write("/f", FileData::bytes(b"v2".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"v2".to_vec()), "u")
+            .expect("write ok");
         v.replace_brick(BrickId(1));
         let report = v.heal();
         assert_eq!(report.repaired, 1);
@@ -445,9 +470,11 @@ mod tests {
     #[test]
     fn read_prefers_freshest_replica() {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 7);
-        v.write("/f", FileData::bytes(b"old".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"old".to_vec()), "u")
+            .expect("write ok");
         v.fail_brick(BrickId(1));
-        v.write("/f", FileData::bytes(b"new".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"new".to_vec()), "u")
+            .expect("write ok");
         v.replace_brick(BrickId(1));
         // Without heal, brick 1 is empty; read must return the v2 copy.
         let (data, _) = v.read("/f").expect("read ok");
@@ -458,11 +485,16 @@ mod tests {
     fn not_found_vs_unavailable() {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 8);
         assert_eq!(v.read("/missing").unwrap_err(), VolumeError::NotFound);
-        v.write("/f", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"x".to_vec()), "u")
+            .expect("write ok");
         v.fail_brick(BrickId(0));
         v.fail_brick(BrickId(1));
         assert_eq!(v.read("/f").unwrap_err(), VolumeError::Unavailable);
-        assert_eq!(v.write("/g", FileData::bytes(b"y".to_vec()), "u").unwrap_err(), VolumeError::Unavailable);
+        assert_eq!(
+            v.write("/g", FileData::bytes(b"y".to_vec()), "u")
+                .unwrap_err(),
+            VolumeError::Unavailable
+        );
     }
 
     #[test]
@@ -477,9 +509,12 @@ mod tests {
     #[test]
     fn usage_by_owner_counts_logical_bytes() {
         let mut v = mk(GlusterVersion::V3_3, 4, 2, 10);
-        v.write("/a", FileData::synthetic(100, 1), "alice").expect("write ok");
-        v.write("/b", FileData::synthetic(50, 2), "alice").expect("write ok");
-        v.write("/c", FileData::synthetic(25, 3), "bob").expect("write ok");
+        v.write("/a", FileData::synthetic(100, 1), "alice")
+            .expect("write ok");
+        v.write("/b", FileData::synthetic(50, 2), "alice")
+            .expect("write ok");
+        v.write("/c", FileData::synthetic(25, 3), "bob")
+            .expect("write ok");
         let usage = v.usage_by_owner();
         assert_eq!(usage["alice"], 150, "logical, not ×2 replicated");
         assert_eq!(usage["bob"], 25);
@@ -490,7 +525,8 @@ mod tests {
     #[test]
     fn delete_removes_all_replicas() {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 11);
-        v.write("/f", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
+        v.write("/f", FileData::bytes(b"x".to_vec()), "u")
+            .expect("write ok");
         v.delete("/f").expect("delete ok");
         assert_eq!(v.read("/f").unwrap_err(), VolumeError::NotFound);
         assert_eq!(v.used_bytes(), 0);
@@ -500,8 +536,10 @@ mod tests {
     #[test]
     fn list_dedups_replicas() {
         let mut v = mk(GlusterVersion::V3_3, 2, 2, 12);
-        v.write("/b", FileData::bytes(b"x".to_vec()), "u").expect("write ok");
-        v.write("/a", FileData::bytes(b"y".to_vec()), "u").expect("write ok");
+        v.write("/b", FileData::bytes(b"x".to_vec()), "u")
+            .expect("write ok");
+        v.write("/a", FileData::bytes(b"y".to_vec()), "u")
+            .expect("write ok");
         assert_eq!(v.list(), vec!["/a".to_string(), "/b".to_string()]);
     }
 

@@ -278,7 +278,10 @@ mod tests {
         assert_eq!(rebuilt, data);
         assert_eq!(delta.literal_bytes, 0);
         assert_eq!(delta.matched_bytes, data.len());
-        assert!(delta.ops.iter().all(|op| matches!(op, DeltaOp::Copy { .. })));
+        assert!(delta
+            .ops
+            .iter()
+            .all(|op| matches!(op, DeltaOp::Copy { .. })));
         assert!(delta.wire_bytes() < data.len() / 100, "near-zero wire cost");
     }
 

@@ -79,10 +79,16 @@ mod tests {
 
     #[test]
     fn rolling_matches_direct_everywhere() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         for window in [1usize, 2, 16, 700, 2048] {
             let mut rc = RollingChecksum::new(&data[..window]);
-            assert_eq!(rc.value(), weak_checksum(&data[..window]), "init w={window}");
+            assert_eq!(
+                rc.value(),
+                weak_checksum(&data[..window]),
+                "init w={window}"
+            );
             for start in 1..(data.len() - window).min(500) {
                 rc.roll(data[start - 1], data[start + window - 1]);
                 assert_eq!(

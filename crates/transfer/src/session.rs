@@ -31,6 +31,7 @@
 use osdc_crypto::CipherKind;
 use osdc_net::{CongestionControl, FlowSpec, FluidNet, NodeId};
 use osdc_sim::SimDuration;
+use osdc_telemetry::Telemetry;
 
 /// Local source disk read bound, mbit/s (§7.2).
 pub const DISK_READ_MBPS: f64 = 3072.0;
@@ -123,6 +124,7 @@ pub struct TransferEngine {
     pub cipher_model: CipherModel,
     /// Per-file protocol chatter (one request/response exchange per file).
     pub per_file_rtts: f64,
+    tele: Telemetry,
 }
 
 impl TransferEngine {
@@ -131,7 +133,18 @@ impl TransferEngine {
             net,
             cipher_model: CipherModel::default(),
             per_file_rtts: 1.0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Each transfer then emits a root span with
+    /// per-stage child spans (disk read → delta → cipher → wire → disk
+    /// write) on the sim clock, plus completion counters and a goodput
+    /// histogram. The same handle is forwarded to the underlying network
+    /// for per-flow throughput/cwnd/loss traces.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.net.set_telemetry(tele.clone());
+        self.tele = tele;
     }
 
     /// Static payload ceiling for a protocol/cipher combination, mbit/s
@@ -193,9 +206,47 @@ impl TransferEngine {
             .run_flow_to_completion(flow, start + deadline)
             .expect("transfer exceeded deadline — misconfigured experiment");
         // Protocol chatter: file-list walk and per-file round trips.
-        let chatter = SimDuration::from_secs_f64(rtt * (1.0 + self.per_file_rtts * spec.files as f64));
+        let chatter =
+            SimDuration::from_secs_f64(rtt * (1.0 + self.per_file_rtts * spec.files as f64));
         let duration = done.saturating_since(start) + chatter;
         let mbps = spec.bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6;
+        let loss_events = self.net.loss_events(flow);
+        if self.tele.is_enabled() {
+            // Flame-style stage breakdown: every child starts at the
+            // transfer start; its length is the time that stage alone would
+            // need at its ceiling. The wire stage is the measured transport
+            // time; the delta stage is the rsync-algorithm chatter.
+            let payload_bits = spec.bytes as f64 * 8.0;
+            let cipher_secs = payload_bits / (self.cipher_model.cap_mbps(spec.cipher) * 1e6);
+            let root = self.tele.span_start(
+                &format!("transfer/{}/{}", spec.protocol.label(), spec.cipher),
+                start,
+            );
+            self.tele.attr(root, "bytes", spec.bytes);
+            self.tele.attr(root, "files", spec.files);
+            self.tele.attr(root, "mbps", mbps);
+            self.tele.attr(root, "loss_events", loss_events);
+            for (name, secs) in [
+                ("stage/disk_read", payload_bits / (DISK_READ_MBPS * 1e6)),
+                ("stage/delta", chatter.as_secs_f64()),
+                ("stage/cipher", cipher_secs),
+                ("stage/wire", done.saturating_since(start).as_secs_f64()),
+                (
+                    "stage/disk_write",
+                    payload_bits / (DISK_WRITE_MBPS * RECEIVER_EFFICIENCY * 1e6),
+                ),
+            ] {
+                let stage = self.tele.span_start(name, start);
+                self.tele
+                    .span_end(stage, start + SimDuration::from_secs_f64(secs));
+            }
+            self.tele.span_end(root, start + duration);
+            self.tele.incr(self.tele.counter("transfer.completed"));
+            self.tele
+                .add(self.tele.counter("transfer.payload_bytes"), spec.bytes);
+            self.tele
+                .observe(self.tele.histogram("transfer.mbps"), mbps);
+        }
         TransferReport {
             protocol: spec.protocol,
             cipher: spec.cipher,
@@ -203,7 +254,7 @@ impl TransferEngine {
             duration,
             mbps,
             llr: mbps / DISK_READ_MBPS.min(DISK_WRITE_MBPS),
-            loss_events: self.net.loss_events(flow),
+            loss_events,
         }
     }
 }
@@ -217,7 +268,11 @@ mod tests {
         let wan = osdc_wan(1.2e-7);
         let src = wan.node(OsdcSite::ChicagoKenwood);
         let dst = wan.node(OsdcSite::Lvoc);
-        (TransferEngine::new(FluidNet::new(wan.topology, seed)), src, dst)
+        (
+            TransferEngine::new(FluidNet::new(wan.topology, seed)),
+            src,
+            dst,
+        )
     }
 
     fn run(protocol: Protocol, cipher: CipherKind, gb: u64, seed: u64) -> TransferReport {
@@ -243,7 +298,11 @@ mod tests {
             "UDR plain: {:.0} mbit/s (paper: 752)",
             r.mbps
         );
-        assert!((0.55..0.72).contains(&r.llr), "LLR {:.2} (paper: 0.66)", r.llr);
+        assert!(
+            (0.55..0.72).contains(&r.llr),
+            "LLR {:.2} (paper: 0.66)",
+            r.llr
+        );
     }
 
     #[test]
@@ -337,7 +396,12 @@ mod tests {
             },
             SimDuration::from_hours(24),
         );
-        assert!(many_small.mbps < one_big.mbps * 0.75, "{} vs {}", many_small.mbps, one_big.mbps);
+        assert!(
+            many_small.mbps < one_big.mbps * 0.75,
+            "{} vs {}",
+            many_small.mbps,
+            one_big.mbps
+        );
     }
 
     #[test]
@@ -346,6 +410,46 @@ mod tests {
         let recomputed = r.bytes as f64 * 8.0 / r.duration.as_secs_f64() / 1e6;
         assert!((r.mbps - recomputed).abs() < 1e-9);
         assert!((r.llr - r.mbps / 1136.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_emits_stage_spans() {
+        let (mut eng, src, dst) = engine(29);
+        let tele = Telemetry::new();
+        eng.set_telemetry(tele.clone());
+        let r = eng.run(
+            &TransferSpec {
+                protocol: Protocol::Udr,
+                cipher: CipherKind::Blowfish,
+                bytes: 5_000_000_000,
+                files: 1,
+                src,
+                dst,
+            },
+            SimDuration::from_hours(24),
+        );
+        assert_eq!(tele.counter_value("transfer.completed"), 1);
+        assert_eq!(tele.counter_value("transfer.payload_bytes"), 5_000_000_000);
+        let jsonl = tele.export_jsonl();
+        assert!(jsonl.contains("transfer/UDR/blowfish"), "{jsonl}");
+        for stage in [
+            "stage/disk_read",
+            "stage/delta",
+            "stage/cipher",
+            "stage/wire",
+            "stage/disk_write",
+        ] {
+            assert!(jsonl.contains(stage), "missing {stage}");
+        }
+        // The flow underneath reported too.
+        assert_eq!(tele.counter_value("net.flows_completed"), 1);
+        let snap = tele.histograms_snapshot();
+        let h = snap
+            .iter()
+            .find(|h| h.name == "transfer.mbps")
+            .expect("mbps histogram");
+        assert_eq!(h.count, 1);
+        assert!((h.sum - r.mbps).abs() < 1e-9);
     }
 
     #[test]

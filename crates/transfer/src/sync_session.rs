@@ -180,7 +180,11 @@ mod tests {
         let wan = osdc_wan(1e-7);
         let src = wan.node(OsdcSite::ChicagoKenwood);
         let dst = wan.node(OsdcSite::Lvoc);
-        (TransferEngine::new(FluidNet::new(wan.topology, 3)), src, dst)
+        (
+            TransferEngine::new(FluidNet::new(wan.topology, 3)),
+            src,
+            dst,
+        )
     }
 
     fn content(len: usize, seed: u64) -> Vec<u8> {
@@ -198,7 +202,11 @@ mod tests {
     fn populated_tree(files: usize, kb_each: usize) -> Tree {
         let mut t = Tree::new();
         for i in 0..files {
-            t.put(&format!("/data/f{i}"), content(kb_each * 1024, i as u64), 100);
+            t.put(
+                &format!("/data/f{i}"),
+                content(kb_each * 1024, i as u64),
+                100,
+            );
         }
         t
     }
@@ -209,15 +217,24 @@ mod tests {
         let src = populated_tree(20, 64);
         let mut dst = Tree::new();
         let report = sync_over_wan(
-            &mut eng, &src, &mut dst,
-            Protocol::Udr, CipherKind::None, CheckMode::Quick, s, d,
+            &mut eng,
+            &src,
+            &mut dst,
+            Protocol::Udr,
+            CipherKind::None,
+            CheckMode::Quick,
+            s,
+            d,
         );
         assert_eq!(report.files_created, 20);
         assert_eq!(report.files_updated, 0);
         assert!(report.wire_bytes >= src.total_bytes());
         assert_eq!(dst.len(), 20);
         for i in 0..20 {
-            assert_eq!(dst.get(&format!("/data/f{i}")), src.get(&format!("/data/f{i}")));
+            assert_eq!(
+                dst.get(&format!("/data/f{i}")),
+                src.get(&format!("/data/f{i}"))
+            );
         }
     }
 
@@ -227,12 +244,22 @@ mod tests {
         let src = populated_tree(10, 128);
         let mut dst = src.clone();
         let report = sync_over_wan(
-            &mut eng, &src, &mut dst,
-            Protocol::Udr, CipherKind::None, CheckMode::Quick, s, d,
+            &mut eng,
+            &src,
+            &mut dst,
+            Protocol::Udr,
+            CipherKind::None,
+            CheckMode::Quick,
+            s,
+            d,
         );
         assert_eq!(report.files_created + report.files_updated, 0);
         // Only the file-list chatter moves.
-        assert!(report.wire_bytes < 10_000, "wire bytes {}", report.wire_bytes);
+        assert!(
+            report.wire_bytes < 10_000,
+            "wire bytes {}",
+            report.wire_bytes
+        );
         assert!(report.speedup() > 100.0);
     }
 
@@ -250,8 +277,14 @@ mod tests {
         let mut src2 = src.clone();
         src2.put(path, edited, 200);
         let report = sync_over_wan(
-            &mut eng, &src2, &mut dst,
-            Protocol::Rsync, CipherKind::None, CheckMode::Quick, s, d,
+            &mut eng,
+            &src2,
+            &mut dst,
+            Protocol::Rsync,
+            CipherKind::None,
+            CheckMode::Quick,
+            s,
+            d,
         );
         assert_eq!(report.files_updated, 1);
         assert_eq!(dst.get(path), src2.get(path));
@@ -271,17 +304,32 @@ mod tests {
         src.put("/f", b"new content".to_vec(), 100);
         let mut dst = Tree::new();
         dst.put("/f", b"old content".to_vec(), 100); // same mtime, same size
-        // Quick mode misses it...
+                                                     // Quick mode misses it...
         let quick = sync_over_wan(
-            &mut eng, &src, &mut dst.clone(),
-            Protocol::Rsync, CipherKind::None, CheckMode::Quick, s, d,
+            &mut eng,
+            &src,
+            &mut dst.clone(),
+            Protocol::Rsync,
+            CipherKind::None,
+            CheckMode::Quick,
+            s,
+            d,
         );
-        assert_eq!(quick.files_updated, 0, "the documented quick-check blind spot");
+        assert_eq!(
+            quick.files_updated, 0,
+            "the documented quick-check blind spot"
+        );
         // ...checksum mode fixes it.
         let (mut eng2, s2, d2) = engine();
         let checksum = sync_over_wan(
-            &mut eng2, &src, &mut dst,
-            Protocol::Rsync, CipherKind::None, CheckMode::Checksum, s2, d2,
+            &mut eng2,
+            &src,
+            &mut dst,
+            Protocol::Rsync,
+            CipherKind::None,
+            CheckMode::Checksum,
+            s2,
+            d2,
         );
         assert_eq!(checksum.files_updated, 1);
         assert_eq!(dst.get("/f").expect("exists"), b"new content");
@@ -294,8 +342,14 @@ mod tests {
         let mut dst = src.clone();
         dst.put("/stale/old.dat", vec![0u8; 100], 5);
         let report = sync_over_wan(
-            &mut eng, &src, &mut dst,
-            Protocol::Udr, CipherKind::None, CheckMode::Quick, s, d,
+            &mut eng,
+            &src,
+            &mut dst,
+            Protocol::Udr,
+            CipherKind::None,
+            CheckMode::Quick,
+            s,
+            d,
         );
         assert_eq!(report.extra_on_target, 1);
         assert!(dst.get("/stale/old.dat").is_some(), "no --delete semantics");
@@ -308,8 +362,14 @@ mod tests {
             let src = populated_tree(4, 512);
             let mut dst = Tree::new();
             sync_over_wan(
-                &mut eng, &src, &mut dst,
-                protocol, CipherKind::None, CheckMode::Quick, s, d,
+                &mut eng,
+                &src,
+                &mut dst,
+                protocol,
+                CipherKind::None,
+                CheckMode::Quick,
+                s,
+                d,
             )
             .transfer
             .duration

@@ -279,9 +279,19 @@ mod tests {
 
     #[test]
     fn malformed_uris_rejected() {
-        for bad in ["http://x", "ark:", "ark:/", "ark:/31807", "ark:/31807/", "ark://x"] {
+        for bad in [
+            "http://x",
+            "ark:",
+            "ark:/",
+            "ark:/31807",
+            "ark:/31807/",
+            "ark://x",
+        ] {
             assert!(
-                matches!(ArkService::parse(bad), Err(ArkError::Malformed(_) | ArkError::CheckFailed(_))),
+                matches!(
+                    ArkService::parse(bad),
+                    Err(ArkError::Malformed(_) | ArkError::CheckFailed(_))
+                ),
                 "{bad} should fail"
             );
         }

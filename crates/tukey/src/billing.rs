@@ -118,8 +118,7 @@ impl BillingService {
             .into_iter()
             .map(|(user, usage)| {
                 let core_hours = usage.core_minutes / 60.0;
-                let billable_core_hours =
-                    (core_hours - self.rates.free_core_hours).max(0.0);
+                let billable_core_hours = (core_hours - self.rates.free_core_hours).max(0.0);
                 let billable_tb_days = (usage.tb_days - self.rates.free_tb_days).max(0.0);
                 let total_usd = billable_core_hours * self.rates.per_core_hour
                     + billable_tb_days * self.rates.per_tb_day;

@@ -114,8 +114,7 @@ impl DatasetCatalog {
 
     /// Public browse: published records only, sorted by title.
     pub fn browse(&self) -> Vec<&DatasetRecord> {
-        let mut out: Vec<&DatasetRecord> =
-            self.records.values().filter(|r| r.published).collect();
+        let mut out: Vec<&DatasetRecord> = self.records.values().filter(|r| r.published).collect();
         out.sort_by(|a, b| a.title.cmp(&b.title));
         out
     }
@@ -154,30 +153,78 @@ impl DatasetCatalog {
         const TB: u64 = 1_000_000_000_000;
         let mut cat = DatasetCatalog::new();
         let entries: [(&str, Discipline, u64, &str); 12] = [
-            ("1000 Genomes", Discipline::BiologicalSciences, 200 * TB,
-             "Whole-genome sequence variation across human populations"),
-            ("NCBI public datasets", Discipline::BiologicalSciences, 120 * TB,
-             "Mirrors of NIH NCBI reference collections"),
-            ("Protein Data Bank", Discipline::BiologicalSciences, TB,
-             "3D structures of proteins and nucleic acids"),
-            ("modENCODE", Discipline::BiologicalSciences, 50 * TB,
-             "Model-organism encyclopedia of DNA elements"),
-            ("ENCODE backup", Discipline::BiologicalSciences, 60 * TB,
-             "Backup with cloud-enabled computation for the ENCODE project"),
-            ("EO-1 ALI & Hyperion", Discipline::EarthSciences, 30 * TB,
-             "Three years of NASA EO-1 Level 0 and Level 1 satellite imagery"),
-            ("Sloan Digital Sky Survey", Discipline::EarthSciences, 70 * TB,
-             "Multi-spectral astronomical survey backup"),
-            ("Bookworm ngrams", Discipline::DigitalHumanities, 20 * TB,
-             "Ngrams from public-domain books with library metadata"),
-            ("U.S. Census & CPS", Discipline::SocialSciences, 5 * TB,
-             "U.S. Census, Current Population Survey, General Social Survey"),
-            ("ICPSR collections", Discipline::SocialSciences, 10 * TB,
-             "Inter-University Consortium for Political and Social Research"),
-            ("Common Crawl", Discipline::InformationSciences, 60 * TB,
-             "Open web-crawl corpus for big-data algorithm research"),
-            ("Enron + City of Chicago", Discipline::InformationSciences, 2 * TB,
-             "Enron corpus and City of Chicago open datasets"),
+            (
+                "1000 Genomes",
+                Discipline::BiologicalSciences,
+                200 * TB,
+                "Whole-genome sequence variation across human populations",
+            ),
+            (
+                "NCBI public datasets",
+                Discipline::BiologicalSciences,
+                120 * TB,
+                "Mirrors of NIH NCBI reference collections",
+            ),
+            (
+                "Protein Data Bank",
+                Discipline::BiologicalSciences,
+                TB,
+                "3D structures of proteins and nucleic acids",
+            ),
+            (
+                "modENCODE",
+                Discipline::BiologicalSciences,
+                50 * TB,
+                "Model-organism encyclopedia of DNA elements",
+            ),
+            (
+                "ENCODE backup",
+                Discipline::BiologicalSciences,
+                60 * TB,
+                "Backup with cloud-enabled computation for the ENCODE project",
+            ),
+            (
+                "EO-1 ALI & Hyperion",
+                Discipline::EarthSciences,
+                30 * TB,
+                "Three years of NASA EO-1 Level 0 and Level 1 satellite imagery",
+            ),
+            (
+                "Sloan Digital Sky Survey",
+                Discipline::EarthSciences,
+                70 * TB,
+                "Multi-spectral astronomical survey backup",
+            ),
+            (
+                "Bookworm ngrams",
+                Discipline::DigitalHumanities,
+                20 * TB,
+                "Ngrams from public-domain books with library metadata",
+            ),
+            (
+                "U.S. Census & CPS",
+                Discipline::SocialSciences,
+                5 * TB,
+                "U.S. Census, Current Population Survey, General Social Survey",
+            ),
+            (
+                "ICPSR collections",
+                Discipline::SocialSciences,
+                10 * TB,
+                "Inter-University Consortium for Political and Social Research",
+            ),
+            (
+                "Common Crawl",
+                Discipline::InformationSciences,
+                60 * TB,
+                "Open web-crawl corpus for big-data algorithm research",
+            ),
+            (
+                "Enron + City of Chicago",
+                Discipline::InformationSciences,
+                2 * TB,
+                "Enron corpus and City of Chicago open datasets",
+            ),
         ];
         for (title, disc, size, desc) in entries {
             let path = format!(
@@ -203,7 +250,14 @@ mod tests {
     fn add_publish_browse() {
         let svc = arks();
         let mut cat = DatasetCatalog::new();
-        let ark = cat.add(&svc, "Test Data", Discipline::InformationSciences, 100, "/p", "d");
+        let ark = cat.add(
+            &svc,
+            "Test Data",
+            Discipline::InformationSciences,
+            100,
+            "/p",
+            "d",
+        );
         assert!(cat.browse().is_empty(), "staged datasets are not public");
         assert!(cat.publish(&ark));
         assert_eq!(cat.browse().len(), 1);
@@ -215,7 +269,10 @@ mod tests {
         let svc = arks();
         let mut cat = DatasetCatalog::new();
         let ark = cat.add(&svc, "X", Discipline::EarthSciences, 1, "/glusterfs/x", "d");
-        assert_eq!(svc.resolve(&ark.to_uri()).expect("resolves"), "/glusterfs/x");
+        assert_eq!(
+            svc.resolve(&ark.to_uri()).expect("resolves"),
+            "/glusterfs/x"
+        );
         let brief = svc.resolve(&format!("{ark}?")).expect("brief");
         assert!(brief.contains("what: X"));
     }
@@ -235,7 +292,9 @@ mod tests {
         let cat = DatasetCatalog::osdc_public_datasets(&svc);
         let bio = cat.by_discipline(Discipline::BiologicalSciences);
         assert_eq!(bio.len(), 5);
-        assert!(bio.iter().all(|r| r.discipline == Discipline::BiologicalSciences));
+        assert!(bio
+            .iter()
+            .all(|r| r.discipline == Discipline::BiologicalSciences));
     }
 
     #[test]

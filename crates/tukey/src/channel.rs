@@ -97,7 +97,10 @@ impl SecureChannel {
 
 /// A console↔middleware socket pair sharing one secret.
 pub fn channel_pair(shared_secret: &[u8]) -> (SecureChannel, SecureChannel) {
-    (SecureChannel::new(shared_secret), SecureChannel::new(shared_secret))
+    (
+        SecureChannel::new(shared_secret),
+        SecureChannel::new(shared_secret),
+    )
 }
 
 #[cfg(test)]
@@ -108,7 +111,10 @@ mod tests {
     fn roundtrip() {
         let (mut console, mut middleware) = channel_pair(b"private-network-secret");
         let msg = console.seal(b"POST /servers {\"server\": {...}}");
-        assert_ne!(msg.ciphertext, b"POST /servers {\"server\": {...}}".to_vec());
+        assert_ne!(
+            msg.ciphertext,
+            b"POST /servers {\"server\": {...}}".to_vec()
+        );
         let opened = middleware.open(&msg).expect("authentic");
         assert_eq!(opened, b"POST /servers {\"server\": {...}}");
     }
@@ -128,11 +134,17 @@ mod tests {
         let (mut a, mut b) = channel_pair(b"s");
         let mut msg = a.seal(b"terminate instance 7");
         msg.ciphertext[5] ^= 0x01;
-        assert_eq!(b.open(&msg).unwrap_err(), ChannelError::AuthenticationFailed);
+        assert_eq!(
+            b.open(&msg).unwrap_err(),
+            ChannelError::AuthenticationFailed
+        );
         // Tampering with the sequence number also breaks the MAC.
         let mut msg2 = a.seal(b"x");
         msg2.seq += 1;
-        assert_eq!(b.open(&msg2).unwrap_err(), ChannelError::AuthenticationFailed);
+        assert_eq!(
+            b.open(&msg2).unwrap_err(),
+            ChannelError::AuthenticationFailed
+        );
     }
 
     #[test]
@@ -140,7 +152,10 @@ mod tests {
         let (mut a, mut b) = channel_pair(b"s");
         let msg1 = a.seal(b"bill user 100 core-hours");
         b.open(&msg1).expect("first delivery");
-        assert!(matches!(b.open(&msg1).unwrap_err(), ChannelError::Replayed { .. }));
+        assert!(matches!(
+            b.open(&msg1).unwrap_err(),
+            ChannelError::Replayed { .. }
+        ));
     }
 
     #[test]
@@ -148,7 +163,10 @@ mod tests {
         let mut a = SecureChannel::new(b"secret-a");
         let mut b = SecureChannel::new(b"secret-b");
         let msg = a.seal(b"hello");
-        assert_eq!(b.open(&msg).unwrap_err(), ChannelError::AuthenticationFailed);
+        assert_eq!(
+            b.open(&msg).unwrap_err(),
+            ChannelError::AuthenticationFailed
+        );
     }
 
     #[test]
@@ -156,7 +174,10 @@ mod tests {
         let (mut a, _) = channel_pair(b"s");
         let m1 = a.seal(b"poll");
         let m2 = a.seal(b"poll");
-        assert_ne!(m1.ciphertext, m2.ciphertext, "per-message nonce (seq) varies the stream");
+        assert_ne!(
+            m1.ciphertext, m2.ciphertext,
+            "per-message nonce (seq) varies the stream"
+        );
     }
 
     #[test]

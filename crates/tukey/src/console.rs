@@ -15,7 +15,8 @@
 
 use std::collections::BTreeMap;
 
-use osdc_sim::SimTime;
+use osdc_sim::{SimDuration, SimTime};
+use osdc_telemetry::Telemetry;
 use serde_json::{json, Value};
 
 use crate::ark::ArkService;
@@ -61,7 +62,11 @@ pub struct TukeyConsole {
     /// Every identity ever enrolled — the population billing polls over.
     enrolled: Vec<Identity>,
     next_token: u64,
+    tele: Telemetry,
 }
+
+/// Modeled session-validation cost per console request (auth proxy hop).
+const AUTH_LATENCY: SimDuration = SimDuration::from_millis(2);
 
 impl TukeyConsole {
     pub fn new(auth: AuthProxy, proxy: TranslationProxy) -> Self {
@@ -78,6 +83,58 @@ impl TukeyConsole {
             sessions: BTreeMap::new(),
             enrolled: Vec::new(),
             next_token: 1,
+            tele: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle. Console pages then emit request spans
+    /// (console → auth → translation → aggregation) on the sim clock, and
+    /// the translation proxy records per-cloud latency histograms.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.proxy.set_telemetry(tele.clone());
+        self.tele = tele;
+    }
+
+    /// Close out a traced console request: aggregation span, root span end,
+    /// request counter and latency histogram.
+    fn finish_request(
+        &self,
+        root: osdc_telemetry::SpanId,
+        started: SimTime,
+        after_translation: SimTime,
+        items: usize,
+    ) {
+        if !self.tele.is_enabled() {
+            return;
+        }
+        let agg = self.tele.span_start("aggregation", after_translation);
+        let end = after_translation + SimDuration::from_millis(items as u64);
+        self.tele.span_end(agg, end);
+        self.tele.span_end(root, end);
+        self.tele.incr(self.tele.counter("tukey.requests"));
+        self.tele.observe(
+            self.tele.histogram("tukey.request_latency_ms"),
+            end.saturating_since(started).as_secs_f64() * 1e3,
+        );
+    }
+
+    /// Trace the auth hop of a request; on failure also close the root span
+    /// and bump the error counter.
+    fn traced_identity(
+        &self,
+        root: osdc_telemetry::SpanId,
+        token: SessionToken,
+        now: SimTime,
+    ) -> Result<Identity, ConsoleError> {
+        let auth = self.tele.span_start("auth/session", now);
+        self.tele.span_end(auth, now + AUTH_LATENCY);
+        match self.identity(token) {
+            Ok(id) => Ok(id),
+            Err(e) => {
+                self.tele.span_end(root, now + AUTH_LATENCY);
+                self.tele.incr(self.tele.counter("tukey.errors"));
+                Err(e)
+            }
         }
     }
 
@@ -97,8 +154,12 @@ impl TukeyConsole {
     }
 
     /// Log in with a Shibboleth assertion.
-    pub fn login_shibboleth(&mut self, assertion: &Assertion) -> Result<SessionToken, ConsoleError> {
+    pub fn login_shibboleth(
+        &mut self,
+        assertion: &Assertion,
+    ) -> Result<SessionToken, ConsoleError> {
         let id = self.auth.login_shibboleth(assertion)?;
+        self.tele.incr(self.tele.counter("tukey.logins"));
         Ok(self.open_session(id))
     }
 
@@ -110,6 +171,7 @@ impl TukeyConsole {
         password: &str,
     ) -> Result<SessionToken, ConsoleError> {
         let id = self.auth.login_openid(provider, identifier_url, password)?;
+        self.tele.incr(self.tele.counter("tukey.logins"));
         Ok(self.open_session(id))
     }
 
@@ -131,9 +193,20 @@ impl TukeyConsole {
     // ---- the instances page ------------------------------------------------
 
     /// Aggregated VM listing across all enrolled clouds (the landing page).
-    pub fn instances_page(&mut self, token: SessionToken, now: SimTime) -> Result<Value, ConsoleError> {
-        let id = self.identity(token)?;
-        Ok(self.proxy.list_servers(&self.vault, &id, now))
+    pub fn instances_page(
+        &mut self,
+        token: SessionToken,
+        now: SimTime,
+    ) -> Result<Value, ConsoleError> {
+        let root = self.tele.span_start("console/instances_page", now);
+        let id = self.traced_identity(root, token, now)?;
+        let page = self
+            .proxy
+            .list_servers(&self.vault, &id, now + AUTH_LATENCY);
+        let after = now + AUTH_LATENCY + self.proxy.last_latency;
+        let items = page["servers"].as_array().map(Vec::len).unwrap_or(0);
+        self.finish_request(root, now, after, items);
+        Ok(page)
     }
 
     pub fn launch_instance(
@@ -145,10 +218,28 @@ impl TukeyConsole {
         image: &str,
         now: SimTime,
     ) -> Result<Value, ConsoleError> {
-        let id = self.identity(token)?;
-        Ok(self
-            .proxy
-            .boot_server(&self.vault, &id, cloud, name, flavor, image, now)?)
+        let root = self.tele.span_start("console/launch_instance", now);
+        let id = self.traced_identity(root, token, now)?;
+        let result = self.proxy.boot_server(
+            &self.vault,
+            &id,
+            cloud,
+            name,
+            flavor,
+            image,
+            now + AUTH_LATENCY,
+        );
+        match result {
+            Ok(v) => {
+                self.finish_request(root, now, now + AUTH_LATENCY + self.proxy.last_latency, 1);
+                Ok(v)
+            }
+            Err(e) => {
+                self.tele.span_end(root, now + AUTH_LATENCY);
+                self.tele.incr(self.tele.counter("tukey.errors"));
+                Err(e.into())
+            }
+        }
     }
 
     pub fn terminate_instance(
@@ -158,10 +249,22 @@ impl TukeyConsole {
         server_id: u64,
         now: SimTime,
     ) -> Result<(), ConsoleError> {
-        let id = self.identity(token)?;
-        Ok(self
+        let root = self.tele.span_start("console/terminate_instance", now);
+        let id = self.traced_identity(root, token, now)?;
+        match self
             .proxy
-            .delete_server(&self.vault, &id, cloud, server_id, now)?)
+            .delete_server(&self.vault, &id, cloud, server_id, now + AUTH_LATENCY)
+        {
+            Ok(()) => {
+                self.finish_request(root, now, now + AUTH_LATENCY + self.proxy.last_latency, 1);
+                Ok(())
+            }
+            Err(e) => {
+                self.tele.span_end(root, now + AUTH_LATENCY);
+                self.tele.incr(self.tele.counter("tukey.errors"));
+                Err(e.into())
+            }
+        }
     }
 
     // ---- usage & billing page ------------------------------------------------
@@ -271,7 +374,14 @@ mod tests {
         assert!(console.instances_page(bogus, SimTime::ZERO).is_err());
         assert!(console.usage_page(bogus).is_err());
         assert!(console
-            .launch_instance(bogus, "adler", "x", "m1.small", "ubuntu-base", SimTime::ZERO)
+            .launch_instance(
+                bogus,
+                "adler",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO
+            )
             .is_err());
     }
 
@@ -282,7 +392,14 @@ mod tests {
             .login_shibboleth(&idp.assert("alice@uchicago.edu").expect("assert"))
             .expect("login");
         console
-            .launch_instance(token, "adler", "vm", "m1.xlarge", "ubuntu-base", SimTime::ZERO)
+            .launch_instance(
+                token,
+                "adler",
+                "vm",
+                "m1.xlarge",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
             .expect("launch");
         for _ in 0..60 {
             console.billing_minute_tick();
@@ -299,7 +416,14 @@ mod tests {
             .login_shibboleth(&idp.assert("alice@uchicago.edu").expect("assert"))
             .expect("login");
         let resp = console
-            .launch_instance(token, "adler", "vm", "m1.small", "ubuntu-base", SimTime::ZERO)
+            .launch_instance(
+                token,
+                "adler",
+                "vm",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
             .expect("launch");
         let id = resp["server"]["id"].as_u64().expect("id");
         console.billing_minute_tick();
@@ -323,6 +447,52 @@ mod tests {
             .as_str()
             .expect("ark string")
             .starts_with("ark:/31807/"));
+    }
+
+    #[test]
+    fn telemetry_traces_request_pipeline() {
+        let (mut console, idp) = console_with_alice();
+        let tele = Telemetry::new();
+        console.set_telemetry(tele.clone());
+        let token = console
+            .login_shibboleth(&idp.assert("alice@uchicago.edu").expect("assert"))
+            .expect("login");
+        let t = SimTime::ZERO;
+        console
+            .launch_instance(token, "adler", "vm1", "m1.large", "bionimbus-genomics", t)
+            .expect("launch");
+        console
+            .launch_instance(token, "sullivan", "vm2", "m1.small", "ubuntu-base", t)
+            .expect("launch");
+        console.instances_page(token, t).expect("page");
+        assert_eq!(tele.counter_value("tukey.logins"), 1);
+        assert_eq!(tele.counter_value("tukey.requests"), 3);
+        assert_eq!(tele.counter_value("tukey.errors"), 0);
+        // Per-cloud latency histograms: adler saw 2 calls (launch + list),
+        // sullivan likewise.
+        let snaps = tele.histograms_snapshot();
+        for cloud in ["adler", "sullivan"] {
+            let h = snaps
+                .iter()
+                .find(|h| h.name == format!("tukey.cloud.{cloud}.latency_ms"))
+                .unwrap_or_else(|| panic!("latency histogram for {cloud}"));
+            assert_eq!(h.count, 2, "{cloud}");
+        }
+        // The request pipeline is fully spanned.
+        let jsonl = tele.export_jsonl();
+        for name in [
+            "console/launch_instance",
+            "console/instances_page",
+            "auth/session",
+            "translation/adler",
+            "translation/sullivan",
+            "aggregation",
+        ] {
+            assert!(jsonl.contains(name), "missing span {name}");
+        }
+        // Errors land in the error counter and still close the root span.
+        assert!(console.instances_page(SessionToken(9), t).is_err());
+        assert_eq!(tele.counter_value("tukey.errors"), 1);
     }
 
     #[test]

@@ -119,7 +119,12 @@ impl FileSharingService {
         Ok(())
     }
 
-    pub fn remove_member(&mut self, actor: &str, group: &str, user: &str) -> Result<(), ShareError> {
+    pub fn remove_member(
+        &mut self,
+        actor: &str,
+        group: &str,
+        user: &str,
+    ) -> Result<(), ShareError> {
         let (owner, members) = self
             .groups
             .get_mut(group)
@@ -156,7 +161,9 @@ impl FileSharingService {
             Node {
                 name: name.to_string(),
                 owner: owner.to_string(),
-                kind: NodeKind::Collection { children: Vec::new() },
+                kind: NodeKind::Collection {
+                    children: Vec::new(),
+                },
                 parent,
                 user_grants: Vec::new(),
                 group_grants: Vec::new(),
@@ -356,7 +363,10 @@ impl FileSharingService {
         user: &str,
         id: CollectionId,
     ) -> Result<FileData, ShareError> {
-        let node = self.nodes.get(&id).ok_or(ShareError::UnknownCollection(id))?;
+        let node = self
+            .nodes
+            .get(&id)
+            .ok_or(ShareError::UnknownCollection(id))?;
         if !self.can_access(user, id, Permission::Read) {
             return Err(ShareError::PermissionDenied);
         }
@@ -375,7 +385,10 @@ impl FileSharingService {
         user: &str,
         id: CollectionId,
     ) -> Result<Vec<CollectionId>, ShareError> {
-        let node = self.nodes.get(&id).ok_or(ShareError::UnknownCollection(id))?;
+        let node = self
+            .nodes
+            .get(&id)
+            .ok_or(ShareError::UnknownCollection(id))?;
         if !self.can_access(user, id, Permission::Read) {
             return Err(ShareError::PermissionDenied);
         }
@@ -401,7 +414,9 @@ mod tests {
 
     fn svc_with_project() -> (FileSharingService, CollectionId) {
         let mut s = FileSharingService::new();
-        let project = s.create_collection("alice", "t2d-genes", None).expect("create");
+        let project = s
+            .create_collection("alice", "t2d-genes", None)
+            .expect("create");
         (s, project)
     }
 
@@ -422,28 +437,38 @@ mod tests {
     #[test]
     fn grant_on_ancestor_covers_descendants() {
         let (mut s, project) = svc_with_project();
-        let runs = s.create_collection("alice", "runs", Some(project)).expect("create");
+        let runs = s
+            .create_collection("alice", "runs", Some(project))
+            .expect("create");
         let f = s
             .register_file("alice", "r.vcf", "/share/r.vcf", Some(runs))
             .expect("register");
         assert!(!s.can_access("bob", f, Permission::Read));
         s.grant_user("alice", project, "bob", Permission::Read)
             .expect("grant");
-        assert!(s.can_access("bob", f, Permission::Read), "inherited via hierarchy");
-        assert!(!s.can_access("bob", f, Permission::Write), "read grant only");
+        assert!(
+            s.can_access("bob", f, Permission::Read),
+            "inherited via hierarchy"
+        );
+        assert!(
+            !s.can_access("bob", f, Permission::Write),
+            "read grant only"
+        );
     }
 
     #[test]
     fn group_grants_follow_membership() {
         let (mut s, project) = svc_with_project();
         s.create_group("alice", "t2d-consortium");
-        s.add_member("alice", "t2d-consortium", "carol").expect("add");
+        s.add_member("alice", "t2d-consortium", "carol")
+            .expect("add");
         s.grant_group("alice", project, "t2d-consortium", Permission::Write)
             .expect("grant");
         assert!(s.can_access("carol", project, Permission::Write));
         assert!(!s.can_access("dave", project, Permission::Read));
         // Membership changes take effect immediately.
-        s.remove_member("alice", "t2d-consortium", "carol").expect("remove");
+        s.remove_member("alice", "t2d-consortium", "carol")
+            .expect("remove");
         assert!(!s.can_access("carol", project, Permission::Read));
     }
 
@@ -484,16 +509,27 @@ mod tests {
     fn watcher_daemon_registers_new_share_files() {
         let (mut s, project) = svc_with_project();
         let mut vol = volume();
-        vol.write("/share/alice/genome.fa", FileData::bytes(b"ACGT".to_vec()), "alice")
-            .expect("write");
-        vol.write("/private/not-shared", FileData::bytes(b"x".to_vec()), "alice")
-            .expect("write");
+        vol.write(
+            "/share/alice/genome.fa",
+            FileData::bytes(b"ACGT".to_vec()),
+            "alice",
+        )
+        .expect("write");
+        vol.write(
+            "/private/not-shared",
+            FileData::bytes(b"x".to_vec()),
+            "alice",
+        )
+        .expect("write");
         let new = s
             .watch_directory(&vol, "/share/", project)
             .expect("watch pass");
         assert_eq!(new.len(), 1);
         // A second pass is idempotent.
-        assert!(s.watch_directory(&vol, "/share/", project).expect("pass").is_empty());
+        assert!(s
+            .watch_directory(&vol, "/share/", project)
+            .expect("pass")
+            .is_empty());
         // The registered file serves over WebDAV to the owner.
         let data = s.webdav_get(&vol, "alice", new[0]).expect("get");
         assert_eq!(data, FileData::bytes(b"ACGT".to_vec()));
@@ -516,17 +552,23 @@ mod tests {
             s.webdav_get(&vol, "alice", project).unwrap_err(),
             ShareError::NotAFile(project)
         );
-        s.grant_user("alice", f, "bob", Permission::Read).expect("grant");
+        s.grant_user("alice", f, "bob", Permission::Read)
+            .expect("grant");
         assert!(s.webdav_get(&vol, "bob", f).is_ok());
     }
 
     #[test]
     fn propfind_filters_unreadable_children() {
         let (mut s, project) = svc_with_project();
-        let open = s.create_collection("alice", "open", Some(project)).expect("create");
-        let closed = s.create_collection("alice", "closed", Some(project)).expect("create");
+        let open = s
+            .create_collection("alice", "open", Some(project))
+            .expect("create");
+        let closed = s
+            .create_collection("alice", "closed", Some(project))
+            .expect("create");
         // Bob may read 'open' only.
-        s.grant_user("alice", open, "bob", Permission::Read).expect("grant");
+        s.grant_user("alice", open, "bob", Permission::Read)
+            .expect("grant");
         // Bob cannot PROPFIND the project itself (no grant there)...
         assert_eq!(
             s.webdav_propfind("bob", project).unwrap_err(),
@@ -535,7 +577,8 @@ mod tests {
         // ...but alice sees both, and if alice grants project-read, bob
         // sees both too (ancestor grant covers 'closed').
         assert_eq!(s.webdav_propfind("alice", project).expect("ok").len(), 2);
-        s.grant_user("alice", project, "bob", Permission::Read).expect("grant");
+        s.grant_user("alice", project, "bob", Permission::Read)
+            .expect("grant");
         assert_eq!(s.webdav_propfind("bob", project).expect("ok").len(), 2);
         let _ = closed;
     }
@@ -558,7 +601,8 @@ mod tests {
         let (mut s, _) = svc_with_project();
         let ghost = CollectionId(999);
         assert!(matches!(
-            s.grant_user("alice", ghost, "b", Permission::Read).unwrap_err(),
+            s.grant_user("alice", ghost, "b", Permission::Read)
+                .unwrap_err(),
             ShareError::UnknownCollection(_)
         ));
         assert!(matches!(

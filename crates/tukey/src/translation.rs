@@ -18,7 +18,8 @@
 use std::collections::BTreeMap;
 
 use osdc_compute::{ApiError, CloudController, EucalyptusApi, OpenStackApi};
-use osdc_sim::SimTime;
+use osdc_sim::{SimDuration, SimTime};
+use osdc_telemetry::{HistogramId, Telemetry};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
@@ -63,7 +64,9 @@ impl CloudMapping {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProxyError {
     /// The identity has no credential for the target cloud.
-    NotEnrolled { cloud: String },
+    NotEnrolled {
+        cloud: String,
+    },
     UnknownCloud(String),
     UnknownImage(String),
     Backend(String),
@@ -78,6 +81,29 @@ impl From<ApiError> for ProxyError {
 /// The middleware's translation layer: owns the backend clouds.
 pub struct TranslationProxy {
     backends: Vec<(CloudMapping, CloudController)>,
+    tele: Telemetry,
+    /// Per-backend latency histogram ids, parallel to `backends`.
+    latency_hists: Vec<HistogramId>,
+    /// Modeled duration of the most recent proxied request, so callers
+    /// (the console) can place their own spans on the sim clock.
+    pub last_latency: SimDuration,
+}
+
+/// Deterministic per-request backend latencies. There is no measured
+/// latency model in `osdc-compute` (calls return instantly), so the proxy
+/// charges each stack a fixed, era-plausible API cost plus a small
+/// per-item translation cost — enough to make traces and per-cloud
+/// histograms meaningful without adding nondeterminism.
+fn backend_base_latency(kind: CloudStackKind) -> SimDuration {
+    match kind {
+        CloudStackKind::OpenStack => SimDuration::from_millis(35),
+        CloudStackKind::Eucalyptus => SimDuration::from_millis(55),
+    }
+}
+
+/// Per-result-item translation/tagging cost.
+fn per_item_latency() -> SimDuration {
+    SimDuration::from_millis(1)
 }
 
 /// Pull `<tag>value</tag>` occurrences out of the Eucalyptus XML dialect.
@@ -103,18 +129,52 @@ impl TranslationProxy {
     pub fn new(backends: Vec<(CloudMapping, CloudController)>) -> Self {
         assert!(
             {
-                let mut names: Vec<&str> =
-                    backends.iter().map(|(m, _)| m.cloud.as_str()).collect();
+                let mut names: Vec<&str> = backends.iter().map(|(m, _)| m.cloud.as_str()).collect();
                 names.sort_unstable();
                 names.windows(2).all(|w| w[0] != w[1])
             },
             "duplicate cloud names in proxy config"
         );
-        TranslationProxy { backends }
+        TranslationProxy {
+            backends,
+            tele: Telemetry::disabled(),
+            latency_hists: Vec::new(),
+            last_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Attach a telemetry handle: spans per proxied request and one
+    /// latency histogram per backend cloud.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.latency_hists = self
+            .backends
+            .iter()
+            .map(|(m, _)| tele.histogram(&format!("tukey.cloud.{}.latency_ms", m.cloud)))
+            .collect();
+        self.tele = tele;
+    }
+
+    /// Trace one backend call: a `translation/<cloud>` span from `at` for
+    /// `latency`, recorded into that cloud's latency histogram.
+    fn trace_backend_call(&self, backend_idx: usize, at: SimTime, latency: SimDuration) {
+        if !self.tele.is_enabled() {
+            return;
+        }
+        let span = self.tele.span_start(
+            &format!("translation/{}", self.backends[backend_idx].0.cloud),
+            at,
+        );
+        self.tele.span_end(span, at + latency);
+        if let Some(&h) = self.latency_hists.get(backend_idx) {
+            self.tele.observe(h, latency.as_secs_f64() * 1e3);
+        }
     }
 
     pub fn cloud_names(&self) -> Vec<&str> {
-        self.backends.iter().map(|(m, _)| m.cloud.as_str()).collect()
+        self.backends
+            .iter()
+            .map(|(m, _)| m.cloud.as_str())
+            .collect()
     }
 
     pub fn controller(&self, cloud: &str) -> Option<&CloudController> {
@@ -124,13 +184,10 @@ impl TranslationProxy {
             .map(|(_, c)| c)
     }
 
-    fn backend_mut(
-        &mut self,
-        cloud: &str,
-    ) -> Result<&mut (CloudMapping, CloudController), ProxyError> {
+    fn backend_index(&self, cloud: &str) -> Result<usize, ProxyError> {
         self.backends
-            .iter_mut()
-            .find(|(m, _)| m.cloud == cloud)
+            .iter()
+            .position(|(m, _)| m.cloud == cloud)
             .ok_or_else(|| ProxyError::UnknownCloud(cloud.to_string()))
     }
 
@@ -150,17 +207,16 @@ impl TranslationProxy {
 
     /// `GET /servers` across every cloud the identity is enrolled in —
     /// the console's landing page. Each entry carries `"cloud": name`.
-    pub fn list_servers(
-        &mut self,
-        vault: &CredentialVault,
-        id: &Identity,
-        now: SimTime,
-    ) -> Value {
+    pub fn list_servers(&mut self, vault: &CredentialVault, id: &Identity, now: SimTime) -> Value {
         let mut merged: Vec<Value> = Vec::new();
-        for (mapping, controller) in &mut self.backends {
+        // `(backend index, items translated)` per cloud actually queried,
+        // for the latency model + spans applied after the fan-out.
+        let mut calls: Vec<(usize, usize)> = Vec::new();
+        for (bi, (mapping, controller)) in self.backends.iter_mut().enumerate() {
             let Some(cred) = vault.lookup(id, &mapping.cloud) else {
                 continue; // not enrolled on this cloud: skip silently
             };
+            let before = merged.len();
             let user = cred.cloud_user;
             match mapping.kind {
                 CloudStackKind::OpenStack => {
@@ -180,9 +236,11 @@ impl TranslationProxy {
                 CloudStackKind::Eucalyptus => {
                     // Native call speaks the query dialect; parse the XML
                     // back into OpenStack-format JSON.
-                    if let Ok(xml) = EucalyptusApi::new(controller)
-                        .handle(&user, "Action=DescribeInstances", now)
-                    {
+                    if let Ok(xml) = EucalyptusApi::new(controller).handle(
+                        &user,
+                        "Action=DescribeInstances",
+                        now,
+                    ) {
                         let ids = xml_values(&xml, "instanceId");
                         let types = xml_values(&xml, "instanceType");
                         let states = xml_values(&xml, "name");
@@ -204,7 +262,19 @@ impl TranslationProxy {
                     }
                 }
             }
+            calls.push((bi, merged.len() - before));
         }
+        // Sequential fan-out on the sim clock: each backend call starts
+        // when the previous one returns, as the single-threaded proxy of
+        // §5.2 would behave.
+        let mut cursor = now;
+        for (bi, items) in calls {
+            let latency = backend_base_latency(self.backends[bi].0.kind)
+                + SimDuration::from_millis(items as u64 * per_item_latency().as_millis());
+            self.trace_backend_call(bi, cursor, latency);
+            cursor += latency;
+        }
+        self.last_latency = cursor.saturating_since(now);
         json!({ "servers": merged })
     }
 
@@ -223,7 +293,9 @@ impl TranslationProxy {
         now: SimTime,
     ) -> Result<Value, ProxyError> {
         let user = Self::cloud_user(vault, id, cloud)?;
-        let (mapping, controller) = self.backend_mut(cloud)?;
+        let bi = self.backend_index(cloud)?;
+        let (mapping, controller) = &mut self.backends[bi];
+        let kind = mapping.kind;
         let image_id = *mapping
             .image_aliases
             .get(unified_image)
@@ -253,6 +325,9 @@ impl TranslationProxy {
             }
         };
         result["server"]["cloud"] = json!(cloud);
+        let latency = backend_base_latency(kind) + per_item_latency();
+        self.trace_backend_call(bi, now, latency);
+        self.last_latency = latency;
         Ok(result)
     }
 
@@ -266,7 +341,9 @@ impl TranslationProxy {
         now: SimTime,
     ) -> Result<(), ProxyError> {
         let user = Self::cloud_user(vault, id, cloud)?;
-        let (mapping, controller) = self.backend_mut(cloud)?;
+        let bi = self.backend_index(cloud)?;
+        let (mapping, controller) = &mut self.backends[bi];
+        let kind = mapping.kind;
         match mapping.kind {
             CloudStackKind::OpenStack => {
                 OpenStackApi::new(controller).handle(
@@ -285,16 +362,15 @@ impl TranslationProxy {
                 )?;
             }
         }
+        let latency = backend_base_latency(kind);
+        self.trace_backend_call(bi, now, latency);
+        self.last_latency = latency;
         Ok(())
     }
 
     /// Aggregate per-minute usage across clouds for the billing poller
     /// (§6.4): `cloud → active cores`.
-    pub fn usage(
-        &self,
-        vault: &CredentialVault,
-        id: &Identity,
-    ) -> BTreeMap<String, u32> {
+    pub fn usage(&self, vault: &CredentialVault, id: &Identity) -> BTreeMap<String, u32> {
         let mut usage = BTreeMap::new();
         for (mapping, controller) in &self.backends {
             if let Some(cred) = vault.lookup(id, &mapping.cloud) {
@@ -385,7 +461,15 @@ mod tests {
             .expect("adler boots");
         assert_eq!(a["server"]["cloud"], "adler");
         let s = proxy
-            .boot_server(&vault, &id, "sullivan", "vm-s", "m1.large", "bionimbus-genomics", t)
+            .boot_server(
+                &vault,
+                &id,
+                "sullivan",
+                "vm-s",
+                "m1.large",
+                "bionimbus-genomics",
+                t,
+            )
             .expect("sullivan boots");
         assert_eq!(s["server"]["cloud"], "sullivan");
 
@@ -428,10 +512,22 @@ mod tests {
             .boot_server(&vault, &id, "sullivan", "s", "m1.small", "ubuntu-base", t)
             .expect("boots");
         proxy
-            .delete_server(&vault, &id, "adler", a["server"]["id"].as_u64().expect("id"), t)
+            .delete_server(
+                &vault,
+                &id,
+                "adler",
+                a["server"]["id"].as_u64().expect("id"),
+                t,
+            )
             .expect("deletes");
         proxy
-            .delete_server(&vault, &id, "sullivan", s["server"]["id"].as_u64().expect("id"), t)
+            .delete_server(
+                &vault,
+                &id,
+                "sullivan",
+                s["server"]["id"].as_u64().expect("id"),
+                t,
+            )
             .expect("deletes");
         let listing = proxy.list_servers(&vault, &id, t);
         assert!(listing["servers"].as_array().expect("array").is_empty());
@@ -444,9 +540,22 @@ mod tests {
             canonical: "openid:https://id.example/poor".into(),
         };
         let err = proxy
-            .boot_server(&vault, &poor, "adler", "x", "m1.small", "ubuntu-base", SimTime::ZERO)
+            .boot_server(
+                &vault,
+                &poor,
+                "adler",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
             .expect_err("not enrolled");
-        assert_eq!(err, ProxyError::NotEnrolled { cloud: "adler".into() });
+        assert_eq!(
+            err,
+            ProxyError::NotEnrolled {
+                cloud: "adler".into()
+            }
+        );
         // And the listing for an unenrolled identity is empty, not an error.
         let listing = proxy.list_servers(&vault, &poor, SimTime::ZERO);
         assert!(listing["servers"].as_array().expect("array").is_empty());
@@ -457,12 +566,28 @@ mod tests {
     fn unknown_cloud_and_image() {
         let (mut proxy, vault, id) = setup();
         assert!(matches!(
-            proxy.boot_server(&vault, &id, "nimbus", "x", "m1.small", "ubuntu-base", SimTime::ZERO),
+            proxy.boot_server(
+                &vault,
+                &id,
+                "nimbus",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO
+            ),
             Err(ProxyError::NotEnrolled { .. }) | Err(ProxyError::UnknownCloud(_))
         ));
         assert_eq!(
             proxy
-                .boot_server(&vault, &id, "adler", "x", "m1.small", "windows-3.1", SimTime::ZERO)
+                .boot_server(
+                    &vault,
+                    &id,
+                    "adler",
+                    "x",
+                    "m1.small",
+                    "windows-3.1",
+                    SimTime::ZERO
+                )
                 .unwrap_err(),
             ProxyError::UnknownImage("windows-3.1".into())
         );

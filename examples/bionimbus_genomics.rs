@@ -23,7 +23,8 @@ fn main() {
     // --- the consortium uploads once -------------------------------------
     // A (toy) set of sequencing reads lands on the Adler share.
     fed.adler_share.add_account("consortium-dcc", "pw-dcc");
-    fed.adler_share.grant("/projects/t2d", "consortium-dcc", AccessKind::Write);
+    fed.adler_share
+        .grant("/projects/t2d", "consortium-dcc", AccessKind::Write);
     let reads: Vec<String> = (0..400)
         .map(|i| {
             // Synthetic reads with an occasional variant motif.
@@ -39,7 +40,10 @@ fn main() {
             FileData::bytes(reads.join("\n").into_bytes()),
         )
         .expect("upload");
-    println!("consortium uploaded cohort.reads ({} reads) — one copy, shared in place", reads.len());
+    println!(
+        "consortium uploaded cohort.reads ({} reads) — one copy, shared in place",
+        reads.len()
+    );
 
     // --- sharing: groups + collections (§6.2) ------------------------------
     let project = fed
@@ -47,7 +51,9 @@ fn main() {
         .sharing
         .create_collection("consortium-dcc", "t2d-genes", None)
         .expect("collection");
-    fed.console.sharing.create_group("consortium-dcc", "t2d-members");
+    fed.console
+        .sharing
+        .create_group("consortium-dcc", "t2d-members");
     for member in ["lab-chicago", "lab-edinburgh", "lab-miami"] {
         fed.console
             .sharing
@@ -61,14 +67,26 @@ fn main() {
     let file_node = fed
         .console
         .sharing
-        .register_file("consortium-dcc", "cohort.reads", "/projects/t2d/cohort.reads", Some(project))
+        .register_file(
+            "consortium-dcc",
+            "cohort.reads",
+            "/projects/t2d/cohort.reads",
+            Some(project),
+        )
         .expect("register");
     println!("collection 't2d-genes' shared with group 't2d-members' (read)");
 
     // Members can read through the WebDAV gate; outsiders cannot.
-    fed.adler_share.grant("/projects/t2d", "lab-chicago", AccessKind::Read);
-    let ok = fed.console.sharing.can_access("lab-edinburgh", file_node, Permission::Read);
-    let outsider = fed.console.sharing.can_access("random-user", file_node, Permission::Read);
+    fed.adler_share
+        .grant("/projects/t2d", "lab-chicago", AccessKind::Read);
+    let ok = fed
+        .console
+        .sharing
+        .can_access("lab-edinburgh", file_node, Permission::Read);
+    let outsider = fed
+        .console
+        .sharing
+        .can_access("random-user", file_node, Permission::Read);
     println!("access check: member lab-edinburgh={ok}, outsider={outsider}");
     assert!(ok && !outsider);
 
@@ -78,7 +96,9 @@ fn main() {
         .adler_share
         .read("consortium-dcc", "pw-dcc", "/projects/t2d/cohort.reads")
         .expect("read back");
-    let FileData::Bytes(bytes) = data else { panic!("real bytes expected") };
+    let FileData::Bytes(bytes) = data else {
+        panic!("real bytes expected")
+    };
     let text = String::from_utf8(bytes).expect("utf8");
     let lines: Vec<String> = text.lines().map(str::to_string).collect();
 
@@ -111,11 +131,19 @@ fn main() {
     // "There are also secure, private Bionimbus clouds that are designed
     // to hold controlled data, such as human genomic data."
     fed.adler_share.add_account("dbgap-admin", "pw-admin");
-    fed.adler_share.grant("/secure/dbgap", "dbgap-admin", AccessKind::Write);
     fed.adler_share
-        .write("dbgap-admin", "pw-admin", "/secure/dbgap/human.vcf", FileData::synthetic(5 << 30, 99))
+        .grant("/secure/dbgap", "dbgap-admin", AccessKind::Write);
+    fed.adler_share
+        .write(
+            "dbgap-admin",
+            "pw-admin",
+            "/secure/dbgap/human.vcf",
+            FileData::synthetic(5 << 30, 99),
+        )
         .expect("controlled upload");
-    let denied = fed.adler_share.read("lab-chicago", "pw?", "/secure/dbgap/human.vcf");
+    let denied = fed
+        .adler_share
+        .read("lab-chicago", "pw?", "/secure/dbgap/human.vcf");
     println!("\ncontrolled-access check: lab-chicago on /secure/dbgap → {denied:?}");
     assert!(denied.is_err());
 
@@ -128,6 +156,16 @@ fn main() {
         commitment: "replicated on OSDC-Root; reviewed annually".into(),
     });
     println!("\npublished with persistent id {ark}");
-    println!("  resolves to: {}", fed.console.arks.resolve(&ark.to_uri()).expect("resolves"));
-    println!("  brief metadata (?): {}", fed.console.arks.resolve(&format!("{ark}?")).expect("resolves").replace('\n', " | "));
+    println!(
+        "  resolves to: {}",
+        fed.console.arks.resolve(&ark.to_uri()).expect("resolves")
+    );
+    println!(
+        "  brief metadata (?): {}",
+        fed.console
+            .arks
+            .resolve(&format!("{ark}?"))
+            .expect("resolves")
+            .replace('\n', " | ")
+    );
 }

@@ -77,13 +77,10 @@ fn main() {
     // --- full-text search ---------------------------------------------------
     println!("\nfull-text search 'telegraph railway' (top 5):");
     for (meta, tf) in bookworm.search("telegraph railway").into_iter().take(5) {
+        let genre = format!("({:?})", meta.genre);
         println!(
-            "  [{:>4}] {:<12} {:<10} {} (tf {})",
-            meta.year,
-            meta.title,
-            meta.place,
-            format!("({:?})", meta.genre),
-            tf
+            "  [{:>4}] {:<12} {:<10} {genre} (tf {tf})",
+            meta.year, meta.title, meta.place,
         );
     }
 }

@@ -38,7 +38,11 @@ fn main() {
     // Full Hyperion radiance depth: 242 bands × 2 bytes per pixel.
     let scene_bytes = (tiles.len() * params.tile_size * params.tile_size * 242 * 2) as u64;
     fed.matsu
-        .create("/eo1/hyperion/2012-10-15/namibia.seq", scene_bytes.max(BLOCK_SIZE), DataNodeId(3))
+        .create(
+            "/eo1/hyperion/2012-10-15/namibia.seq",
+            scene_bytes.max(BLOCK_SIZE),
+            DataNodeId(3),
+        )
         .expect("stage on matsu");
     fed.root
         .write(
@@ -47,7 +51,10 @@ fn main() {
             "matsu",
         )
         .expect("archive on root");
-    println!("staged on OCC-Matsu, archived on OSDC-Root ({} MB)", scene_bytes >> 20);
+    println!(
+        "staged on OCC-Matsu, archived on OSDC-Root ({} MB)",
+        scene_bytes >> 20
+    );
 
     // --- locality-aware scheduling -----------------------------------------
     let sched = TaskScheduler::new(4);
@@ -77,5 +84,8 @@ fn main() {
         .collect();
     alert.truncate(8);
     println!("flood alert bulletin (first tiles): {}", alert.join("; "));
-    assert!(report.water_recall > 0.9, "the detector must find the flood");
+    assert!(
+        report.water_recall > 0.9,
+        "the detector must find the flood"
+    );
 }

@@ -64,7 +64,10 @@ fn main() {
     for m in 0..60 {
         master.tick(SimTime::ZERO + SimDuration::from_mins(m), &agents);
     }
-    println!("after a healthy hour: {} notifications (expected 0)", master.notifications.len());
+    println!(
+        "after a healthy hour: {} notifications (expected 0)",
+        master.notifications.len()
+    );
 
     // A GlusterFS brick fills up; the alert hardens after three checks.
     agents_owned[2].metrics.set("disk_used_pct", 97.5);
@@ -88,21 +91,37 @@ fn main() {
         master.tick(SimTime::ZERO + SimDuration::from_mins(m), &agents);
     }
     let last = master.notifications.last().expect("recovery fired");
-    println!("  RECOVERY @{}: {}/{} back to {}", last.at, last.host, last.service, last.status.label());
+    println!(
+        "  RECOVERY @{}: {}/{} back to {}",
+        last.at,
+        last.host,
+        last.service,
+        last.status.label()
+    );
 
     // --- the in-house usage monitor + public status (§7.4) -------------------
     let mut cloud = CloudController::with_racks("adler", 1);
     for (user, n) in [("alice", 5), ("bob", 2), ("carol", 9)] {
         for i in 0..n {
             cloud
-                .boot(user, &format!("{user}-{i}"), "m1.medium", ImageId(1), SimTime::ZERO)
+                .boot(
+                    user,
+                    &format!("{user}-{i}"),
+                    "m1.medium",
+                    ImageId(1),
+                    SimTime::ZERO,
+                )
                 .expect("capacity");
         }
     }
     let mut usage = CloudUsageMonitor::new();
     let status = usage.sweep(&[&cloud]);
     println!("\npublic status line: {}", status.headline());
-    println!("per-user instance counts: alice={}, bob={}, carol={}",
-        usage.instances_of("alice"), usage.instances_of("bob"), usage.instances_of("carol"));
+    println!(
+        "per-user instance counts: alice={}, bob={}, carol={}",
+        usage.instances_of("alice"),
+        usage.instances_of("bob"),
+        usage.instances_of("carol")
+    );
     println!("over instance quota (6): {:?}", usage.over_quota(6));
 }

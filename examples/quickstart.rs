@@ -16,29 +16,52 @@ use osdc_sim::{SimDuration, SimTime};
 fn main() {
     // 1. Stand up the whole facility (Table 2's clusters + WAN + Tukey).
     let mut fed = Federation::build(1.2e-7, 42);
-    println!("OSDC up: {} cores / {} TB across {} clusters\n", fed.total_cores(), fed.total_disk_tb(), fed.inventory().len());
+    println!(
+        "OSDC up: {} cores / {} TB across {} clusters\n",
+        fed.total_cores(),
+        fed.total_disk_tb(),
+        fed.inventory().len()
+    );
 
     // 2. Federated login: your campus IdP vouches for you.
     let mut idp = ShibbolethIdp::new("urn:mace:example.edu:idp", b"campus-key");
     idp.register("you@example.edu", &[("displayName", "New Researcher")]);
-    fed.console.auth.trust_idp("urn:mace:example.edu:idp", b"campus-key");
-    let me = Identity { canonical: "shib:you@example.edu".into() };
-    fed.console.enroll(&me, CloudCredential::new("adler", "you", "AK", "SK"));
+    fed.console
+        .auth
+        .trust_idp("urn:mace:example.edu:idp", b"campus-key");
+    let me = Identity {
+        canonical: "shib:you@example.edu".into(),
+    };
+    fed.console
+        .enroll(&me, CloudCredential::new("adler", "you", "AK", "SK"));
     let token = fed
         .console
         .login_shibboleth(&idp.assert("you@example.edu").expect("campus account"))
         .expect("trusted IdP");
-    println!("logged in as {}", fed.console.whoami(token).expect("session"));
+    println!(
+        "logged in as {}",
+        fed.console.whoami(token).expect("session")
+    );
 
     // 3. Browse the public data (§6.3) — anyone can.
     let hits = fed.console.datasets_page(Some("genomes"));
-    println!("\npublic dataset search 'genomes':\n{}", serde_json::to_string_pretty(&hits).expect("json"));
+    println!(
+        "\npublic dataset search 'genomes':\n{}",
+        serde_json::to_string_pretty(&hits).expect("json")
+    );
 
     // 4. Launch a VM from the community genomics image (§3.2 rule 5).
     let t0 = SimTime::ZERO;
     let vm = fed
         .console
-        .launch_instance(token, "adler", "first-analysis", "m1.large", "bionimbus-genomics", t0)
+        .launch_instance(
+            token,
+            "adler",
+            "first-analysis",
+            "m1.large",
+            "bionimbus-genomics",
+            t0,
+        )
         .expect("free-tier capacity");
     println!("launched: {}", serde_json::to_string(&vm).expect("json"));
 
@@ -48,18 +71,27 @@ fn main() {
         now += SimDuration::from_mins(1);
         fed.console.billing_minute_tick();
     }
-    println!("\nusage page:\n{}", serde_json::to_string_pretty(&fed.console.usage_page(token).expect("usage")).expect("json"));
+    println!(
+        "\nusage page:\n{}",
+        serde_json::to_string_pretty(&fed.console.usage_page(token).expect("usage")).expect("json")
+    );
 
     // 6. Terminate, close the month, read the invoice.
     let id = vm["server"]["id"].as_u64().expect("id");
-    fed.console.terminate_instance(token, "adler", id, now).expect("terminate");
+    fed.console
+        .terminate_instance(token, "adler", id, now)
+        .expect("terminate");
     for invoice in fed.console.billing.close_month() {
         println!(
             "invoice for {}: {:.1} core-hours → ${:.2} (free tier covers {})",
             invoice.user,
             invoice.core_hours,
             invoice.total_usd,
-            if invoice.total_usd == 0.0 { "it all" } else { "part" }
+            if invoice.total_usd == 0.0 {
+                "it all"
+            } else {
+                "part"
+            }
         );
     }
     println!("\ndone — see examples/bionimbus_genomics.rs and examples/matsu_flood_detection.rs for the domain workloads.");

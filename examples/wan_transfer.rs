@@ -33,7 +33,14 @@ fn main() {
         let dst = wan.node(OsdcSite::Lvoc);
         let mut engine = TransferEngine::new(FluidNet::new(wan.topology, 99));
         let report = engine.run(
-            &TransferSpec { protocol, cipher, bytes, files: 40, src, dst },
+            &TransferSpec {
+                protocol,
+                cipher,
+                bytes,
+                files: 40,
+                src,
+                dst,
+            },
             SimDuration::from_days(3),
         );
         println!(
@@ -53,7 +60,9 @@ fn main() {
     let mut basis = vec![0u8; 8 << 20];
     let mut x = 0x12345u64;
     for b in basis.iter_mut() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (x >> 56) as u8;
     }
     let mut new_data = basis.clone();
@@ -72,5 +81,8 @@ fn main() {
         delta.ops.len(),
         delta.literal_bytes,
     );
-    assert!(delta.wire_bytes() < basis.len() / 20, "delta must be far cheaper than a re-send");
+    assert!(
+        delta.wire_bytes() < basis.len() / 20,
+        "delta must be far cheaper than a re-send"
+    );
 }

@@ -196,8 +196,8 @@ pub fn synthetic_corpus(books: usize, year_lo: u32, year_hi: u32, seed: u64) -> 
     assert!(year_lo < year_hi);
     let mut rng = SimRng::new(seed);
     let base = [
-        "the", "of", "and", "to", "in", "a", "is", "was", "he", "she", "it", "land",
-        "house", "river", "night", "morning", "letter", "road", "city", "heart",
+        "the", "of", "and", "to", "in", "a", "is", "was", "he", "she", "it", "land", "house",
+        "river", "night", "morning", "letter", "road", "city", "heart",
     ];
     // (word, introduction year): frequency ramps up after introduction.
     let era_words = [
@@ -215,13 +215,14 @@ pub fn synthetic_corpus(books: usize, year_lo: u32, year_hi: u32, seed: u64) -> 
             let mut words: Vec<&str> = Vec::with_capacity(600);
             for _ in 0..600 {
                 // Era words appear only after introduction, ramping with age.
-                let era_pick = era_words
-                    .iter()
-                    .filter(|(_, intro)| year >= *intro)
-                    .find(|(_, intro)| {
-                        let age = (year - intro) as f64;
-                        rng.chance((age / 100.0).min(0.04))
-                    });
+                let era_pick =
+                    era_words
+                        .iter()
+                        .filter(|(_, intro)| year >= *intro)
+                        .find(|(_, intro)| {
+                            let age = (year - intro) as f64;
+                            rng.chance((age / 100.0).min(0.04))
+                        });
                 match era_pick {
                     Some((w, _)) => words.push(w),
                     None => words.push(base[rng.below(base.len() as u64) as usize]),
@@ -274,7 +275,10 @@ mod tests {
         let bw = Bookworm::build(&corpus(), &Facet::default(), &JobConfig::default());
         let trend = bw.trend("the");
         let freqs: Vec<f64> = trend.iter().map(|(_, f)| *f).collect();
-        assert!(freqs.iter().all(|&f| f > 10_000.0), "common word everywhere");
+        assert!(
+            freqs.iter().all(|&f| f > 10_000.0),
+            "common word everywhere"
+        );
     }
 
     #[test]
@@ -320,7 +324,10 @@ mod tests {
         let bw = Bookworm::build(&corpus, &Facet::default(), &JobConfig::default());
         let hits = bw.search("telegraph railway");
         assert!(!hits.is_empty());
-        assert_eq!(hits[0].0.title, "The Telegraph and the Railway", "highest tf first");
+        assert_eq!(
+            hits[0].0.title, "The Telegraph and the Railway",
+            "highest tf first"
+        );
         // Conjunctive: every hit contains both words.
         let railway_only = bw.search("railway");
         assert!(railway_only.len() >= hits.len());
@@ -340,12 +347,18 @@ mod tests {
         let serial = Bookworm::build(
             &corpus,
             &Facet::default(),
-            &JobConfig { map_workers: 1, reducers: 1 },
+            &JobConfig {
+                map_workers: 1,
+                reducers: 1,
+            },
         );
         let parallel = Bookworm::build(
             &corpus,
             &Facet::default(),
-            &JobConfig { map_workers: 8, reducers: 5 },
+            &JobConfig {
+                map_workers: 8,
+                reducers: 5,
+            },
         );
         assert_eq!(serial.trend("railway"), parallel.trend("railway"));
         assert_eq!(

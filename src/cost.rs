@@ -85,8 +85,7 @@ impl CostModel {
     /// Monthly saving (positive) or loss (negative) of running one rack
     /// at `utilization` instead of buying the same used hours from AWS.
     pub fn monthly_saving_usd(&self, utilization: f64) -> f64 {
-        self.utilized_core_hours(utilization) * self.aws_core_hour_usd
-            - self.rack_monthly_usd()
+        self.utilized_core_hours(utilization) * self.aws_core_hour_usd - self.rack_monthly_usd()
     }
 }
 

@@ -125,7 +125,11 @@ pub fn run_flow_mix(profile: &CspProfile, mix: FlowMix, seed: u64) -> FlowMixRep
             app_limit_bps: profile.per_flow_cap_bps,
         });
     }
-    let rtt = net.topology().rtt(dc, inet).expect("connected").as_secs_f64();
+    let rtt = net
+        .topology()
+        .rtt(dc, inet)
+        .expect("connected")
+        .as_secs_f64();
     match mix {
         FlowMix::SmallWeb { flows } => {
             let ids: Vec<_> = (0..flows)
@@ -190,19 +194,32 @@ mod tests {
     fn both_serve_small_web_flows_fine() {
         // The commercial profile is *built* for this; the science profile
         // must not be worse in any meaningful way.
-        let c = run_flow_mix(&CspProfile::commercial(), FlowMix::SmallWeb { flows: 50 }, 1);
+        let c = run_flow_mix(
+            &CspProfile::commercial(),
+            FlowMix::SmallWeb { flows: 50 },
+            1,
+        );
         let s = run_flow_mix(&CspProfile::science(), FlowMix::SmallWeb { flows: 50 }, 1);
         let (cm, sm) = (c.small_flow_ms.expect("ms"), s.small_flow_ms.expect("ms"));
         assert!(cm < 2000.0, "commercial small flows complete quickly: {cm}");
-        assert!(sm < 2.0 * cm, "science is comparable on small flows: {sm} vs {cm}");
+        assert!(
+            sm < 2.0 * cm,
+            "science is comparable on small flows: {sm} vs {cm}"
+        );
     }
 
     #[test]
     fn science_wins_decisively_on_elephants() {
-        let mix = FlowMix::Elephant { flows: 3, gb_each: 20 };
+        let mix = FlowMix::Elephant {
+            flows: 3,
+            gb_each: 20,
+        };
         let c = run_flow_mix(&CspProfile::commercial(), mix, 2);
         let s = run_flow_mix(&CspProfile::science(), mix, 2);
-        let (ce, se) = (c.elephant_mbps.expect("mbps"), s.elephant_mbps.expect("mbps"));
+        let (ce, se) = (
+            c.elephant_mbps.expect("mbps"),
+            s.elephant_mbps.expect("mbps"),
+        );
         assert!(
             se > 2.0 * ce,
             "science elephants ({se:.0} mbit/s) ≫ commercial ({ce:.0} mbit/s)"
@@ -213,7 +230,10 @@ mod tests {
     fn per_flow_cap_binds_commercial_elephants() {
         let c = run_flow_mix(
             &CspProfile::commercial(),
-            FlowMix::Elephant { flows: 1, gb_each: 10 },
+            FlowMix::Elephant {
+                flows: 1,
+                gb_each: 10,
+            },
             3,
         );
         let mbps = c.elephant_mbps.expect("mbps");
@@ -231,7 +251,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let mix = FlowMix::Elephant { flows: 2, gb_each: 5 };
+        let mix = FlowMix::Elephant {
+            flows: 2,
+            gb_each: 5,
+        };
         let a = run_flow_mix(&CspProfile::science(), mix, 9);
         let b = run_flow_mix(&CspProfile::science(), mix, 9);
         assert_eq!(a.elephant_mbps, b.elephant_mbps);

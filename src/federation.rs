@@ -13,9 +13,7 @@
 //! the four-site WAN, and a Nagios master watching brick hosts.
 
 use osdc_mapreduce::Hdfs;
-use osdc_monitor::{
-    CheckDefinition, NagiosMaster, ServiceDefinition, ThresholdDirection,
-};
+use osdc_monitor::{CheckDefinition, NagiosMaster, ServiceDefinition, ThresholdDirection};
 use osdc_net::wan::{osdc_wan, OsdcWan};
 use osdc_sim::SimDuration;
 use osdc_storage::{GlusterVersion, SambaExport, Volume};
@@ -173,7 +171,11 @@ mod tests {
         assert_eq!(inv.len(), 4);
         // Row 1: 1248 cores (Table 2), ~1.2 PB.
         assert_eq!(inv[0].cores, 1248);
-        assert!((1100..=1300).contains(&inv[0].disk_tb), "{}", inv[0].disk_tb);
+        assert!(
+            (1100..=1300).contains(&inv[0].disk_tb),
+            "{}",
+            inv[0].disk_tb
+        );
         // Row 2: approximately 1 PB of disk (459 TB usable ×2 replicas).
         assert!((900..=1100).contains(&inv[1].disk_tb), "{}", inv[1].disk_tb);
         // Row 3: 928 cores and 1.0 PB.

@@ -118,9 +118,8 @@ pub fn generate_scene(params: &SceneParams, seed: u64) -> Vec<Tile> {
                         nir = 0.30;
                         tile.truth_fire[i] = true;
                     }
-                    let mut jitter = |v: f32| {
-                        (v + (rng.f64() as f32 - 0.5) * noise()).clamp(0.0, 1.0)
-                    };
+                    let mut jitter =
+                        |v: f32| (v + (rng.f64() as f32 - 0.5) * noise()).clamp(0.0, 1.0);
                     tile.green[i] = jitter(green);
                     tile.nir[i] = jitter(nir);
                     tile.swir[i] = jitter(swir);
@@ -344,8 +343,20 @@ mod tests {
     #[test]
     fn parallelism_does_not_change_the_answer() {
         let tiles = generate_scene(&SceneParams::default(), 5);
-        let serial = detect_floods(tiles.clone(), &JobConfig { map_workers: 1, reducers: 1 });
-        let parallel = detect_floods(tiles, &JobConfig { map_workers: 8, reducers: 4 });
+        let serial = detect_floods(
+            tiles.clone(),
+            &JobConfig {
+                map_workers: 1,
+                reducers: 1,
+            },
+        );
+        let parallel = detect_floods(
+            tiles,
+            &JobConfig {
+                map_workers: 8,
+                reducers: 4,
+            },
+        );
         assert_eq!(serial.flooded_tiles, parallel.flooded_tiles);
         assert_eq!(serial.water_precision, parallel.water_precision);
     }

@@ -99,8 +99,7 @@ pub fn simulate(params: &SustainabilityParams, seed: u64) -> Vec<YearReport> {
     for year in 0..params.years {
         let decline = (1.0 - params.hardware_cost_decline).powi(year as i32);
         let rack_price = params.rack_price_usd * decline;
-        let opex = params.opex_per_rack_usd
-            * (1.0 - params.automation_gain).powi(year as i32);
+        let opex = params.opex_per_rack_usd * (1.0 - params.automation_gain).powi(year as i32);
 
         // Rule 7: invest the fixed amount; it buys more racks every year
         // as hardware cheapens.
@@ -154,7 +153,11 @@ mod tests {
     fn default_model_is_sustainable() {
         let params = SustainabilityParams::default();
         let reports = simulate(&params, 2012);
-        assert!(is_sustainable(&reports, &params), "the OSDC's rules balance: {:#?}", reports.last());
+        assert!(
+            is_sustainable(&reports, &params),
+            "the OSDC's rules balance: {:#?}",
+            reports.last()
+        );
         // Growth happens: capacity rises every year (rule 7).
         for w in reports.windows(2) {
             assert!(w[1].racks > w[0].racks);
@@ -213,7 +216,10 @@ mod tests {
         let reports = simulate(&SustainabilityParams::default(), 7);
         let first = reports.first().expect("non-empty").utilization;
         let last = reports.last().expect("non-empty").utilization;
-        assert!(last >= first, "demand growth outpaces rack purchases: {first} → {last}");
+        assert!(
+            last >= first,
+            "demand growth outpaces rack purchases: {first} → {last}"
+        );
         assert!(reports.iter().all(|r| r.utilization <= 1.0));
     }
 
@@ -222,7 +228,10 @@ mod tests {
         let reports = simulate(&SustainabilityParams::default(), 9);
         let early = reports[0].racks_bought;
         let late = reports.last().expect("non-empty").racks_bought;
-        assert!(late > early, "same dollars buy more racks later: {early} vs {late}");
+        assert!(
+            late > early,
+            "same dollars buy more racks later: {early} vs {late}"
+        );
     }
 
     #[test]

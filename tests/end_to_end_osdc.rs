@@ -24,8 +24,10 @@ fn logged_in_federation() -> (Federation, osdc::tukey::SessionToken) {
     idp.register("heath@uchicago.edu", &[]);
     fed.console.auth.trust_idp("urn:uchicago", b"k");
     let id = researcher();
-    fed.console.enroll(&id, CloudCredential::new("adler", "heath", "A", "S"));
-    fed.console.enroll(&id, CloudCredential::new("sullivan", "heath", "A", "S"));
+    fed.console
+        .enroll(&id, CloudCredential::new("adler", "heath", "A", "S"));
+    fed.console
+        .enroll(&id, CloudCredential::new("sullivan", "heath", "A", "S"));
     let token = fed
         .console
         .login_shibboleth(&idp.assert("heath@uchicago.edu").expect("registered"))
@@ -41,10 +43,24 @@ fn a_researchers_month() {
     let t0 = SimTime::ZERO;
     let a = fed
         .console
-        .launch_instance(token, "adler", "pipeline", "m1.xlarge", "bionimbus-genomics", t0)
+        .launch_instance(
+            token,
+            "adler",
+            "pipeline",
+            "m1.xlarge",
+            "bionimbus-genomics",
+            t0,
+        )
         .expect("adler launch");
     fed.console
-        .launch_instance(token, "sullivan", "preprocess", "m1.medium", "ubuntu-base", t0)
+        .launch_instance(
+            token,
+            "sullivan",
+            "preprocess",
+            "m1.medium",
+            "ubuntu-base",
+            t0,
+        )
         .expect("sullivan launch");
     let page = fed.console.instances_page(token, t0).expect("page");
     assert_eq!(page["servers"].as_array().expect("array").len(), 2);
@@ -52,12 +68,22 @@ fn a_researchers_month() {
     // Store data on the share; grant a collaborator read access.
     fed.adler_share.add_account("heath", "pw");
     fed.adler_share.add_account("collab", "pw2");
-    fed.adler_share.grant("/projects/enc", "heath", AccessKind::Write);
-    fed.adler_share.grant("/projects/enc", "collab", AccessKind::Read);
     fed.adler_share
-        .write("heath", "pw", "/projects/enc/peaks.bed", FileData::bytes(b"chr1\t100\t200".to_vec()))
+        .grant("/projects/enc", "heath", AccessKind::Write);
+    fed.adler_share
+        .grant("/projects/enc", "collab", AccessKind::Read);
+    fed.adler_share
+        .write(
+            "heath",
+            "pw",
+            "/projects/enc/peaks.bed",
+            FileData::bytes(b"chr1\t100\t200".to_vec()),
+        )
         .expect("write");
-    assert!(fed.adler_share.read("collab", "pw2", "/projects/enc/peaks.bed").is_ok());
+    assert!(fed
+        .adler_share
+        .read("collab", "pw2", "/projects/enc/peaks.bed")
+        .is_ok());
 
     // A 30-day month of minute polls and daily sweeps.
     let id = researcher();
@@ -65,15 +91,20 @@ fn a_researchers_month() {
         for _ in 0..(24 * 60) {
             fed.console.billing_minute_tick();
         }
-        let stored = fed.adler_share.with_volume(|v| {
-            v.usage_by_owner().get("heath").copied().unwrap_or(0)
-        });
+        let stored = fed
+            .adler_share
+            .with_volume(|v| v.usage_by_owner().get("heath").copied().unwrap_or(0));
         fed.console.billing_daily_storage(&[(id.clone(), stored)]);
         let _ = day;
     }
     // Terminate at month end.
     fed.console
-        .terminate_instance(token, "adler", a["server"]["id"].as_u64().expect("id"), t0 + SimDuration::from_days(30))
+        .terminate_instance(
+            token,
+            "adler",
+            a["server"]["id"].as_u64().expect("id"),
+            t0 + SimDuration::from_days(30),
+        )
         .expect("terminate");
 
     let invoices = fed.console.billing.close_month();
@@ -85,7 +116,10 @@ fn a_researchers_month() {
 
     // The catalog resolves its ARKs to storage paths.
     let page = fed.console.datasets_page(Some("EO-1"));
-    let ark = page["datasets"][0]["ark"].as_str().expect("ark").to_string();
+    let ark = page["datasets"][0]["ark"]
+        .as_str()
+        .expect("ark")
+        .to_string();
     let location = fed.console.arks.resolve(&ark).expect("resolves");
     assert!(location.starts_with("/glusterfs/public/"));
 }
@@ -101,9 +135,15 @@ fn unenrolled_user_sees_empty_clouds_but_public_data() {
         .login_shibboleth(&idp.assert("newbie@uchicago.edu").expect("registered"))
         .expect("trusted");
     // No credentials enrolled → no servers, but the catalog is open.
-    let page = fed.console.instances_page(token, SimTime::ZERO).expect("page");
+    let page = fed
+        .console
+        .instances_page(token, SimTime::ZERO)
+        .expect("page");
     assert!(page["servers"].as_array().expect("array").is_empty());
-    assert!(!fed.console.datasets_page(None)["datasets"].as_array().expect("array").is_empty());
+    assert!(!fed.console.datasets_page(None)["datasets"]
+        .as_array()
+        .expect("array")
+        .is_empty());
 }
 
 #[test]

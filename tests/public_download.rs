@@ -21,11 +21,18 @@ fn catalog_to_download_pipeline() {
     //    it with a freshly minted ARK.
     let size: u64 = 30_000_000_000; // a 30 GB slice of the EO-1 archive
     fed.root
-        .write("/glusterfs/public/eo1_slice", FileData::synthetic(size, 7), "curator")
+        .write(
+            "/glusterfs/public/eo1_slice",
+            FileData::synthetic(size, 7),
+            "curator",
+        )
         .expect("staged");
     // The seeded catalog's EO-1 record points at the public share.
     let page = fed.console.datasets_page(Some("EO-1"));
-    let ark = page["datasets"][0]["ark"].as_str().expect("ark").to_string();
+    let ark = page["datasets"][0]["ark"]
+        .as_str()
+        .expect("ark")
+        .to_string();
 
     // 2. ARK resolution gives the storage location; inflections give
     //    metadata to cite.
@@ -40,15 +47,22 @@ fn catalog_to_download_pipeline() {
     fed.adler_share.make_public("/glusterfs/public/");
     // Public read works even though the guest has no grant...
     fed.adler_share.with_volume(|v| {
-        v.write("/glusterfs/public/readme", FileData::bytes(b"open data".to_vec()), "curator")
-            .expect("write");
+        v.write(
+            "/glusterfs/public/readme",
+            FileData::bytes(b"open data".to_vec()),
+            "curator",
+        )
+        .expect("write");
     });
     assert!(fed
         .adler_share
         .read("guest", "guest", "/glusterfs/public/readme")
         .is_ok());
     // ...but nothing else does.
-    assert!(fed.adler_share.read("guest", "guest", "/private/x").is_err());
+    assert!(fed
+        .adler_share
+        .read("guest", "guest", "/private/x")
+        .is_err());
 
     // 4. The download itself: Chicago → AMPATH Miami via StarLight at
     //    bulk-transfer speed.
@@ -74,7 +88,11 @@ fn catalog_to_download_pipeline() {
         report.mbps
     );
     // A 30 GB public dataset arrives in minutes, not hours.
-    assert!(report.duration < SimDuration::from_mins(10), "{}", report.duration);
+    assert!(
+        report.duration < SimDuration::from_mins(10),
+        "{}",
+        report.duration
+    );
 }
 
 #[test]
@@ -82,13 +100,24 @@ fn every_catalog_entry_resolves() {
     let fed = Federation::build(0.9e-7, 64);
     let page = fed.console.datasets_page(None);
     let datasets = page["datasets"].as_array().expect("array");
-    assert!(datasets.len() >= 12, "the paper's named datasets are all present");
+    assert!(
+        datasets.len() >= 12,
+        "the paper's named datasets are all present"
+    );
     for d in datasets {
         let ark = d["ark"].as_str().expect("ark uri");
-        let location = fed.console.arks.resolve(ark).expect("every published ARK resolves");
+        let location = fed
+            .console
+            .arks
+            .resolve(ark)
+            .expect("every published ARK resolves");
         assert_eq!(location, d["path"].as_str().expect("path"));
         // Full inflection always includes the persistence commitment.
-        let full = fed.console.arks.resolve(&format!("{ark}??")).expect("full record");
+        let full = fed
+            .console
+            .arks
+            .resolve(&format!("{ark}??"))
+            .expect("full record");
         assert!(full.contains("commitment:"));
     }
 }

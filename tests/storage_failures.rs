@@ -18,14 +18,24 @@ fn gluster_upgrade_story() {
         (0..300)
             .map(|i| {
                 let p = format!("/data/f{i}");
-                vol.write(&p, FileData::synthetic(1 << 16, i), "lab").expect("write");
+                vol.write(&p, FileData::synthetic(1 << 16, i), "lab")
+                    .expect("write");
                 p
             })
             .collect()
     };
 
     // Era 1: v3.1 with the mirroring defect.
-    let mut v31 = Volume::new("adler-v31", GlusterVersion::V3_1 { replica_drop_prob: 0.2 }, 6, 2, 1 << 33, 1);
+    let mut v31 = Volume::new(
+        "adler-v31",
+        GlusterVersion::V3_1 {
+            replica_drop_prob: 0.2,
+        },
+        6,
+        2,
+        1 << 33,
+        1,
+    );
     let paths31 = write_corpus(&mut v31);
     v31.fail_brick(BrickId(0));
     v31.fail_brick(BrickId(2));
@@ -38,13 +48,19 @@ fn gluster_upgrade_story() {
     let mut v33 = Volume::new("adler-v33", GlusterVersion::V3_3, 6, 2, 1 << 33, 1);
     let paths33 = write_corpus(&mut v33);
     v33.fail_brick(BrickId(0));
-    assert!(v33.audit_lost(&paths33).is_empty(), "replicas cover the failure");
+    assert!(
+        v33.audit_lost(&paths33).is_empty(),
+        "replicas cover the failure"
+    );
     v33.replace_brick(BrickId(0));
     let report = v33.heal();
     assert!(report.repaired > 0);
     // Now the *other* side of that set can fail too.
     v33.fail_brick(BrickId(1));
-    assert!(v33.audit_lost(&paths33).is_empty(), "healed brick carries the data");
+    assert!(
+        v33.audit_lost(&paths33).is_empty(),
+        "healed brick carries the data"
+    );
 }
 
 /// Monitoring notices a brick filling up before it tips over, and the
@@ -58,7 +74,11 @@ fn monitored_backup_recovery_drill() {
         .map(|i| {
             let p = format!("/modencode/run{i}.bam");
             primary
-                .write(&p, FileData::synthetic(rng.range_inclusive(1 << 20, 1 << 24), i), "dcc")
+                .write(
+                    &p,
+                    FileData::synthetic(rng.range_inclusive(1 << 20, 1 << 24), i),
+                    "dcc",
+                )
                 .expect("write");
             p
         })
@@ -75,7 +95,13 @@ fn monitored_backup_recovery_drill() {
     let mut master = NagiosMaster::new();
     master.add_service(ServiceDefinition {
         host: "dcc-brick0".into(),
-        check: CheckDefinition::new("check_disk", "disk_used_pct", 80.0, 95.0, ThresholdDirection::HighIsBad),
+        check: CheckDefinition::new(
+            "check_disk",
+            "disk_used_pct",
+            80.0,
+            95.0,
+            ThresholdDirection::HighIsBad,
+        ),
         check_interval: SimDuration::from_mins(5),
         retry_interval: SimDuration::from_mins(1),
         max_check_attempts: 3,
@@ -119,9 +145,16 @@ fn export_gate_transparent_to_replica_failure() {
     export.add_account("alice", "pw");
     export.grant("/d", "alice", osdc::storage::AccessKind::Write);
     export
-        .write("alice", "pw", "/d/file", FileData::bytes(b"payload".to_vec()))
+        .write(
+            "alice",
+            "pw",
+            "/d/file",
+            FileData::bytes(b"payload".to_vec()),
+        )
         .expect("write");
     export.with_volume(|v| v.fail_brick(BrickId(0)));
-    let data = export.read("alice", "pw", "/d/file").expect("replica serves");
+    let data = export
+        .read("alice", "pw", "/d/file")
+        .expect("replica serves");
     assert_eq!(data, FileData::bytes(b"payload".to_vec()));
 }

@@ -22,7 +22,14 @@ fn run(protocol: Protocol, cipher: CipherKind, bytes: u64, seed: u64) -> Transfe
     let dst = wan.node(OsdcSite::Lvoc);
     let mut engine = TransferEngine::new(FluidNet::new(wan.topology, seed));
     engine.run(
-        &TransferSpec { protocol, cipher, bytes, files: 1, src, dst },
+        &TransferSpec {
+            protocol,
+            cipher,
+            bytes,
+            files: 1,
+            src,
+            dst,
+        },
         SimDuration::from_days(2),
     )
 }
@@ -45,7 +52,10 @@ fn encryption_costs_throughput_for_both_tools() {
     assert!(udr_plain > udr_bf * 1.3, "{udr_plain:.0} vs {udr_bf:.0}");
     let rsync_plain = run(Protocol::Rsync, CipherKind::None, GB108, 2).mbps;
     let rsync_bf = run(Protocol::Rsync, CipherKind::Blowfish, GB108, 2).mbps;
-    assert!(rsync_plain > rsync_bf * 1.2, "{rsync_plain:.0} vs {rsync_bf:.0}");
+    assert!(
+        rsync_plain > rsync_bf * 1.2,
+        "{rsync_plain:.0} vs {rsync_bf:.0}"
+    );
 }
 
 #[test]
@@ -55,7 +65,10 @@ fn rsync_ciphers_are_transport_bound_not_cipher_bound() {
     let bf = run(Protocol::Rsync, CipherKind::Blowfish, GB108, 3).mbps;
     let des = run(Protocol::Rsync, CipherKind::TripleDes, GB108, 3).mbps;
     let ratio = bf.max(des) / bf.min(des);
-    assert!(ratio < 1.10, "rsync ciphers should land together: {bf:.0} vs {des:.0}");
+    assert!(
+        ratio < 1.10,
+        "rsync ciphers should land together: {bf:.0} vs {des:.0}"
+    );
 }
 
 #[test]
@@ -65,7 +78,12 @@ fn llr_bounds_and_ordering() {
     for r in [&udr, &rsync] {
         assert!(r.llr > 0.0 && r.llr < 1.0, "LLR in (0,1): {}", r.llr);
     }
-    assert!(udr.llr > rsync.llr * 1.5, "UDR {:.2} vs rsync {:.2}", udr.llr, rsync.llr);
+    assert!(
+        udr.llr > rsync.llr * 1.5,
+        "UDR {:.2} vs rsync {:.2}",
+        udr.llr,
+        rsync.llr
+    );
     // The paper's UDR-plain band: LLR ≈ 0.64–0.66.
     assert!((0.55..0.75).contains(&udr.llr), "UDR LLR {:.2}", udr.llr);
 }
@@ -76,7 +94,10 @@ fn steady_state_is_size_invariant() {
     // 432 GB to keep the debug-mode test quick; same property.
     let small = run(Protocol::Rsync, CipherKind::None, GB108, 5).mbps;
     let large = run(Protocol::Rsync, CipherKind::None, 4 * GB108, 5).mbps;
-    assert!((large / small - 1.0).abs() < 0.08, "{small:.0} vs {large:.0}");
+    assert!(
+        (large / small - 1.0).abs() < 0.08,
+        "{small:.0} vs {large:.0}"
+    );
 }
 
 #[test]
@@ -87,7 +108,16 @@ fn headline_speedup_bands() {
         / run(Protocol::Rsync, CipherKind::None, GB108, 6).mbps;
     let enc = run(Protocol::Udr, CipherKind::Blowfish, GB108, 6).mbps
         / run(Protocol::Rsync, CipherKind::Blowfish, GB108, 6).mbps;
-    assert!((1.5..2.4).contains(&plain), "unencrypted speedup {plain:.2} (paper 1.87)");
-    assert!((1.2..1.7).contains(&enc), "encrypted speedup {enc:.2} (paper 1.41)");
-    assert!(plain > enc, "encryption compresses UDR's edge, as in the paper");
+    assert!(
+        (1.5..2.4).contains(&plain),
+        "unencrypted speedup {plain:.2} (paper 1.87)"
+    );
+    assert!(
+        (1.2..1.7).contains(&enc),
+        "encrypted speedup {enc:.2} (paper 1.41)"
+    );
+    assert!(
+        plain > enc,
+        "encryption compresses UDR's edge, as in the paper"
+    );
 }

@@ -13,7 +13,9 @@ use osdc_sim::SimTime;
 fn enrolled() -> (osdc::tukey::TranslationProxy, CredentialVault, Identity) {
     let proxy = osdc_proxy(1);
     let vault = CredentialVault::new();
-    let id = Identity { canonical: "shib:it@uchicago.edu".into() };
+    let id = Identity {
+        canonical: "shib:it@uchicago.edu".into(),
+    };
     vault.enroll(&id, CloudCredential::new("adler", "it", "K", "S"));
     vault.enroll(&id, CloudCredential::new("sullivan", "it", "K", "S"));
     (proxy, vault, id)
@@ -27,10 +29,26 @@ fn aggregated_view_is_consistent_with_backends() {
     let t = SimTime::ZERO;
     for i in 0..5 {
         proxy
-            .boot_server(&vault, &id, "adler", &format!("a{i}"), "m1.small", "ubuntu-base", t)
+            .boot_server(
+                &vault,
+                &id,
+                "adler",
+                &format!("a{i}"),
+                "m1.small",
+                "ubuntu-base",
+                t,
+            )
             .expect("boot");
         proxy
-            .boot_server(&vault, &id, "sullivan", &format!("s{i}"), "m1.large", "ubuntu-base", t)
+            .boot_server(
+                &vault,
+                &id,
+                "sullivan",
+                &format!("s{i}"),
+                "m1.large",
+                "ubuntu-base",
+                t,
+            )
             .expect("boot");
     }
     let listing = proxy.list_servers(&vault, &id, t);
@@ -76,17 +94,31 @@ fn sharing_pipeline_over_real_volume() {
     let mut volume = Volume::new("share", GlusterVersion::V3_3, 4, 2, 1 << 30, 5);
     // Users drop files into their designated share directories.
     volume
-        .write("/share/drop/alice/results.tsv", FileData::bytes(b"gene\tscore".to_vec()), "alice")
+        .write(
+            "/share/drop/alice/results.tsv",
+            FileData::bytes(b"gene\tscore".to_vec()),
+            "alice",
+        )
         .expect("write");
     volume
-        .write("/share/drop/alice/readme.md", FileData::bytes(b"# results".to_vec()), "alice")
+        .write(
+            "/share/drop/alice/readme.md",
+            FileData::bytes(b"# results".to_vec()),
+            "alice",
+        )
         .expect("write");
     volume
-        .write("/home/alice/private.key", FileData::bytes(b"secret".to_vec()), "alice")
+        .write(
+            "/home/alice/private.key",
+            FileData::bytes(b"secret".to_vec()),
+            "alice",
+        )
         .expect("write");
 
     let mut sharing = FileSharingService::new();
-    let inbox = sharing.create_collection("alice", "drop", None).expect("collection");
+    let inbox = sharing
+        .create_collection("alice", "drop", None)
+        .expect("collection");
     let found = sharing
         .watch_directory(&volume, "/share/drop/", inbox)
         .expect("daemon pass");
@@ -94,21 +126,28 @@ fn sharing_pipeline_over_real_volume() {
 
     // Grant the group; a member fetches over WebDAV; non-members bounce.
     sharing.create_group("alice", "lab");
-    sharing.add_member("alice", "lab", "bob").expect("add member");
+    sharing
+        .add_member("alice", "lab", "bob")
+        .expect("add member");
     sharing
         .grant_group("alice", inbox, "lab", Permission::Read)
         .expect("grant");
     let listing = sharing.webdav_propfind("bob", inbox).expect("listable");
     assert_eq!(listing.len(), 2);
     let file = listing[0];
-    let data = sharing.webdav_get(&volume, "bob", file).expect("member reads");
+    let data = sharing
+        .webdav_get(&volume, "bob", file)
+        .expect("member reads");
     assert!(matches!(data, FileData::Bytes(_)));
     assert!(sharing.webdav_get(&volume, "eve", file).is_err());
 
     // Storage failure under the sharing layer stays invisible.
     volume.fail_brick(osdc::storage::BrickId(0));
     volume.fail_brick(osdc::storage::BrickId(2));
-    assert!(sharing.webdav_get(&volume, "bob", file).is_ok(), "replicas cover");
+    assert!(
+        sharing.webdav_get(&volume, "bob", file).is_ok(),
+        "replicas cover"
+    );
 }
 
 /// Lock-in row of Table 1, full circle: export an image from the science
@@ -129,7 +168,15 @@ fn image_portability_across_stacks() {
         .expect("imports");
     assert_eq!(imported.name, "bionimbus-genomics");
     let resp = proxy
-        .boot_server(&vault, &id, "sullivan", "ported", "m1.small", "bionimbus-genomics", SimTime::ZERO)
+        .boot_server(
+            &vault,
+            &id,
+            "sullivan",
+            "ported",
+            "m1.small",
+            "bionimbus-genomics",
+            SimTime::ZERO,
+        )
         .expect("boots from the shared alias");
     assert_eq!(resp["server"]["cloud"], "sullivan");
 }
