@@ -64,7 +64,8 @@ fn bench_fluid_step(c: &mut Criterion) {
                 bytes: u64::MAX,
                 cc: CongestionControl::udt(10e9),
                 app_limit_bps: 1e9,
-            });
+            })
+            .expect("route");
         }
         b.iter(|| net.step());
     });

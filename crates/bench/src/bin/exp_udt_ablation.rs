@@ -35,13 +35,15 @@ fn path(one_way_ms: u64, loss: f64) -> (FluidNet, osdc_net::NodeId, osdc_net::No
 /// Average goodput of a 60 GB transfer under the given CC, mbit/s.
 fn goodput(cc: CongestionControl, one_way_ms: u64, loss: f64) -> f64 {
     let (mut net, a, b) = path(one_way_ms, loss);
-    let f = net.start_flow(FlowSpec {
-        src: a,
-        dst: b,
-        bytes: 60_000_000_000,
-        cc,
-        app_limit_bps: APP_CAP,
-    });
+    let f = net
+        .start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: 60_000_000_000,
+            cc,
+            app_limit_bps: APP_CAP,
+        })
+        .expect("route");
     let done = net
         .run_flow_to_completion(f, SimTime::ZERO + SimDuration::from_hours(12))
         .expect("completes");

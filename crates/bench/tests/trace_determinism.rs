@@ -5,9 +5,11 @@
 //! (never wall time), seeded RNG loss sampling, sorted JSON keys, ring
 //! ordering — so the artifact must reproduce exactly, not approximately.
 
+use osdc_chaos::{run_campaign, CampaignConfig, RetryPolicy};
 use osdc_crypto::CipherKind;
 use osdc_net::{osdc_wan, FluidNet, OsdcSite};
 use osdc_sim::{SimDuration, SimTime};
+use osdc_storage::GlusterVersion;
 use osdc_telemetry::Telemetry;
 use osdc_transfer::{Protocol, TransferEngine, TransferSpec};
 use osdc_tukey::auth::{AuthProxy, Identity, ShibbolethIdp};
@@ -73,6 +75,41 @@ fn traced_console_run() -> String {
         .expect("launch");
     console.instances_page(token, t).expect("page");
     tele.export_jsonl()
+}
+
+/// A miniature Experiment X9 run: a short chaos campaign on the
+/// canonical cell, everything traced, scorecard exported at the end.
+fn traced_resilience_run(seed: u64) -> String {
+    let tele = Telemetry::new();
+    let cfg = CampaignConfig::osdc(
+        GlusterVersion::V3_3,
+        RetryPolicy::exponential(12),
+        seed,
+        90,
+        2.0,
+    );
+    run_campaign(&cfg, &tele);
+    tele.export_jsonl()
+}
+
+#[test]
+fn same_seed_resilience_traces_are_byte_identical() {
+    let a = traced_resilience_run(2012);
+    let b = traced_resilience_run(2012);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed campaign traces must match byte-for-byte");
+    // Injection markers and the exported verdict both reach the artifact.
+    for needle in [
+        "chaos.inject.",
+        "chaos.faults_injected",
+        "chaos.recovery_events",
+        "chaos.mttr_secs",
+        "chaos.alert_latency_secs",
+    ] {
+        assert!(a.contains(needle), "artifact lacks {needle}");
+    }
+    // A different fault schedule must actually change the artifact.
+    assert_ne!(a, traced_resilience_run(2013));
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! # osdc-chaos — deterministic fault injection for the federation
+//!
+//! The paper's operational sections (§4.1 disaster recovery, §7.1 the
+//! GlusterFS 3.1 mirroring bug, §7.4 Nagios monitoring) are stories about
+//! things breaking. This crate makes breakage a first-class, replayable
+//! input: a declarative [`FaultPlan`] of timed, seeded fault events; an
+//! [`Injector`] trait mapping those events onto small hook points each
+//! subsystem exposes (link toggles in `osdc-net`, brick health in
+//! `osdc-storage`, host power in `osdc-compute`, injected API faults in
+//! `osdc-tukey`, the Chef knob in `osdc-provision`); and a campaign
+//! driver that replays a plan against a live mini-federation while
+//! scoring MTTR, data loss and fault→alert latency on a
+//! [`ResilienceScorecard`].
+//!
+//! Dependency direction matters: `osdc-chaos` depends on the subsystem
+//! crates, never the reverse. The reusable remedies — [`RetryPolicy`]
+//! (none / fixed / exponential with seeded jitter) and [`CircuitBreaker`]
+//! — live in the `osdc-sim` kernel so the transfer session, the Tukey
+//! translation proxies and the provisioning pipeline could adopt them
+//! without depending on this crate; they are re-exported here as the
+//! chaos toolkit's front door.
+//!
+//! ```
+//! use osdc_chaos::{CampaignConfig, run_campaign, RetryPolicy};
+//! use osdc_storage::GlusterVersion;
+//! use osdc_telemetry::Telemetry;
+//!
+//! let cfg = CampaignConfig::osdc(
+//!     GlusterVersion::V3_3,
+//!     RetryPolicy::exponential(12),
+//!     2012, // seed
+//!     120,  // minutes
+//!     2.0,  // extra faults per hour
+//! );
+//! let card = run_campaign(&cfg, &Telemetry::disabled());
+//! assert_eq!(card.data_loss_incidents(), 0);
+//! ```
+
+pub mod campaign;
+pub mod inject;
+pub mod plan;
+pub mod scorecard;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use inject::{Effect, InjectError, Injector};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, Phase, TimedAction};
+pub use scorecard::{ResilienceScorecard, ScoreTracker};
+
+// The remedies, re-exported from the kernel (see crate docs for why they
+// live there).
+pub use osdc_sim::{BreakerState, CircuitBreaker, RetryPolicy};

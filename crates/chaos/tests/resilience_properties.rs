@@ -1,0 +1,164 @@
+//! Property-based resilience invariants:
+//!
+//! * **Self-heal converges** — whatever mix of brick crashes, partitions
+//!   and silent corruption hits a v3.3 volume, one heal pass reaches a
+//!   fixpoint: a second pass finds nothing left to repair, and every
+//!   file with at least one clean surviving replica is intact.
+//! * **Circuit breakers always close** — any failure barrage leaves the
+//!   breaker in a state from which cool-down plus one successful probe
+//!   returns it to `Closed`.
+//! * **Fault plans round-trip** — arbitrary plans survive the JSON
+//!   encode/decode cycle intact, and their timelines stay sorted.
+
+use osdc_chaos::{BreakerState, CircuitBreaker, FaultEvent, FaultKind, FaultPlan};
+use osdc_sim::{SimDuration, SimTime};
+use osdc_storage::{BrickId, FileData, GlusterVersion, Volume};
+use proptest::prelude::*;
+
+const KINDS: [FaultKind; 12] = [
+    FaultKind::LinkDown,
+    FaultKind::LinkFlap,
+    FaultKind::LossSpike,
+    FaultKind::RttInflate,
+    FaultKind::BrickCrash,
+    FaultKind::ServerOutage,
+    FaultKind::SilentCorruption,
+    FaultKind::HostFailure,
+    FaultKind::InstanceKill,
+    FaultKind::ApiTimeout,
+    FaultKind::ApiError,
+    FaultKind::ChefFailure,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Heal is idempotent and loses nothing recoverable: after arbitrary
+    /// damage, `heal(); heal()` repairs zero on the second pass, and no
+    /// file with a clean surviving replica audits as lost or corrupt.
+    #[test]
+    fn self_heal_converges(
+        seed in any::<u64>(),
+        crashes in proptest::collection::vec(0usize..8, 0..4),
+        corruptions in proptest::collection::vec((0u64..40, 0usize..2), 0..6),
+    ) {
+        let mut vol = Volume::new("v", GlusterVersion::V3_3, 8, 2, 1 << 30, seed);
+        let paths: Vec<String> = (0..40)
+            .map(|i| {
+                let p = format!("/d/f{i}");
+                vol.write(&p, FileData::synthetic(1 << 16, i), "u").expect("write");
+                p
+            })
+            .collect();
+        // Damage: crash some bricks (then replace the hardware), rot some
+        // replicas.
+        for &b in &crashes {
+            vol.fail_brick(BrickId(b));
+        }
+        for &(file, rank) in &corruptions {
+            vol.corrupt_replica(&format!("/d/f{file}"), rank);
+        }
+        for &b in &crashes {
+            vol.replace_brick(BrickId(b));
+        }
+        let first = vol.heal();
+        let second = vol.heal();
+        prop_assert_eq!(second.repaired, 0, "second heal repairs nothing");
+        prop_assert_eq!(second.reconciled, 0);
+        // `lost` is a report of standing damage, not a delta: it must
+        // have stabilized, not grown.
+        prop_assert_eq!(second.lost, first.lost);
+        // When the damage never compounded — no replica set lost both
+        // bricks, and corruption never met a crash or a partner-rank
+        // corruption — every file still had a clean source and the heal
+        // must have recovered everything.
+        let any_double_crash =
+            (0..4).any(|s| crashes.contains(&(2 * s)) && crashes.contains(&(2 * s + 1)));
+        let any_double_rot = corruptions
+            .iter()
+            .any(|&(f, r)| corruptions.iter().any(|&(f2, r2)| f2 == f && r2 != r));
+        if crashes.is_empty() && !any_double_rot {
+            prop_assert_eq!(first.lost, 0, "all rot was repairable");
+            prop_assert!(vol.audit_lost(&paths).is_empty());
+            prop_assert!(vol.audit_corrupt(&paths).is_empty());
+        } else if corruptions.is_empty() && !any_double_crash {
+            prop_assert_eq!(first.lost, 0, "a replica survived every crash");
+            prop_assert!(vol.audit_lost(&paths).is_empty());
+            prop_assert!(vol.audit_corrupt(&paths).is_empty());
+        }
+    }
+
+    /// However many failures strike a breaker, waiting out the cool-down
+    /// and answering one successful probe always returns it to Closed.
+    #[test]
+    fn breaker_always_closes_after_cool_down(
+        threshold in 1u32..8,
+        cool_secs in 1u64..600,
+        failures in proptest::collection::vec(0u64..3600, 1..40),
+    ) {
+        let cool = SimDuration::from_secs(cool_secs);
+        let mut breaker = CircuitBreaker::new(threshold, cool);
+        let mut last = SimTime::ZERO;
+        for &offset in &failures {
+            let at = SimTime::ZERO + SimDuration::from_secs(offset);
+            let t = if at > last { at } else { last };
+            last = t;
+            // Only strike when the breaker lets the call through, as the
+            // proxy's gate does.
+            if breaker.allow(t) {
+                breaker.on_failure(t);
+            }
+        }
+        // Cool down, probe, succeed.
+        let probe_at = last + cool + SimDuration::from_secs(1);
+        prop_assert!(
+            breaker.allow(probe_at),
+            "after cool-down the breaker must admit a probe"
+        );
+        breaker.on_success();
+        prop_assert_eq!(breaker.state(probe_at), BreakerState::Closed);
+        prop_assert!(breaker.allow(probe_at));
+    }
+
+    /// Plans survive JSON round-trips field-for-field, and timelines are
+    /// monotonically sorted however events are ordered.
+    #[test]
+    fn plans_round_trip_and_timelines_sort(
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(
+            (0usize..12, 0.0f64..10_000.0, 0.0f64..600.0, 0.0f64..4.0),
+            0..12,
+        ),
+    ) {
+        let mut plan = FaultPlan::new("prop", seed);
+        for &(k, at, dur, mag) in &raw {
+            plan.push(FaultEvent {
+                at_secs: at,
+                kind: KINDS[k],
+                target: format!("t{k}"),
+                magnitude: mag,
+                duration_secs: dur,
+            });
+        }
+        let back = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+        prop_assert_eq!(&back, &plan);
+        let timeline = plan.timeline();
+        prop_assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every non-flap event contributes exactly one inject.
+        let injects = timeline
+            .iter()
+            .filter(|a| a.phase == osdc_chaos::Phase::Inject)
+            .count();
+        let expected: usize = raw
+            .iter()
+            .map(|&(k, _, _, mag)| {
+                if KINDS[k] == FaultKind::LinkFlap {
+                    (mag.max(1.0)) as usize
+                } else {
+                    1
+                }
+            })
+            .sum();
+        prop_assert_eq!(injects, expected);
+    }
+}

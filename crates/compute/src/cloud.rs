@@ -240,6 +240,48 @@ impl CloudController {
         Ok(())
     }
 
+    /// Hardware failure: the host drops off the network, every instance on
+    /// it dies (terminated, resources released), and the scheduler stops
+    /// considering it. Returns how many instances were killed.
+    pub fn fail_host(&mut self, host: HostId, now: SimTime) -> u32 {
+        let doomed: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.host == host && i.state != InstanceState::Terminated)
+            .map(|i| i.id)
+            .collect();
+        let killed = doomed.len() as u32;
+        for id in doomed {
+            self.terminate(id, now).expect("instance exists");
+        }
+        self.hosts[host.0].set_up(false);
+        killed
+    }
+
+    /// Bring a failed host back into the scheduling pool (repaired or
+    /// rebooted — its instances are gone either way).
+    pub fn restore_host(&mut self, host: HostId) {
+        self.hosts[host.0].set_up(true);
+    }
+
+    pub fn host_is_up(&self, host: HostId) -> bool {
+        self.hosts[host.0].is_up()
+    }
+
+    pub fn hosts_up(&self) -> usize {
+        self.hosts.iter().filter(|h| h.is_up()).count()
+    }
+
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Kill one instance out from under its owner (OOM, kernel panic, a
+    /// chaos monkey): terminate semantics, without touching the host.
+    pub fn kill_instance(&mut self, id: InstanceId, now: SimTime) -> Result<(), SchedulingError> {
+        self.terminate(id, now)
+    }
+
     /// Per-minute billing poll: live resources for one user.
     pub fn usage(&self, owner: &str) -> UsageSnapshot {
         let mut snap = UsageSnapshot::default();
@@ -470,6 +512,50 @@ mod tests {
                 .boot("x", &format!("vm{i}"), "m1.xlarge", ImageId(1), SimTime(3))
                 .expect("full capacity available");
         }
+    }
+
+    #[test]
+    fn failed_host_kills_instances_and_leaves_pool() {
+        let mut cloud = small_cloud();
+        let ids: Vec<InstanceId> = (0..4)
+            .map(|i| {
+                cloud
+                    .boot("u", &format!("vm{i}"), "m1.xlarge", ImageId(1), SimTime(0))
+                    .expect("boots")
+            })
+            .collect();
+        let victim_host = cloud.instance(ids[0]).expect("exists").host;
+        let killed = cloud.fail_host(victim_host, SimTime(5));
+        assert_eq!(killed, 1, "spread placement put one VM here");
+        assert_eq!(
+            cloud.instance(ids[0]).expect("listed").state,
+            InstanceState::Terminated
+        );
+        assert_eq!(cloud.hosts_up(), 3);
+        // Full-cloud boot pressure now fails: the down host takes no work.
+        let err = cloud
+            .boot("u", "fits-nowhere", "m1.small", ImageId(1), SimTime(6))
+            .expect_err("3 survivors are full with xlarge VMs");
+        assert_eq!(err, SchedulingError::NoCapacity { requested_cores: 1 });
+        cloud.restore_host(victim_host);
+        assert_eq!(cloud.hosts_up(), 4);
+        cloud
+            .boot("u", "recovered", "m1.xlarge", ImageId(1), SimTime(7))
+            .expect("restored host schedules again");
+    }
+
+    #[test]
+    fn kill_instance_releases_resources() {
+        let mut cloud = small_cloud();
+        let id = cloud
+            .boot("u", "vm", "m1.large", ImageId(1), SimTime(0))
+            .expect("boots");
+        cloud.kill_instance(id, SimTime(1)).expect("killed");
+        assert_eq!(cloud.allocated_cores(), 0);
+        assert_eq!(
+            cloud.instance(id).expect("listed").state,
+            InstanceState::Terminated
+        );
     }
 
     #[test]

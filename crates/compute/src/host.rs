@@ -15,6 +15,9 @@ pub struct Host {
     allocated_cores: u32,
     allocated_ram_mb: u64,
     allocated_disk_gb: u64,
+    /// Power/network state: a down host schedules nothing. Fault injection
+    /// flips this via [`crate::CloudController::fail_host`].
+    up: bool,
 }
 
 impl Host {
@@ -28,6 +31,7 @@ impl Host {
             allocated_cores: 0,
             allocated_ram_mb: 0,
             allocated_disk_gb: 0,
+            up: true,
         }
     }
 
@@ -50,8 +54,21 @@ impl Host {
         self.allocated_cores
     }
 
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Flip power/network state. Releasing the placed instances is the
+    /// controller's job (it knows which instances live here).
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
     pub fn fits(&self, cores: u32, ram_mb: u64, disk_gb: u64) -> bool {
-        self.free_cores() >= cores && self.free_ram_mb() >= ram_mb && self.free_disk_gb() >= disk_gb
+        self.up
+            && self.free_cores() >= cores
+            && self.free_ram_mb() >= ram_mb
+            && self.free_disk_gb() >= disk_gb
     }
 
     /// Claim resources; returns false (unchanged) if they do not fit.

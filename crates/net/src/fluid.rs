@@ -74,7 +74,34 @@ pub enum FlowStatus {
     Done { at: SimTime },
 }
 
+/// Why a flow could not be started. Under fault injection (links down,
+/// sites partitioned) these are runtime conditions the caller degrades
+/// on, not configuration errors worth a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No usable route between the endpoints (possibly because every
+    /// candidate path crosses a downed link).
+    NoRoute { src: String, dst: String },
+    /// Source and destination are the same node.
+    SameEndpoint { node: String },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoRoute { src, dst } => write!(f, "no route {src} → {dst}"),
+            NetError::SameEndpoint { node } => {
+                write!(f, "flow endpoints must differ (both {node})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 struct FlowState {
+    src: NodeId,
+    dst: NodeId,
     path: Vec<LinkId>,
     path_loss: f64,
     bytes_total: u64,
@@ -144,20 +171,23 @@ impl FluidNet {
         self.tick = tick;
     }
 
-    /// Launch a flow; panics if no route exists (a configuration error in
-    /// these experiments, not a runtime condition).
-    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
-        let path = self
-            .topo
-            .shortest_path(spec.src, spec.dst)
-            .unwrap_or_else(|| {
-                panic!(
-                    "no route {} → {}",
-                    self.topo.node_name(spec.src),
-                    self.topo.node_name(spec.dst)
-                )
+    /// Launch a flow. Errors (rather than panicking) when the endpoints
+    /// coincide or no usable route exists — under fault injection a
+    /// partitioned WAN is a runtime condition to degrade on, not a
+    /// configuration bug.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> Result<FlowId, NetError> {
+        if spec.src == spec.dst {
+            return Err(NetError::SameEndpoint {
+                node: self.topo.node_name(spec.src).to_string(),
             });
-        assert!(!path.is_empty(), "flow endpoints must differ");
+        }
+        let path =
+            self.topo
+                .shortest_path(spec.src, spec.dst)
+                .ok_or_else(|| NetError::NoRoute {
+                    src: self.topo.node_name(spec.src).to_string(),
+                    dst: self.topo.node_name(spec.dst).to_string(),
+                })?;
         let path_loss = self.topo.path_loss_rate(&path);
         let id = FlowId(self.flows.len());
         let point_names = self.ids.map(|_| {
@@ -167,6 +197,8 @@ impl FluidNet {
             )
         });
         self.flows.push(FlowState {
+            src: spec.src,
+            dst: spec.dst,
             path,
             path_loss,
             bytes_total: spec.bytes,
@@ -186,7 +218,37 @@ impl FluidNet {
             self.tele
                 .set_gauge(ids.active_flows, self.active_flows() as f64);
         }
-        id
+        Ok(id)
+    }
+
+    /// Mutable access to the topology, for fault injection. Follow link
+    /// mutations with [`FluidNet::refresh_paths`].
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Re-resolve every active flow after a topology change: routing
+    /// reconverges onto the new shortest usable path, and path loss is
+    /// re-sampled from current link state. Flows left with no usable
+    /// route keep their stale path and stall (downed links carry
+    /// nothing) until connectivity returns. Returns how many flows
+    /// changed path.
+    pub fn refresh_paths(&mut self) -> usize {
+        let mut rerouted = 0;
+        for f in self
+            .flows
+            .iter_mut()
+            .filter(|f| f.status == FlowStatus::Active)
+        {
+            if let Some(path) = self.topo.shortest_path(f.src, f.dst) {
+                if path != f.path {
+                    rerouted += 1;
+                }
+                f.path = path;
+            }
+            f.path_loss = self.topo.path_loss_rate(&f.path);
+        }
+        rerouted
     }
 
     pub fn status(&self, id: FlowId) -> FlowStatus {
@@ -228,7 +290,16 @@ impl FluidNet {
     /// allocated rates in bits/second for the given desires.
     fn allocate(&self, desires: &[(usize, f64)]) -> Vec<(usize, f64)> {
         let mut remaining: Vec<f64> = (0..self.topo.link_count())
-            .map(|l| self.topo.link(LinkId(l)).capacity_bps)
+            .map(|l| {
+                let link = self.topo.link(LinkId(l));
+                // A downed link carries nothing: flows still routed over it
+                // (no alternative path) freeze at zero rate and stall.
+                if link.up {
+                    link.capacity_bps
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut alloc: Vec<(usize, f64)> = desires.iter().map(|&(i, _)| (i, 0.0)).collect();
         let mut frozen: Vec<bool> = vec![false; desires.len()];
@@ -406,6 +477,29 @@ impl FluidNet {
             self.step();
         }
     }
+
+    /// Step until the clock reaches `deadline`, whether or not any flow is
+    /// active. Backoff waits idle here so the whole net stays on one clock.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.now < deadline {
+            self.step();
+        }
+    }
+
+    /// Abandon an active flow (a transfer giving up on its attempt): it
+    /// stops consuming bandwidth immediately. Returns the bytes it had
+    /// moved, so a retrying caller can resume from the remainder.
+    pub fn cancel_flow(&mut self, id: FlowId) -> u64 {
+        let f = &mut self.flows[id.0];
+        if f.status == FlowStatus::Active {
+            f.status = FlowStatus::Done { at: self.now };
+            if let Some(ids) = &self.ids {
+                self.tele
+                    .set_gauge(ids.active_flows, self.active_flows() as f64);
+            }
+        }
+        self.flows[id.0].bytes_done as u64
+    }
 }
 
 #[cfg(test)]
@@ -429,13 +523,15 @@ mod tests {
     fn constant_flow_finishes_on_schedule() {
         let (mut net, a, b) = two_node_net(1e9, 5, 0.0);
         // 100 Mbyte at 100 mbit/s → 8 seconds.
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: 100_000_000,
-            cc: CongestionControl::Constant { rate_bps: 100e6 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 100_000_000,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         let done = net
             .run_flow_to_completion(f, deadline_secs(60))
             .expect("finishes");
@@ -447,13 +543,15 @@ mod tests {
     #[test]
     fn app_limit_caps_throughput() {
         let (mut net, a, b) = two_node_net(10e9, 1, 0.0);
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: 125_000_000, // 1 Gbit
-            cc: CongestionControl::Constant { rate_bps: 10e9 },
-            app_limit_bps: 1e9,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 125_000_000, // 1 Gbit
+                cc: CongestionControl::Constant { rate_bps: 10e9 },
+                app_limit_bps: 1e9,
+            })
+            .expect("route");
         let done = net
             .run_flow_to_completion(f, deadline_secs(60))
             .expect("finishes");
@@ -471,6 +569,7 @@ mod tests {
                 cc: CongestionControl::Constant { rate_bps: 2e9 },
                 app_limit_bps: f64::INFINITY,
             })
+            .expect("route")
         };
         let f1 = mk(&mut net);
         let f2 = mk(&mut net);
@@ -487,20 +586,24 @@ mod tests {
     #[test]
     fn demand_limited_flow_leaves_capacity_to_others() {
         let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
-        let small = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::Constant { rate_bps: 100e6 },
-            app_limit_bps: f64::INFINITY,
-        });
-        let big = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::Constant { rate_bps: 10e9 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let small = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
+        let big = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 10e9 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         for _ in 0..100 {
             net.step();
         }
@@ -516,13 +619,15 @@ mod tests {
     #[test]
     fn reno_lossless_fills_short_fat_pipe() {
         let (mut net, a, b) = two_node_net(100e6, 1, 0.0);
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::reno(0.004),
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::reno(0.004),
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         for _ in 0..1000 {
             net.step();
         }
@@ -536,13 +641,15 @@ mod tests {
     fn reno_long_fat_pipe_is_loss_limited() {
         // The Table 3 regime: 10G, 104 ms RTT, residual loss ~1.2e-7.
         let (mut net, a, b) = two_node_net(10e9, 52, 1.2e-7 / 2.0); // per-link: path has 1 link each way
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::reno(0.104),
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::reno(0.104),
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         // 120 simulated seconds.
         for _ in 0..12_000 {
             net.step();
@@ -560,13 +667,15 @@ mod tests {
     fn udt_beats_reno_on_long_fat_pipe() {
         let mk = |cc: CongestionControl| {
             let (mut net, a, b) = two_node_net(10e9, 52, 6e-8);
-            let f = net.start_flow(FlowSpec {
-                src: a,
-                dst: b,
-                bytes: u64::MAX,
-                cc,
-                app_limit_bps: 1e9,
-            });
+            let f = net
+                .start_flow(FlowSpec {
+                    src: a,
+                    dst: b,
+                    bytes: u64::MAX,
+                    cc,
+                    app_limit_bps: 1e9,
+                })
+                .expect("route");
             for _ in 0..6000 {
                 net.step();
             }
@@ -585,13 +694,15 @@ mod tests {
     #[test]
     fn completion_deadline_returns_none() {
         let (mut net, a, b) = two_node_net(1e6, 1, 0.0);
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::Constant { rate_bps: 1e6 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 1e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         assert!(net.run_flow_to_completion(f, deadline_secs(1)).is_none());
         assert_eq!(net.status(f), FlowStatus::Active);
     }
@@ -599,13 +710,15 @@ mod tests {
     #[test]
     fn traces_are_recorded() {
         let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: u64::MAX,
-            cc: CongestionControl::Constant { rate_bps: 500e6 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 500e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         for _ in 0..500 {
             net.step();
         }
@@ -619,13 +732,15 @@ mod tests {
         let (mut net, a, b) = two_node_net(1e9, 5, 1e-5);
         let tele = Telemetry::new();
         net.set_telemetry(tele.clone());
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: 100_000_000,
-            cc: CongestionControl::Constant { rate_bps: 100e6 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 100_000_000,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         assert_eq!(tele.counter_value("net.flows_started"), 1);
         assert_eq!(tele.gauge_value("net.active_flows"), Some(1.0));
         net.run_flow_to_completion(f, deadline_secs(60))
@@ -648,13 +763,15 @@ mod tests {
     fn telemetry_disabled_leaves_no_trace() {
         let (mut net, a, b) = two_node_net(1e9, 5, 0.0);
         net.set_telemetry(Telemetry::disabled());
-        let f = net.start_flow(FlowSpec {
-            src: a,
-            dst: b,
-            bytes: 1_000_000,
-            cc: CongestionControl::Constant { rate_bps: 100e6 },
-            app_limit_bps: f64::INFINITY,
-        });
+        let f = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 1_000_000,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
         net.run_flow_to_completion(f, deadline_secs(60))
             .expect("finishes");
         // The local Series still records; the shared ring stays empty.
@@ -665,13 +782,15 @@ mod tests {
     fn determinism_across_runs() {
         let run = || {
             let (mut net, a, b) = two_node_net(10e9, 52, 1e-6);
-            let f = net.start_flow(FlowSpec {
-                src: a,
-                dst: b,
-                bytes: 10_000_000_000,
-                cc: CongestionControl::udt(10e9),
-                app_limit_bps: 1e9,
-            });
+            let f = net
+                .start_flow(FlowSpec {
+                    src: a,
+                    dst: b,
+                    bytes: 10_000_000_000,
+                    cc: CongestionControl::udt(10e9),
+                    app_limit_bps: 1e9,
+                })
+                .expect("route");
             net.run_flow_to_completion(f, deadline_secs(1000))
         };
         assert_eq!(run(), run());

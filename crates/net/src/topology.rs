@@ -23,6 +23,9 @@ pub struct Link {
     /// Independent per-packet random loss probability (fiber-path residual
     /// loss; queue-overflow loss is handled by the fluid model on top).
     pub loss_rate: f64,
+    /// Administrative/fault state. Down links are skipped by routing and
+    /// carry nothing; fault injection toggles this.
+    pub up: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -73,6 +76,7 @@ impl Topology {
             capacity_bps,
             delay,
             loss_rate,
+            up: true,
         });
         self.nodes[from.0].out_links.push(id);
         id
@@ -107,6 +111,38 @@ impl Topology {
         &self.links[id.0]
     }
 
+    /// Fault-injection hooks: toggle a link's administrative state, spike
+    /// its loss rate, or stretch its propagation delay. Callers holding a
+    /// [`crate::FluidNet`] should follow mutations with
+    /// [`crate::FluidNet::refresh_paths`] so in-flight flows reroute and
+    /// re-sample their path loss.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        self.links[id.0].up = up;
+    }
+
+    pub fn set_link_loss_rate(&mut self, id: LinkId, loss_rate: f64) {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must be in [0,1)"
+        );
+        self.links[id.0].loss_rate = loss_rate;
+    }
+
+    pub fn set_link_delay(&mut self, id: LinkId, delay: SimDuration) {
+        self.links[id.0].delay = delay;
+    }
+
+    /// Every directed link between the two endpoints, in both directions
+    /// (the pair a duplex link creates, plus any parallel provisioning).
+    pub fn links_between(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| (l.from == a && l.to == b) || (l.from == b && l.to == a))
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
     /// Find the node with the given name (linear scan; topologies are tiny).
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
         self.nodes.iter().position(|n| n.name == name).map(NodeId)
@@ -134,6 +170,9 @@ impl Topology {
             visited[u] = true;
             for &lid in &self.nodes[u].out_links {
                 let link = &self.links[lid.0];
+                if !link.up {
+                    continue;
+                }
                 let nd = dist[u].saturating_add(link.delay.as_nanos().max(1));
                 if nd < dist[link.to.0] {
                     dist[link.to.0] = nd;
@@ -266,6 +305,43 @@ mod tests {
         assert_eq!(t.find_node("a"), Some(a));
         assert_eq!(t.find_node("zz"), None);
         assert_eq!(t.node_name(a), "a");
+    }
+
+    #[test]
+    fn down_link_forces_reroute_or_partition() {
+        let (mut t, a, b, c) = triangle();
+        // Take down both directions of the fast a↔b hop: traffic to c must
+        // fall back to the direct 50 ms link.
+        for l in t.links_between(a, b) {
+            t.set_link_up(l, false);
+        }
+        let path = t.shortest_path(a, c).expect("fallback route");
+        assert_eq!(path.len(), 1);
+        assert_eq!(t.path_delay(&path), ms(50));
+        // Down the fallback too: partitioned.
+        for l in t.links_between(a, c) {
+            t.set_link_up(l, false);
+        }
+        assert!(t.shortest_path(a, c).is_none());
+        // Restore and the low-latency route returns.
+        for l in t.links_between(a, b) {
+            t.set_link_up(l, true);
+        }
+        assert_eq!(t.shortest_path(a, c).expect("restored").len(), 2);
+    }
+
+    #[test]
+    fn loss_and_delay_overrides_apply() {
+        let (mut t, a, b, _c) = triangle();
+        let links = t.links_between(a, b);
+        assert_eq!(links.len(), 2, "duplex pair");
+        for &l in &links {
+            t.set_link_loss_rate(l, 0.05);
+            t.set_link_delay(l, ms(15)); // still the lowest-latency route
+        }
+        let p = t.shortest_path(a, b).expect("route");
+        assert!((t.path_loss_rate(&p) - 0.05).abs() < 1e-12);
+        assert_eq!(t.rtt(a, b).expect("route"), ms(30));
     }
 
     #[test]

@@ -46,7 +46,7 @@ proptest! {
                     bytes: u64::MAX,
                     cc: CongestionControl::Constant { rate_bps: d },
                     app_limit_bps: f64::INFINITY,
-                })
+                }).expect("route")
             })
             .collect();
         let steps = 100u64;
@@ -83,7 +83,7 @@ proptest! {
                     bytes: u64::MAX,
                     cc: CongestionControl::Constant { rate_bps: demand },
                     app_limit_bps: f64::INFINITY,
-                })
+                }).expect("route")
             })
             .collect();
         for _ in 0..50 {
@@ -108,14 +108,14 @@ proptest! {
             bytes: u64::MAX,
             cc: CongestionControl::Constant { rate_bps: 50e6 },
             app_limit_bps: f64::INFINITY,
-        });
+        }).expect("route");
         let large = net.start_flow(FlowSpec {
             src: leaves[1],
             dst: sink,
             bytes: u64::MAX,
             cc: CongestionControl::Constant { rate_bps: big },
             app_limit_bps: f64::INFINITY,
-        });
+        }).expect("route");
         for _ in 0..100 {
             net.step();
         }

@@ -19,7 +19,7 @@
 
 use osdc_sim::resource::{ServicePool, TokenBucket};
 use osdc_sim::stats::Log2Histogram;
-use osdc_sim::{Engine, Scheduler, SimDuration, SimRng, SimTime, Simulation};
+use osdc_sim::{Engine, RetryPolicy, Scheduler, SimDuration, SimRng, SimTime, Simulation};
 
 /// The pipeline stages, in order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -69,8 +69,16 @@ pub struct PipelineParams {
     pub chef_converge_mins: f64,
     /// Per-stage transient failure probability (timeouts, flaky DHCP).
     pub stage_failure_prob: f64,
+    /// Override failure probability for the ChefConverge stage (a broken
+    /// cookbook, an unreachable Chef server — the chaos layer's knob).
+    /// `None` means the converge fails like any other stage.
+    pub chef_failure_prob: Option<f64>,
     /// Attempts per stage before declaring the server failed.
     pub max_attempts: u32,
+    /// Spacing between retry attempts. The historical pipeline waited a
+    /// flat 30 s; exponential backoff decorrelates a rack's worth of
+    /// clients hammering a struggling Chef server.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineParams {
@@ -83,7 +91,9 @@ impl Default for PipelineParams {
             chef_concurrency: 12,
             chef_converge_mins: 10.0,
             stage_failure_prob: 0.03,
+            chef_failure_prob: None,
             max_attempts: 4,
+            retry: RetryPolicy::fixed_30s(4),
         }
     }
 }
@@ -175,15 +185,30 @@ impl Simulation for RackWorld {
             }
             Ev::Done(server, stage) => {
                 // Transient failure?
-                if self.rng.chance(self.params.stage_failure_prob) {
+                let failure_prob = match stage {
+                    Stage::ChefConverge => self
+                        .params
+                        .chef_failure_prob
+                        .unwrap_or(self.params.stage_failure_prob),
+                    _ => self.params.stage_failure_prob,
+                };
+                if self.rng.chance(failure_prob) {
                     self.attempts[server as usize] += 1;
                     if self.attempts[server as usize] >= self.params.max_attempts {
                         self.failed[server as usize] = true;
                         return;
                     }
-                    self.retries += 1;
-                    // Back off briefly, retry the same stage.
-                    sched.after(SimDuration::from_secs(30), Ev::Begin(server, stage));
+                    // Back off per the retry policy; a server whose policy
+                    // budget runs out before max_attempts fails early.
+                    let attempt = self.attempts[server as usize] - 1;
+                    let retry = self.params.retry.clone();
+                    match retry.delay(attempt, &mut self.rng) {
+                        Some(delay) => {
+                            self.retries += 1;
+                            sched.after(delay, Ev::Begin(server, stage));
+                        }
+                        None => self.failed[server as usize] = true,
+                    }
                     return;
                 }
                 let next = stage.next().expect("Ready never reaches Done");
@@ -325,6 +350,70 @@ mod tests {
         assert_eq!(clean.total_retries, 0);
         assert_eq!(clean.servers_failed, 0);
         assert_eq!(clean.servers_ready, 39);
+    }
+
+    #[test]
+    fn chef_failure_override_targets_the_converge() {
+        // All stages clean except Chef converge, which always fails: every
+        // server must burn its attempts there and fail out.
+        let broken_cookbook = provision_rack(
+            &PipelineParams {
+                stage_failure_prob: 0.0,
+                chef_failure_prob: Some(1.0),
+                ..Default::default()
+            },
+            13,
+        );
+        assert_eq!(broken_cookbook.servers_ready, 0);
+        assert_eq!(broken_cookbook.servers_failed, 39);
+        // And clearing the override heals the rack.
+        let fixed = provision_rack(
+            &PipelineParams {
+                stage_failure_prob: 0.0,
+                chef_failure_prob: Some(0.0),
+                ..Default::default()
+            },
+            13,
+        );
+        assert_eq!(fixed.servers_ready, 39);
+    }
+
+    #[test]
+    fn exponential_backoff_spaces_retries_out() {
+        let mk = |retry| {
+            provision_rack(
+                &PipelineParams {
+                    stage_failure_prob: 0.25,
+                    retry,
+                    ..Default::default()
+                },
+                17,
+            )
+        };
+        let fixed = mk(RetryPolicy::fixed_30s(4));
+        let expo = mk(RetryPolicy::exponential(4));
+        assert!(expo.total_retries > 0);
+        // Same seed, same flakiness: both complete the rack; the policy
+        // only changes the spacing (and thus wall time), not correctness.
+        assert_eq!(
+            fixed.servers_ready + fixed.servers_failed,
+            expo.servers_ready + expo.servers_failed
+        );
+        // Exhausted-policy servers fail early rather than hang.
+        let starved = provision_rack(
+            &PipelineParams {
+                stage_failure_prob: 0.5,
+                retry: RetryPolicy::None,
+                max_attempts: 4,
+                ..Default::default()
+            },
+            19,
+        );
+        assert!(
+            starved.servers_failed > 0,
+            "no retries: first failure kills"
+        );
+        assert_eq!(starved.total_retries, 0);
     }
 
     #[test]

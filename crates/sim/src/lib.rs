@@ -17,6 +17,9 @@
 //!   time series used by the experiment harnesses.
 //! * [`resource`] — token buckets and FIFO service queues for modelling
 //!   capacity-limited stages (disks, PXE servers, Chef servers, NICs).
+//! * [`retry`] — deterministic retry/backoff policies and a circuit
+//!   breaker on virtual time, shared by the transfer, Tukey and
+//!   provisioning layers (and exercised by `osdc-chaos`).
 //!
 //! ## Design notes
 //!
@@ -29,10 +32,12 @@
 
 pub mod engine;
 pub mod resource;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, EngineProbe, Scheduler, Simulation};
+pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

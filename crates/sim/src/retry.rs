@@ -1,0 +1,264 @@
+//! Retry/backoff policies and a circuit breaker, on virtual time.
+//!
+//! §7 of the paper is a catalog of transient failures — WAN loss spikes,
+//! brick outages, flaky provisioning stages, backend API timeouts — and
+//! every subsystem that survives them does so by retrying. These policies
+//! live here in the kernel (rather than in `osdc-chaos`, which drives the
+//! faults) so that the transfer session, the Tukey proxy and the
+//! provisioning pipeline can adopt them without depending on the chaos
+//! crate; `osdc-chaos` re-exports them.
+//!
+//! Everything is deterministic: exponential jitter draws from the
+//! caller's [`SimRng`], and the breaker clock is [`SimTime`], so two
+//! same-seed runs back off identically.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// How a caller spaces retries after a transient failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RetryPolicy {
+    /// Fail fast: the first error is final.
+    None,
+    /// Up to `max_retries` retries, each after the same `delay`.
+    Fixed {
+        max_retries: u32,
+        delay: SimDuration,
+    },
+    /// Up to `max_retries` retries with delay `base × factor^attempt`,
+    /// capped at `cap`, plus `±jitter` fractional seeded jitter (the
+    /// decorrelation that keeps a rack of Chef clients from thundering
+    /// back in lockstep).
+    Exponential {
+        max_retries: u32,
+        base: SimDuration,
+        factor: f64,
+        cap: SimDuration,
+        jitter: f64,
+    },
+}
+
+impl RetryPolicy {
+    /// The fixed 30 s spacing the provisioning pipeline historically used.
+    pub fn fixed_30s(max_retries: u32) -> Self {
+        RetryPolicy::Fixed {
+            max_retries,
+            delay: SimDuration::from_secs(30),
+        }
+    }
+
+    /// A conventional exponential policy: 2 s base, doubling, 60 s cap,
+    /// ±25 % jitter.
+    pub fn exponential(max_retries: u32) -> Self {
+        RetryPolicy::Exponential {
+            max_retries,
+            base: SimDuration::from_secs(2),
+            factor: 2.0,
+            cap: SimDuration::from_secs(60),
+            jitter: 0.25,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetryPolicy::None => "no-retry",
+            RetryPolicy::Fixed { .. } => "fixed",
+            RetryPolicy::Exponential { .. } => "exp-backoff",
+        }
+    }
+
+    pub fn max_retries(&self) -> u32 {
+        match self {
+            RetryPolicy::None => 0,
+            RetryPolicy::Fixed { max_retries, .. }
+            | RetryPolicy::Exponential { max_retries, .. } => *max_retries,
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based: the delay after the
+    /// first failure is `delay(0, ..)`), or `None` once the policy is
+    /// exhausted and the error should be surfaced.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> Option<SimDuration> {
+        match self {
+            RetryPolicy::None => None,
+            RetryPolicy::Fixed { max_retries, delay } => (attempt < *max_retries).then_some(*delay),
+            RetryPolicy::Exponential {
+                max_retries,
+                base,
+                factor,
+                cap,
+                jitter,
+            } => {
+                if attempt >= *max_retries {
+                    return None;
+                }
+                let raw = base.as_secs_f64() * factor.powi(attempt as i32);
+                let capped = raw.min(cap.as_secs_f64());
+                // Symmetric jitter in [-j, +j]; the draw happens even when
+                // jitter is 0 so policy variants consume the same RNG
+                // stream shape.
+                let u = rng.f64() * 2.0 - 1.0;
+                let jittered = (capped * (1.0 + jitter * u)).max(0.0);
+                Some(SimDuration::from_secs_f64(jittered))
+            }
+        }
+    }
+}
+
+/// Breaker states, named as the pattern names them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected until the cool-down elapses.
+    Open,
+    /// Cool-down elapsed: one probe call is allowed through.
+    HalfOpen,
+}
+
+/// A circuit breaker over a flaky dependency (a cloud backend, a Chef
+/// server). After `failure_threshold` consecutive failures it opens and
+/// rejects calls for `cool_down`; the first call after the cool-down is a
+/// probe whose outcome closes or re-opens the circuit.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cool_down: SimDuration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: SimTime,
+}
+
+impl CircuitBreaker {
+    pub fn new(failure_threshold: u32, cool_down: SimDuration) -> Self {
+        assert!(failure_threshold >= 1, "threshold must be at least 1");
+        CircuitBreaker {
+            failure_threshold,
+            cool_down,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: SimTime::ZERO,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the cool-down has
+    /// elapsed by `now`.
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.cool_down {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether a call may proceed at `now`. In `HalfOpen` this admits the
+    /// probe call (repeatedly, until its outcome is reported).
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Report a successful call: the circuit closes and the failure count
+    /// resets, whatever state it was in.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Report a failed call at `now`. A failed probe re-opens immediately;
+    /// in `Closed`, the circuit opens once the threshold is reached.
+    pub fn on_failure(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        if self.state(now) == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.failure_threshold
+        {
+            self.state = BreakerState::Open;
+            self.opened_at = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(RetryPolicy::None.delay(0, &mut rng), None);
+    }
+
+    #[test]
+    fn fixed_spacing_is_constant_and_bounded() {
+        let p = RetryPolicy::fixed_30s(3);
+        let mut rng = SimRng::new(1);
+        for a in 0..3 {
+            assert_eq!(p.delay(a, &mut rng), Some(SimDuration::from_secs(30)));
+        }
+        assert_eq!(p.delay(3, &mut rng), None);
+    }
+
+    #[test]
+    fn exponential_grows_to_cap_within_jitter() {
+        let p = RetryPolicy::exponential(8);
+        let mut rng = SimRng::new(7);
+        let mut prev_nominal = 0.0;
+        for a in 0..8 {
+            let d = p.delay(a, &mut rng).expect("within budget").as_secs_f64();
+            let nominal = (2.0 * 2f64.powi(a as i32)).min(60.0);
+            assert!(
+                (d - nominal).abs() <= nominal * 0.25 + 1e-9,
+                "attempt {a}: {d} vs nominal {nominal}"
+            );
+            assert!(nominal >= prev_nominal);
+            prev_nominal = nominal;
+        }
+        assert_eq!(p.delay(8, &mut rng), None);
+    }
+
+    #[test]
+    fn exponential_jitter_is_seed_deterministic() {
+        let p = RetryPolicy::exponential(4);
+        let seq = |seed| {
+            let mut rng = SimRng::new(seed);
+            (0..4).map(|a| p.delay(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_rejects() {
+        let mut b = CircuitBreaker::new(3, SimDuration::from_secs(60));
+        for _ in 0..2 {
+            b.on_failure(t(0));
+            assert!(b.allow(t(0)), "below threshold stays closed");
+        }
+        b.on_failure(t(0));
+        assert_eq!(b.state(t(0)), BreakerState::Open);
+        assert!(!b.allow(t(30)), "rejects during cool-down");
+    }
+
+    #[test]
+    fn breaker_half_opens_then_closes_on_probe_success() {
+        let mut b = CircuitBreaker::new(1, SimDuration::from_secs(60));
+        b.on_failure(t(0));
+        assert!(!b.allow(t(59)));
+        assert!(b.allow(t(60)), "cool-down elapsed admits the probe");
+        assert_eq!(b.state(t(60)), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(t(60)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cool_down() {
+        let mut b = CircuitBreaker::new(1, SimDuration::from_secs(60));
+        b.on_failure(t(0));
+        assert!(b.allow(t(60)));
+        b.on_failure(t(60));
+        assert!(!b.allow(t(90)), "re-opened at the probe failure time");
+        assert!(b.allow(t(120)));
+    }
+}

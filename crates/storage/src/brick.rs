@@ -15,6 +15,9 @@ pub struct BrickId(pub usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BrickHealth {
     Online,
+    /// Reachable hardware, unreachable server (network partition, daemon
+    /// down): contents are preserved and return when the brick comes back.
+    Offline,
     /// Server or RAID failure: contents inaccessible (and lost, until the
     /// brick is replaced empty and healed).
     Failed,
@@ -80,6 +83,40 @@ impl Brick {
         self.health = BrickHealth::Online;
         self.files.clear();
         self.used_bytes = 0;
+    }
+
+    /// Partition the brick away (daemon down, switch port dead): contents
+    /// are kept but unreachable until [`Brick::set_online`]. A `Failed`
+    /// brick stays failed — its data is already gone.
+    pub fn set_offline(&mut self) {
+        if self.health == BrickHealth::Online {
+            self.health = BrickHealth::Offline;
+        }
+    }
+
+    /// Bring a partitioned brick back with its contents intact. Does not
+    /// resurrect a `Failed` brick (that takes [`Brick::replace`]).
+    pub fn set_online(&mut self) {
+        if self.health == BrickHealth::Offline {
+            self.health = BrickHealth::Online;
+        }
+    }
+
+    /// Silent bit-rot: the stored payload changes but the recorded
+    /// metadata (and its digest) does not, so only a digest audit or a
+    /// digest-aware heal can tell. Returns whether the path existed.
+    pub fn corrupt(&mut self, path: &str) -> bool {
+        match self.files.get_mut(path) {
+            Some((data, _)) => {
+                match data {
+                    FileData::Bytes(b) if !b.is_empty() => b[0] ^= 0xff,
+                    FileData::Bytes(_) => return false, // nothing to rot
+                    FileData::Synthetic { seed, .. } => *seed ^= 0xdead_beef,
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     pub fn write(&mut self, path: &str, data: FileData, meta: FileMeta) -> Result<(), BrickError> {

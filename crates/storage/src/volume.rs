@@ -266,6 +266,40 @@ impl Volume {
         self.bricks[id.0].replace();
     }
 
+    /// Partition a brick away (contents preserved; see
+    /// [`Brick::set_offline`]). Used by fault injection for outage
+    /// windows that should not destroy data.
+    pub fn offline_brick(&mut self, id: BrickId) {
+        self.bricks[id.0].set_offline();
+    }
+
+    /// End a partition: the brick returns with its contents.
+    pub fn online_brick(&mut self, id: BrickId) {
+        self.bricks[id.0].set_online();
+    }
+
+    /// Silently corrupt the replica of `path` held by the given rank
+    /// (0 = primary) of its replica set. Returns whether a stored copy
+    /// was actually touched.
+    pub fn corrupt_replica(&mut self, path: &str, rank: usize) -> bool {
+        assert!(rank < self.replica_count, "rank out of range");
+        let idx = self.set_range(self.placement(path)).start + rank;
+        self.bricks[idx].corrupt(path)
+    }
+
+    /// Paths whose best readable copy fails its digest check — data the
+    /// volume still serves, but wrong (the silent-corruption audit).
+    pub fn audit_corrupt(&self, expected_paths: &[String]) -> Vec<String> {
+        expected_paths
+            .iter()
+            .filter(|p| {
+                self.read(p)
+                    .is_ok_and(|(data, meta)| data.digest() != meta.digest)
+            })
+            .cloned()
+            .collect()
+    }
+
     pub fn brick_health(&self, id: BrickId) -> BrickHealth {
         self.bricks[id.0].health()
     }
@@ -284,14 +318,21 @@ impl Volume {
         }
         for set in 0..self.replica_sets() {
             let range = self.set_range(set);
-            // Collect the union of paths with the freshest copy of each.
+            // Collect the union of paths with the freshest *clean* copy of
+            // each: a replica whose payload no longer matches its recorded
+            // digest is bit-rot, never a heal source.
             let mut freshest: std::collections::BTreeMap<String, (FileData, FileMeta)> =
                 std::collections::BTreeMap::new();
+            let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
             for idx in range.clone() {
                 if self.bricks[idx].health() != BrickHealth::Online {
                     continue;
                 }
                 for (path, (data, meta)) in self.bricks[idx].entries() {
+                    seen.insert(path.to_string());
+                    if data.digest() != meta.digest {
+                        continue;
+                    }
                     let replace = freshest
                         .get(path)
                         .is_none_or(|(_, m)| meta.version > m.version);
@@ -300,7 +341,9 @@ impl Volume {
                     }
                 }
             }
-            // Push the freshest copy everywhere it's missing/stale.
+            // Every replica of a path rotted: nothing clean to copy from.
+            report.lost += seen.iter().filter(|p| !freshest.contains_key(*p)).count() as u64;
+            // Push the freshest copy everywhere it's missing/stale/corrupt.
             for (path, (data, meta)) in &freshest {
                 let mut repaired_here = false;
                 let mut reconciled_here = false;
@@ -309,7 +352,7 @@ impl Volume {
                         continue;
                     }
                     match self.bricks[idx].read(path) {
-                        Ok((_, m)) if m.version == meta.version => {}
+                        Ok((d, m)) if m.version == meta.version && d.digest() == m.digest => {}
                         Ok(_) => {
                             if self.bricks[idx]
                                 .write(path, data.clone(), meta.clone())
@@ -541,6 +584,80 @@ mod tests {
         v.write("/a", FileData::bytes(b"y".to_vec()), "u")
             .expect("write ok");
         assert_eq!(v.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+
+    #[test]
+    fn offline_brick_preserves_contents() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 14);
+        let paths: Vec<String> = (0..40).map(|i| format!("/f{i}")).collect();
+        for (i, p) in paths.iter().enumerate() {
+            v.write(p, FileData::synthetic(10, i as u64), "u")
+                .expect("write ok");
+        }
+        // Partition one brick, then the other: everything unreadable, but
+        // nothing destroyed.
+        v.offline_brick(BrickId(0));
+        assert!(v.audit_lost(&paths).is_empty(), "replica still serves");
+        v.offline_brick(BrickId(1));
+        assert_eq!(v.audit_lost(&paths).len(), paths.len());
+        v.online_brick(BrickId(0));
+        v.online_brick(BrickId(1));
+        assert!(v.audit_lost(&paths).is_empty(), "partition costs no data");
+        assert_eq!(v.heal(), HealReport::default(), "nothing to repair");
+    }
+
+    #[test]
+    fn online_does_not_resurrect_failed_brick() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 15);
+        v.fail_brick(BrickId(0));
+        v.online_brick(BrickId(0));
+        assert_eq!(v.brick_health(BrickId(0)), BrickHealth::Failed);
+    }
+
+    #[test]
+    fn heal_repairs_silent_corruption_from_clean_replica() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 16);
+        let paths = vec!["/f".to_string()];
+        v.write("/f", FileData::bytes(b"precious".to_vec()), "u")
+            .expect("write ok");
+        assert!(v.corrupt_replica("/f", 0), "primary copy rots");
+        assert_eq!(v.audit_corrupt(&paths), paths, "read serves rot silently");
+        let report = v.heal();
+        assert_eq!(report.reconciled, 1, "rot overwritten from clean mirror");
+        assert_eq!(report.lost, 0);
+        assert!(v.audit_corrupt(&paths).is_empty());
+        let (data, _) = v.read("/f").expect("read ok");
+        assert_eq!(data, FileData::bytes(b"precious".to_vec()));
+    }
+
+    #[test]
+    fn heal_reports_loss_when_every_replica_rots() {
+        let mut v = mk(GlusterVersion::V3_3, 2, 2, 17);
+        v.write("/f", FileData::bytes(b"gone".to_vec()), "u")
+            .expect("write ok");
+        assert!(v.corrupt_replica("/f", 0));
+        assert!(v.corrupt_replica("/f", 1));
+        let report = v.heal();
+        assert_eq!(report.lost, 1, "no clean source remains");
+        assert_eq!(report.repaired + report.reconciled, 0);
+    }
+
+    #[test]
+    fn v31_never_heals_corruption() {
+        let mut v = mk(
+            GlusterVersion::V3_1 {
+                replica_drop_prob: 0.0,
+            },
+            2,
+            2,
+            18,
+        );
+        let paths = vec!["/f".to_string()];
+        v.write("/f", FileData::bytes(b"x".to_vec()), "u")
+            .expect("write ok");
+        assert!(v.corrupt_replica("/f", 0));
+        v.heal();
+        assert_eq!(v.audit_corrupt(&paths), paths, "3.1 heal is a no-op");
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //! dataset sizes and prints mbit/s + LLR exactly as the paper's table does.
 
 use osdc_crypto::CipherKind;
-use osdc_net::{CongestionControl, FlowSpec, FluidNet, NodeId};
-use osdc_sim::SimDuration;
+use osdc_net::{CongestionControl, FlowSpec, FluidNet, NetError, NodeId};
+use osdc_sim::{RetryPolicy, SimDuration, SimRng};
 use osdc_telemetry::Telemetry;
 
 /// Local source disk read bound, mbit/s (§7.2).
@@ -103,6 +103,40 @@ pub struct TransferSpec {
     pub dst: NodeId,
 }
 
+/// Why a transfer attempt failed. Both are transient under fault
+/// injection (a downed link heals, a deadline-bound attempt can resume),
+/// which is what [`TransferEngine::run_with_retry`] exploits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransferError {
+    /// The WAN refused the flow (partition, same endpoint).
+    Net(NetError),
+    /// The attempt deadline passed with payload bytes still outstanding.
+    DeadlineExceeded { done_bytes: u64, total_bytes: u64 },
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::Net(e) => write!(f, "transfer could not start: {e}"),
+            TransferError::DeadlineExceeded {
+                done_bytes,
+                total_bytes,
+            } => write!(
+                f,
+                "transfer deadline exceeded with {done_bytes}/{total_bytes} bytes moved"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+impl From<NetError> for TransferError {
+    fn from(e: NetError) -> Self {
+        TransferError::Net(e)
+    }
+}
+
 /// Result of a simulated transfer, in the paper's units.
 #[derive(Clone, Debug)]
 pub struct TransferReport {
@@ -167,22 +201,32 @@ impl TransferEngine {
 
     /// Execute a transfer to completion. `deadline` guards against
     /// misconfiguration (panics if exceeded: these experiments always
-    /// finish).
+    /// finish). Fault-aware callers use [`TransferEngine::try_run`] or
+    /// [`TransferEngine::run_with_retry`] instead.
     pub fn run(&mut self, spec: &TransferSpec, deadline: SimDuration) -> TransferReport {
+        self.try_run(spec, deadline)
+            .unwrap_or_else(|e| panic!("transfer failed: {e} — misconfigured experiment"))
+    }
+
+    /// Execute a transfer, surfacing partition and deadline failures as
+    /// typed errors. On `DeadlineExceeded` the underlying flow is
+    /// cancelled and the bytes already moved are reported, so a retrying
+    /// caller can resume from the remainder.
+    pub fn try_run(
+        &mut self,
+        spec: &TransferSpec,
+        deadline: SimDuration,
+    ) -> Result<TransferReport, TransferError> {
         let start = self.net.now();
         let rtt = self
             .net
             .topology()
             .rtt(spec.src, spec.dst)
-            .expect("route exists")
+            .ok_or_else(|| NetError::NoRoute {
+                src: self.net.topology().node_name(spec.src).to_string(),
+                dst: self.net.topology().node_name(spec.dst).to_string(),
+            })?
             .as_secs_f64();
-        let path = self
-            .net
-            .topology()
-            .shortest_path(spec.src, spec.dst)
-            .expect("route exists");
-        let bottleneck_bps = self.net.topology().path_bottleneck_bps(&path);
-
         let factor = Self::goodput_factor(spec.protocol, spec.cipher);
         let payload_cap_bps = self.pipeline_cap_mbps(spec.protocol, spec.cipher) * 1e6;
         // The flow models *wire* bytes: payload inflated by the wrapper
@@ -191,7 +235,14 @@ impl TransferEngine {
         let wire_cap_bps = payload_cap_bps / factor;
 
         let cc = match spec.protocol {
-            Protocol::Udr => CongestionControl::udt(bottleneck_bps),
+            Protocol::Udr => {
+                let path = self
+                    .net
+                    .topology()
+                    .shortest_path(spec.src, spec.dst)
+                    .expect("rtt above implies a path");
+                CongestionControl::udt(self.net.topology().path_bottleneck_bps(&path))
+            }
             Protocol::Rsync => CongestionControl::reno(rtt),
         };
         let flow = self.net.start_flow(FlowSpec {
@@ -200,11 +251,14 @@ impl TransferEngine {
             bytes: wire_bytes,
             cc,
             app_limit_bps: wire_cap_bps,
-        });
-        let done = self
-            .net
-            .run_flow_to_completion(flow, start + deadline)
-            .expect("transfer exceeded deadline — misconfigured experiment");
+        })?;
+        let Some(done) = self.net.run_flow_to_completion(flow, start + deadline) else {
+            let done_wire = self.net.cancel_flow(flow);
+            return Err(TransferError::DeadlineExceeded {
+                done_bytes: ((done_wire as f64 * factor) as u64).min(spec.bytes),
+                total_bytes: spec.bytes,
+            });
+        };
         // Protocol chatter: file-list walk and per-file round trips.
         let chatter =
             SimDuration::from_secs_f64(rtt * (1.0 + self.per_file_rtts * spec.files as f64));
@@ -247,7 +301,7 @@ impl TransferEngine {
             self.tele
                 .observe(self.tele.histogram("transfer.mbps"), mbps);
         }
-        TransferReport {
+        Ok(TransferReport {
             protocol: spec.protocol,
             cipher: spec.cipher,
             bytes: spec.bytes,
@@ -255,6 +309,58 @@ impl TransferEngine {
             mbps,
             llr: mbps / DISK_READ_MBPS.min(DISK_WRITE_MBPS),
             loss_events,
+        })
+    }
+
+    /// Run a transfer under a [`RetryPolicy`]: each attempt gets
+    /// `attempt_deadline`; on failure the session backs off (idling the
+    /// net clock), re-resolves routes, and resumes from the bytes already
+    /// moved. Returns the final report (rate computed over total elapsed
+    /// time, backoff included) and the number of attempts made, or the
+    /// last error once the policy is exhausted.
+    pub fn run_with_retry(
+        &mut self,
+        spec: &TransferSpec,
+        attempt_deadline: SimDuration,
+        policy: &RetryPolicy,
+        rng: &mut SimRng,
+    ) -> Result<(TransferReport, u32), TransferError> {
+        let start = self.net.now();
+        let mut remaining = spec.bytes;
+        let mut failures = 0u32;
+        loop {
+            let sub = TransferSpec {
+                bytes: remaining,
+                ..spec.clone()
+            };
+            match self.try_run(&sub, attempt_deadline) {
+                Ok(last) => {
+                    let duration = self.net.now().saturating_since(start).max(last.duration);
+                    let mbps = spec.bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6;
+                    return Ok((
+                        TransferReport {
+                            bytes: spec.bytes,
+                            duration,
+                            mbps,
+                            llr: mbps / DISK_READ_MBPS.min(DISK_WRITE_MBPS),
+                            ..last
+                        },
+                        failures + 1,
+                    ));
+                }
+                Err(e) => {
+                    if let TransferError::DeadlineExceeded { done_bytes, .. } = &e {
+                        remaining = remaining.saturating_sub(*done_bytes);
+                    }
+                    let Some(delay) = policy.delay(failures, rng) else {
+                        return Err(e);
+                    };
+                    failures += 1;
+                    let resume_at = self.net.now() + delay;
+                    self.net.run_until(resume_at);
+                    self.net.refresh_paths();
+                }
+            }
         }
     }
 }
@@ -450,6 +556,83 @@ mod tests {
             .expect("mbps histogram");
         assert_eq!(h.count, 1);
         assert!((h.sum - r.mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_run_surfaces_partition_as_error() {
+        let (mut eng, src, dst) = engine(31);
+        let links: Vec<_> = (0..eng.net.topology().link_count())
+            .map(osdc_net::LinkId)
+            .collect();
+        for l in links {
+            eng.net.topology_mut().set_link_up(l, false);
+        }
+        let err = eng
+            .try_run(
+                &TransferSpec {
+                    protocol: Protocol::Udr,
+                    cipher: CipherKind::None,
+                    bytes: 1_000_000,
+                    files: 1,
+                    src,
+                    dst,
+                },
+                SimDuration::from_hours(1),
+            )
+            .expect_err("partitioned WAN");
+        assert!(matches!(err, TransferError::Net(_)), "{err}");
+    }
+
+    #[test]
+    fn retry_resumes_across_attempt_deadlines() {
+        use osdc_sim::{RetryPolicy, SimRng};
+        let (mut eng, src, dst) = engine(37);
+        let spec = TransferSpec {
+            protocol: Protocol::Udr,
+            cipher: CipherKind::None,
+            bytes: 10_000_000_000, // ~107 s at the ~750 mbit/s ceiling
+            files: 1,
+            src,
+            dst,
+        };
+        // A 40 s attempt window cannot finish in one shot; the policy
+        // must resume from the bytes already moved.
+        let mut rng = SimRng::new(1);
+        let (report, attempts) = eng
+            .run_with_retry(
+                &spec,
+                SimDuration::from_secs(40),
+                &RetryPolicy::fixed_30s(10),
+                &mut rng,
+            )
+            .expect("completes within the retry budget");
+        assert!(attempts > 1, "should need several attempts: {attempts}");
+        assert_eq!(report.bytes, spec.bytes);
+        // Elapsed time includes the backoff idling.
+        assert!(
+            report.duration >= SimDuration::from_secs(40 + 30),
+            "{:?}",
+            report.duration
+        );
+
+        // And with no retries allowed, the same window fails typed.
+        let (mut eng2, src2, dst2) = engine(37);
+        let err = eng2
+            .run_with_retry(
+                &TransferSpec {
+                    src: src2,
+                    dst: dst2,
+                    ..spec
+                },
+                SimDuration::from_secs(40),
+                &RetryPolicy::None,
+                &mut rng,
+            )
+            .expect_err("one short attempt cannot finish");
+        assert!(
+            matches!(err, TransferError::DeadlineExceeded { done_bytes, .. } if done_bytes > 0),
+            "{err}"
+        );
     }
 
     #[test]

@@ -496,6 +496,47 @@ mod tests {
     }
 
     #[test]
+    fn cloud_added_mid_run_records_lazily() {
+        use crate::translation::CloudMapping;
+        use osdc_compute::CloudController;
+
+        let (mut console, idp) = console_with_alice();
+        let tele = Telemetry::new();
+        console.set_telemetry(tele.clone());
+        let token = console
+            .login_shibboleth(&idp.assert("alice@uchicago.edu").expect("assert"))
+            .expect("login");
+        let t = SimTime::ZERO;
+        console.instances_page(token, t).expect("page");
+
+        // A third cloud joins the federation after telemetry is live —
+        // the console must keep serving and start recording it.
+        let mapping = CloudMapping::from_json(
+            r#"{"cloud": "root", "kind": "OpenStack",
+                "image_aliases": {"ubuntu-base": 1}}"#,
+        )
+        .expect("parses");
+        console
+            .proxy
+            .add_backend(mapping, CloudController::with_racks("root", 1));
+        let id = Identity {
+            canonical: "shib:alice@uchicago.edu".into(),
+        };
+        console.enroll(&id, CloudCredential::new("root", "alice", "K", "S"));
+        console
+            .launch_instance(token, "root", "vm-r", "m1.small", "ubuntu-base", t)
+            .expect("launch on the new cloud");
+        console.instances_page(token, t).expect("page");
+
+        let snaps = tele.histograms_snapshot();
+        let h = snaps
+            .iter()
+            .find(|h| h.name == "tukey.cloud.root.latency_ms")
+            .expect("lazily-registered histogram for the mid-run cloud");
+        assert_eq!(h.count, 2, "launch + list both recorded");
+    }
+
+    #[test]
     fn storage_sweep_reaches_invoices() {
         let (mut console, _) = console_with_alice();
         let id = Identity {

@@ -45,4 +45,6 @@ pub use channel::{channel_pair, ChannelError, SealedMessage, SecureChannel};
 pub use console::{ConsoleError, SessionToken, TukeyConsole};
 pub use credentials::{CloudCredential, CredentialVault};
 pub use sharing::{CollectionId, FileSharingService, Permission, ShareError};
-pub use translation::{CloudMapping, CloudStackKind, TranslationProxy};
+pub use translation::{
+    CloudMapping, CloudStackKind, InjectedApiFault, ProxyError, TranslationProxy,
+};

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 
 use osdc_compute::{ApiError, CloudController, EucalyptusApi, OpenStackApi};
-use osdc_sim::{SimDuration, SimTime};
+use osdc_sim::{CircuitBreaker, RetryPolicy, SimDuration, SimRng, SimTime};
 use osdc_telemetry::{HistogramId, Telemetry};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
@@ -70,6 +70,49 @@ pub enum ProxyError {
     UnknownCloud(String),
     UnknownImage(String),
     Backend(String),
+    /// The backend hung past the client timeout (injected fault).
+    Timeout {
+        cloud: String,
+    },
+}
+
+/// Per-cloud API fault injection (timeouts and 5xx-style errors), set by
+/// the chaos layer. Probabilities are drawn from the proxy's seeded RNG,
+/// so same-seed campaigns fail identically.
+#[derive(Clone, Debug)]
+pub struct InjectedApiFault {
+    /// Probability a call returns a backend error.
+    pub error_prob: f64,
+    /// Probability a call hangs until the client timeout fires.
+    pub timeout_prob: f64,
+    /// Wall-clock (sim) cost of a timed-out call.
+    pub timeout: SimDuration,
+}
+
+impl Default for InjectedApiFault {
+    fn default() -> Self {
+        InjectedApiFault {
+            error_prob: 0.0,
+            timeout_prob: 0.0,
+            timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl InjectedApiFault {
+    pub fn is_clear(&self) -> bool {
+        self.error_prob == 0.0 && self.timeout_prob == 0.0
+    }
+}
+
+/// How a gated call failed before (or instead of) reaching the backend.
+struct GateFailure {
+    error: ProxyError,
+    /// Sim-time cost of the failed call (a timeout burns its full window;
+    /// a circuit-open rejection is free).
+    latency: SimDuration,
+    /// Whether the failure counts against the backend's circuit breaker.
+    breaker_strike: bool,
 }
 
 impl From<ApiError> for ProxyError {
@@ -82,8 +125,17 @@ impl From<ApiError> for ProxyError {
 pub struct TranslationProxy {
     backends: Vec<(CloudMapping, CloudController)>,
     tele: Telemetry,
-    /// Per-backend latency histogram ids, parallel to `backends`.
-    latency_hists: Vec<HistogramId>,
+    /// Per-backend latency histogram ids, parallel to `backends`,
+    /// registered lazily on first use so a cloud added mid-run (or after
+    /// `set_telemetry`) records like any other.
+    latency_hists: Vec<Option<HistogramId>>,
+    /// Injected API fault state, parallel to `backends`.
+    faults: Vec<InjectedApiFault>,
+    /// Optional circuit breaker per backend, parallel to `backends`.
+    breakers: Vec<Option<CircuitBreaker>>,
+    /// How targeted calls retry transient (injected/timeout) failures.
+    retry: RetryPolicy,
+    rng: SimRng,
     /// Modeled duration of the most recent proxied request, so callers
     /// (the console) can place their own spans on the sim clock.
     pub last_latency: SimDuration,
@@ -135,28 +187,85 @@ impl TranslationProxy {
             },
             "duplicate cloud names in proxy config"
         );
+        let n = backends.len();
         TranslationProxy {
             backends,
             tele: Telemetry::disabled(),
-            latency_hists: Vec::new(),
+            latency_hists: vec![None; n],
+            faults: vec![InjectedApiFault::default(); n],
+            breakers: vec![None; n],
+            retry: RetryPolicy::None,
+            rng: SimRng::new(0x70cb),
             last_latency: SimDuration::ZERO,
         }
     }
 
-    /// Attach a telemetry handle: spans per proxied request and one
-    /// latency histogram per backend cloud.
+    /// Attach a telemetry handle: spans per proxied request and (lazily)
+    /// one latency histogram per backend cloud.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
-        self.latency_hists = self
-            .backends
-            .iter()
-            .map(|(m, _)| tele.histogram(&format!("tukey.cloud.{}.latency_ms", m.cloud)))
-            .collect();
+        self.latency_hists = vec![None; self.backends.len()];
         self.tele = tele;
+    }
+
+    /// Register a cloud mid-run: the console starts aggregating it on the
+    /// next request, and its latency histogram appears on first use.
+    pub fn add_backend(&mut self, mapping: CloudMapping, controller: CloudController) {
+        assert!(
+            self.backends.iter().all(|(m, _)| m.cloud != mapping.cloud),
+            "duplicate cloud names in proxy config"
+        );
+        self.backends.push((mapping, controller));
+        self.latency_hists.push(None);
+        self.faults.push(InjectedApiFault::default());
+        self.breakers.push(None);
+    }
+
+    /// How targeted proxy calls (boot/delete/probe) respond to transient
+    /// backend failures. Defaults to [`RetryPolicy::None`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Guard one backend with a circuit breaker.
+    pub fn set_breaker(&mut self, cloud: &str, breaker: CircuitBreaker) -> Result<(), ProxyError> {
+        let bi = self.backend_index(cloud)?;
+        self.breakers[bi] = Some(breaker);
+        Ok(())
+    }
+
+    /// Inject (or, with a default fault, clear) API failures on one cloud.
+    pub fn inject_api_fault(
+        &mut self,
+        cloud: &str,
+        fault: InjectedApiFault,
+    ) -> Result<(), ProxyError> {
+        let bi = self.backend_index(cloud)?;
+        self.faults[bi] = fault;
+        Ok(())
+    }
+
+    /// Reseed the fault-draw RNG (campaigns pin this for reproducibility).
+    pub fn reseed_faults(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed);
+    }
+
+    /// The cloud's latency histogram, registered on first use (a backend
+    /// added mid-run must not crash or go unrecorded).
+    fn latency_hist(&mut self, backend_idx: usize) -> HistogramId {
+        if let Some(h) = self.latency_hists[backend_idx] {
+            return h;
+        }
+        let h = self.tele.histogram(&format!(
+            "tukey.cloud.{}.latency_ms",
+            self.backends[backend_idx].0.cloud
+        ));
+        self.latency_hists[backend_idx] = Some(h);
+        h
     }
 
     /// Trace one backend call: a `translation/<cloud>` span from `at` for
     /// `latency`, recorded into that cloud's latency histogram.
-    fn trace_backend_call(&self, backend_idx: usize, at: SimTime, latency: SimDuration) {
+    fn trace_backend_call(&mut self, backend_idx: usize, at: SimTime, latency: SimDuration) {
         if !self.tele.is_enabled() {
             return;
         }
@@ -165,9 +274,100 @@ impl TranslationProxy {
             at,
         );
         self.tele.span_end(span, at + latency);
-        if let Some(&h) = self.latency_hists.get(backend_idx) {
-            self.tele.observe(h, latency.as_secs_f64() * 1e3);
+        let h = self.latency_hist(backend_idx);
+        self.tele.observe(h, latency.as_secs_f64() * 1e3);
+    }
+
+    /// Admission control for one backend call at `at`: the circuit
+    /// breaker may reject it, and injected faults may time it out or
+    /// error it before it reaches the backend.
+    fn fault_gate(&mut self, backend_idx: usize, at: SimTime) -> Result<(), GateFailure> {
+        let cloud = &self.backends[backend_idx].0.cloud;
+        if let Some(b) = &mut self.breakers[backend_idx] {
+            if !b.allow(at) {
+                return Err(GateFailure {
+                    error: ProxyError::Backend(format!("circuit open: {cloud}")),
+                    latency: SimDuration::ZERO,
+                    breaker_strike: false,
+                });
+            }
         }
+        let fault = &self.faults[backend_idx];
+        if fault.timeout_prob > 0.0 && self.rng.chance(fault.timeout_prob) {
+            return Err(GateFailure {
+                error: ProxyError::Timeout {
+                    cloud: cloud.clone(),
+                },
+                latency: self.faults[backend_idx].timeout,
+                breaker_strike: true,
+            });
+        }
+        if fault.error_prob > 0.0 && self.rng.chance(fault.error_prob) {
+            let kind = self.backends[backend_idx].0.kind;
+            return Err(GateFailure {
+                error: ProxyError::Backend(format!("injected API error: {cloud}")),
+                latency: backend_base_latency(kind),
+                breaker_strike: true,
+            });
+        }
+        Ok(())
+    }
+
+    /// Run one backend operation behind the fault gate, the circuit
+    /// breaker and the retry policy. `op` is the real (infallible-latency)
+    /// backend dispatch; `latency` is charged per successful attempt.
+    /// Transient failures (injected errors/timeouts, open circuits) are
+    /// retried per the policy with the backoff added to the modeled
+    /// latency; mapping/API errors surface immediately.
+    fn guarded_call<T>(
+        &mut self,
+        backend_idx: usize,
+        now: SimTime,
+        latency: SimDuration,
+        mut op: impl FnMut(&mut (CloudMapping, CloudController), SimTime) -> Result<T, ProxyError>,
+    ) -> Result<T, ProxyError> {
+        let mut cursor = now;
+        let mut failures = 0u32;
+        let outcome = loop {
+            match self.fault_gate(backend_idx, cursor) {
+                Ok(()) => {
+                    let result = op(&mut self.backends[backend_idx], cursor);
+                    self.trace_backend_call(backend_idx, cursor, latency);
+                    cursor += latency;
+                    match result {
+                        Ok(v) => {
+                            if let Some(b) = &mut self.breakers[backend_idx] {
+                                b.on_success();
+                            }
+                            break Ok(v);
+                        }
+                        // Real API errors are deterministic (bad flavor,
+                        // no capacity): retrying cannot help.
+                        Err(e) => break Err(e),
+                    }
+                }
+                Err(gate) => {
+                    if !gate.latency.is_zero() {
+                        self.trace_backend_call(backend_idx, cursor, gate.latency);
+                    }
+                    cursor += gate.latency;
+                    if gate.breaker_strike {
+                        if let Some(b) = &mut self.breakers[backend_idx] {
+                            b.on_failure(cursor);
+                        }
+                    }
+                    match self.retry.delay(failures, &mut self.rng) {
+                        Some(delay) => {
+                            failures += 1;
+                            cursor += delay;
+                        }
+                        None => break Err(gate.error),
+                    }
+                }
+            }
+        };
+        self.last_latency = cursor.saturating_since(now);
+        outcome
     }
 
     pub fn cloud_names(&self) -> Vec<&str> {
@@ -209,15 +409,37 @@ impl TranslationProxy {
     /// the console's landing page. Each entry carries `"cloud": name`.
     pub fn list_servers(&mut self, vault: &CredentialVault, id: &Identity, now: SimTime) -> Value {
         let mut merged: Vec<Value> = Vec::new();
-        // `(backend index, items translated)` per cloud actually queried,
-        // for the latency model + spans applied after the fan-out.
-        let mut calls: Vec<(usize, usize)> = Vec::new();
-        for (bi, (mapping, controller)) in self.backends.iter_mut().enumerate() {
-            let Some(cred) = vault.lookup(id, &mapping.cloud) else {
-                continue; // not enrolled on this cloud: skip silently
-            };
+        // `(backend index, items translated, gate-failure latency)` per
+        // cloud actually queried, for the latency model + spans applied
+        // after the fan-out.
+        let mut calls: Vec<(usize, usize, Option<SimDuration>)> = Vec::new();
+        let enrolled: Vec<(usize, String)> = self
+            .backends
+            .iter()
+            .enumerate()
+            .filter_map(|(bi, (m, _))| {
+                // Not enrolled on a cloud: skip it silently.
+                vault.lookup(id, &m.cloud).map(|c| (bi, c.cloud_user))
+            })
+            .collect();
+        for (bi, user) in enrolled {
+            // A faulted backend contributes nothing this poll: the landing
+            // page degrades to the clouds that answered (no retries on the
+            // fan-out path — the next poll is the retry).
+            if let Err(gate) = self.fault_gate(bi, now) {
+                if gate.breaker_strike {
+                    if let Some(b) = &mut self.breakers[bi] {
+                        b.on_failure(now + gate.latency);
+                    }
+                }
+                calls.push((bi, 0, Some(gate.latency)));
+                continue;
+            }
+            if let Some(b) = &mut self.breakers[bi] {
+                b.on_success();
+            }
             let before = merged.len();
-            let user = cred.cloud_user;
+            let (mapping, controller) = &mut self.backends[bi];
             match mapping.kind {
                 CloudStackKind::OpenStack => {
                     // Native call is already OpenStack-shaped.
@@ -262,20 +484,53 @@ impl TranslationProxy {
                     }
                 }
             }
-            calls.push((bi, merged.len() - before));
+            calls.push((bi, merged.len() - before, None));
         }
         // Sequential fan-out on the sim clock: each backend call starts
         // when the previous one returns, as the single-threaded proxy of
-        // §5.2 would behave.
+        // §5.2 would behave. Timed-out backends burn their window;
+        // circuit-open rejections are free.
         let mut cursor = now;
-        for (bi, items) in calls {
-            let latency = backend_base_latency(self.backends[bi].0.kind)
-                + SimDuration::from_millis(items as u64 * per_item_latency().as_millis());
-            self.trace_backend_call(bi, cursor, latency);
+        for (bi, items, gate_latency) in calls {
+            let latency = match gate_latency {
+                Some(l) => l,
+                None => {
+                    backend_base_latency(self.backends[bi].0.kind)
+                        + SimDuration::from_millis(items as u64 * per_item_latency().as_millis())
+                }
+            };
+            if !latency.is_zero() {
+                self.trace_backend_call(bi, cursor, latency);
+            }
             cursor += latency;
         }
         self.last_latency = cursor.saturating_since(now);
         json!({ "servers": merged })
+    }
+
+    /// Availability probe against one cloud: a minimal list call through
+    /// the fault gate, breaker and retry policy. The campaign driver
+    /// polls this to measure time-to-recovery of a faulted API.
+    pub fn probe(&mut self, cloud: &str, now: SimTime) -> Result<SimDuration, ProxyError> {
+        let bi = self.backend_index(cloud)?;
+        let latency = backend_base_latency(self.backends[bi].0.kind);
+        self.guarded_call(bi, now, latency, |(mapping, controller), at| {
+            match mapping.kind {
+                CloudStackKind::OpenStack => {
+                    // The probe user owns nothing; an empty listing is a
+                    // healthy reply.
+                    OpenStackApi::new(controller)
+                        .handle("__probe__", "GET", "/servers", None, at)
+                        .map(|_| ())
+                        .map_err(ProxyError::from)
+                }
+                CloudStackKind::Eucalyptus => EucalyptusApi::new(controller)
+                    .handle("__probe__", "Action=DescribeInstances", at)
+                    .map(|_| ())
+                    .map_err(ProxyError::from),
+            }
+        })?;
+        Ok(self.last_latency)
     }
 
     /// `POST /servers` targeted at one cloud, with unified flavor/image
@@ -294,40 +549,45 @@ impl TranslationProxy {
     ) -> Result<Value, ProxyError> {
         let user = Self::cloud_user(vault, id, cloud)?;
         let bi = self.backend_index(cloud)?;
-        let (mapping, controller) = &mut self.backends[bi];
+        let mapping = &self.backends[bi].0;
         let kind = mapping.kind;
         let image_id = *mapping
             .image_aliases
             .get(unified_image)
             .ok_or_else(|| ProxyError::UnknownImage(unified_image.to_string()))?;
         let flavor = mapping.native_flavor(unified_flavor).to_string();
-        let mut result = match mapping.kind {
-            CloudStackKind::OpenStack => {
-                let body = json!({"server": {
-                    "name": name, "flavorRef": flavor, "imageRef": image_id,
-                }});
-                OpenStackApi::new(controller).handle(&user, "POST", "/servers", Some(&body), now)?
-            }
-            CloudStackKind::Eucalyptus => {
-                let query = format!(
-                    "Action=RunInstances&ImageId=emi-{image_id:08x}&InstanceType={flavor}&ClientToken={name}"
-                );
-                let xml = EucalyptusApi::new(controller).handle(&user, &query, now)?;
-                let iid = xml_values(&xml, "instanceId")
-                    .first()
-                    .map(|s| s.to_string())
-                    .unwrap_or_default();
-                json!({"server": {
-                    "id": u64::from_str_radix(iid.trim_start_matches("i-"), 16).unwrap_or(0),
-                    "name": name,
-                    "status": "ACTIVE",
-                }})
-            }
-        };
-        result["server"]["cloud"] = json!(cloud);
         let latency = backend_base_latency(kind) + per_item_latency();
-        self.trace_backend_call(bi, now, latency);
-        self.last_latency = latency;
+        let mut result =
+            self.guarded_call(bi, now, latency, |(mapping, controller), at| {
+                match mapping.kind {
+                    CloudStackKind::OpenStack => {
+                        let body = json!({"server": {
+                            "name": name, "flavorRef": flavor, "imageRef": image_id,
+                        }});
+                        OpenStackApi::new(controller)
+                            .handle(&user, "POST", "/servers", Some(&body), at)
+                            .map_err(ProxyError::from)
+                    }
+                    CloudStackKind::Eucalyptus => {
+                        let query = format!(
+                            "Action=RunInstances&ImageId=emi-{image_id:08x}&InstanceType={flavor}&ClientToken={name}"
+                        );
+                        let xml = EucalyptusApi::new(controller)
+                            .handle(&user, &query, at)
+                            .map_err(ProxyError::from)?;
+                        let iid = xml_values(&xml, "instanceId")
+                            .first()
+                            .map(|s| s.to_string())
+                            .unwrap_or_default();
+                        Ok(json!({"server": {
+                            "id": u64::from_str_radix(iid.trim_start_matches("i-"), 16).unwrap_or(0),
+                            "name": name,
+                            "status": "ACTIVE",
+                        }}))
+                    }
+                }
+            })?;
+        result["server"]["cloud"] = json!(cloud);
         Ok(result)
     }
 
@@ -342,30 +602,26 @@ impl TranslationProxy {
     ) -> Result<(), ProxyError> {
         let user = Self::cloud_user(vault, id, cloud)?;
         let bi = self.backend_index(cloud)?;
-        let (mapping, controller) = &mut self.backends[bi];
-        let kind = mapping.kind;
-        match mapping.kind {
-            CloudStackKind::OpenStack => {
-                OpenStackApi::new(controller).handle(
-                    &user,
-                    "DELETE",
-                    &format!("/servers/{server_id}"),
-                    None,
-                    now,
-                )?;
-            }
-            CloudStackKind::Eucalyptus => {
-                EucalyptusApi::new(controller).handle(
-                    &user,
-                    &format!("Action=TerminateInstances&InstanceId.1=i-{server_id:08x}"),
-                    now,
-                )?;
-            }
-        }
-        let latency = backend_base_latency(kind);
-        self.trace_backend_call(bi, now, latency);
-        self.last_latency = latency;
-        Ok(())
+        let latency = backend_base_latency(self.backends[bi].0.kind);
+        self.guarded_call(
+            bi,
+            now,
+            latency,
+            |(mapping, controller), at| match mapping.kind {
+                CloudStackKind::OpenStack => OpenStackApi::new(controller)
+                    .handle(&user, "DELETE", &format!("/servers/{server_id}"), None, at)
+                    .map(|_| ())
+                    .map_err(ProxyError::from),
+                CloudStackKind::Eucalyptus => EucalyptusApi::new(controller)
+                    .handle(
+                        &user,
+                        &format!("Action=TerminateInstances&InstanceId.1=i-{server_id:08x}"),
+                        at,
+                    )
+                    .map(|_| ())
+                    .map_err(ProxyError::from),
+            },
+        )
     }
 
     /// Aggregate per-minute usage across clouds for the billing poller
@@ -599,6 +855,162 @@ mod tests {
         assert_eq!(xml_values(xml, "instanceId"), vec!["i-1", "i-2"]);
         assert!(xml_values(xml, "missing").is_empty());
         assert!(xml_values("<open>unclosed", "open").is_empty());
+    }
+
+    #[test]
+    fn injected_error_surfaces_and_retry_recovers() {
+        let (mut proxy, vault, id) = setup();
+        proxy.reseed_faults(11);
+        proxy
+            .inject_api_fault(
+                "adler",
+                InjectedApiFault {
+                    error_prob: 1.0,
+                    ..Default::default()
+                },
+            )
+            .expect("known cloud");
+        let err = proxy
+            .boot_server(
+                &vault,
+                &id,
+                "adler",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
+            .expect_err("fault always fires, no retries");
+        assert!(matches!(err, ProxyError::Backend(_)), "{err:?}");
+
+        // 50% error rate with generous retries: the call gets through,
+        // and the retries show up as added latency.
+        proxy
+            .inject_api_fault(
+                "adler",
+                InjectedApiFault {
+                    error_prob: 0.5,
+                    ..Default::default()
+                },
+            )
+            .expect("known cloud");
+        proxy.set_retry_policy(RetryPolicy::exponential(8));
+        proxy
+            .boot_server(
+                &vault,
+                &id,
+                "adler",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
+            .expect("retries ride out a 50% error rate (seed 11)");
+    }
+
+    #[test]
+    fn timeout_burns_its_window() {
+        let (mut proxy, vault, id) = setup();
+        proxy
+            .inject_api_fault(
+                "sullivan",
+                InjectedApiFault {
+                    timeout_prob: 1.0,
+                    timeout: SimDuration::from_secs(30),
+                    ..Default::default()
+                },
+            )
+            .expect("known cloud");
+        let err = proxy
+            .boot_server(
+                &vault,
+                &id,
+                "sullivan",
+                "x",
+                "m1.small",
+                "ubuntu-base",
+                SimTime::ZERO,
+            )
+            .expect_err("always times out");
+        assert_eq!(
+            err,
+            ProxyError::Timeout {
+                cloud: "sullivan".into()
+            }
+        );
+        assert_eq!(proxy.last_latency, SimDuration::from_secs(30));
+        // The landing page degrades to the healthy cloud.
+        let listing = proxy.list_servers(&vault, &id, SimTime::ZERO);
+        assert!(listing["servers"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn breaker_opens_then_probe_closes_it() {
+        let (mut proxy, vault, id) = setup();
+        proxy
+            .set_breaker("adler", CircuitBreaker::new(3, SimDuration::from_secs(60)))
+            .expect("known cloud");
+        proxy
+            .inject_api_fault(
+                "adler",
+                InjectedApiFault {
+                    error_prob: 1.0,
+                    ..Default::default()
+                },
+            )
+            .expect("known cloud");
+        let t0 = SimTime::ZERO;
+        for _ in 0..3 {
+            proxy.probe("adler", t0).expect_err("injected failure");
+        }
+        // Circuit now open: calls fail fast without burning latency.
+        let err = proxy.probe("adler", t0).expect_err("circuit open");
+        assert_eq!(err, ProxyError::Backend("circuit open: adler".into()));
+        assert_eq!(proxy.last_latency, SimDuration::ZERO);
+        // Fault heals; after the cool-down the probe call closes the
+        // circuit and traffic flows again.
+        proxy
+            .inject_api_fault("adler", InjectedApiFault::default())
+            .expect("known cloud");
+        let later = t0 + SimDuration::from_secs(61);
+        proxy.probe("adler", later).expect("probe closes circuit");
+        proxy
+            .boot_server(&vault, &id, "adler", "x", "m1.small", "ubuntu-base", later)
+            .expect("circuit closed");
+    }
+
+    #[test]
+    fn fault_draws_are_seed_deterministic() {
+        let run = |seed| {
+            let (mut proxy, vault, id) = setup();
+            proxy.reseed_faults(seed);
+            proxy.set_retry_policy(RetryPolicy::exponential(3));
+            proxy
+                .inject_api_fault(
+                    "adler",
+                    InjectedApiFault {
+                        error_prob: 0.5,
+                        ..Default::default()
+                    },
+                )
+                .expect("known cloud");
+            (0..6)
+                .map(|i| {
+                    let r = proxy.boot_server(
+                        &vault,
+                        &id,
+                        "adler",
+                        &format!("vm{i}"),
+                        "m1.small",
+                        "ubuntu-base",
+                        SimTime::ZERO,
+                    );
+                    (r.is_ok(), proxy.last_latency)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds fail differently");
     }
 
     #[test]

@@ -123,7 +123,8 @@ pub fn run_flow_mix(profile: &CspProfile, mix: FlowMix, seed: u64) -> FlowMixRep
                 rate_bps: profile.background_rate_bps,
             },
             app_limit_bps: profile.per_flow_cap_bps,
-        });
+        })
+        .expect("route");
     }
     let rtt = net
         .topology()
@@ -141,6 +142,7 @@ pub fn run_flow_mix(profile: &CspProfile, mix: FlowMix, seed: u64) -> FlowMixRep
                         cc: CongestionControl::reno(rtt),
                         app_limit_bps: profile.per_flow_cap_bps,
                     })
+                    .expect("route")
                 })
                 .collect();
             let deadline = SimTime::ZERO + SimDuration::from_mins(10);
@@ -168,6 +170,7 @@ pub fn run_flow_mix(profile: &CspProfile, mix: FlowMix, seed: u64) -> FlowMixRep
                         cc: CongestionControl::udt(profile.egress_bps),
                         app_limit_bps: profile.per_flow_cap_bps,
                     })
+                    .expect("route")
                 })
                 .collect();
             let deadline = SimTime::ZERO + SimDuration::from_hours(12);

@@ -36,6 +36,7 @@ pub mod sustainability;
 pub use federation::{ClusterSummary, Federation};
 
 // The substrate crates, re-exported for downstream users.
+pub use osdc_chaos as chaos;
 pub use osdc_compute as compute;
 pub use osdc_crypto as crypto;
 pub use osdc_mapreduce as mapreduce;
