@@ -68,12 +68,20 @@ pub struct Bencher {
     pub(crate) last_ns: f64,
     sample_size: usize,
     measure: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Measure `f`, auto-scaling the batch size so one sample takes a
     /// useful amount of wall clock.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            // `--test` smoke mode: run the body once to prove it executes,
+            // skip the measurement loop entirely.
+            black_box(f());
+            self.last_ns = 0.0;
+            return;
+        }
         // Warm up and estimate the cost of one iteration.
         let mut iters = 1u64;
         let per_iter_estimate = loop {
@@ -136,6 +144,7 @@ impl<'a> BenchmarkGroup<'a> {
             last_ns: 0.0,
             sample_size: self.criterion.sample_size,
             measure: self.criterion.measurement_time,
+            test_mode: self.criterion.test_mode,
         };
         f(&mut b);
         self.report(&id.id, b.last_ns);
@@ -156,6 +165,7 @@ impl<'a> BenchmarkGroup<'a> {
             last_ns: 0.0,
             sample_size: self.criterion.sample_size,
             measure: self.criterion.measurement_time,
+            test_mode: self.criterion.test_mode,
         };
         f(&mut b, input);
         self.report(&id.id, b.last_ns);
@@ -163,6 +173,13 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     fn report(&mut self, id: &str, ns: f64) {
+        if self.criterion.test_mode {
+            println!("Testing {}/{id}: ok", self.name);
+            self.criterion
+                .results
+                .push((format!("{}/{id}", self.name), ns));
+            return;
+        }
         let tp = match self.throughput {
             Some(Throughput::Bytes(n)) => {
                 format!("  ({:.1} MiB/s)", n as f64 / (ns / 1e9) / (1 << 20) as f64)
@@ -186,6 +203,8 @@ impl<'a> BenchmarkGroup<'a> {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    /// `--test` smoke mode: run every bench body once, measure nothing.
+    test_mode: bool,
     /// `(full id, median ns/iter)` for every bench run so far; exposed so
     /// in-crate asserting harnesses (e.g. `telemetry_overhead`) can compare
     /// entries after running.
@@ -194,9 +213,15 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Honor `cargo bench -- --test` (criterion's smoke mode) from
+        // `default()` rather than only `configure_from_args()`: the
+        // workspace benches build their config as
+        // `Criterion::default().sample_size(n)` without the latter, and CI
+        // leans on `--test` to keep the bench step fast.
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_millis(500),
+            test_mode: std::env::args().any(|a| a == "--test"),
             results: Vec::new(),
         }
     }

@@ -1,0 +1,378 @@
+//! The repo's perf baseline: wall-time the fluid-solver scenarios in both
+//! solver modes and snapshot the result as `BENCH_fluid.json`.
+//!
+//! Five scenarios, mirroring `benches/fluid_solver.rs` plus the two
+//! end-to-end harnesses the epoch rework is meant to accelerate:
+//!
+//! * `table3_e2e` — the full Table 3 grid (5 protocol×cipher rows × 2
+//!   transfer sizes) through `TransferEngine`.
+//! * `resilience_quick_e2e` — the `exp_resilience --quick` sweep (4 cells
+//!   × 120-minute campaigns).
+//! * `mixed_cc_4000_ticks`, `constant_run_until_90m`, `link_flap_partial`
+//!   — the solver-level microbenches.
+//!
+//! Each scenario runs under the reference per-tick solver and the default
+//! epoch solver; the snapshot records both times and the speedup. Because
+//! absolute wall times vary across machines, the CI regression gate
+//! compares **speedups**, which divide the machine out: a run fails when a
+//! scenario's measured epoch-vs-reference speedup drops below the
+//! checked-in baseline's speedup divided by 1.25. Speedups are clamped to
+//! 10x before comparison — beyond that the epoch side is sub-10ms and the
+//! ratio is timer noise, not signal; the gate's job is to catch the epoch
+//! path degrading back toward 1x, not to police a 300x ratio.
+//!
+//! Usage:
+//!   bench_fluid                  run, print the table, write BENCH_fluid.json
+//!   bench_fluid --out <path>     write the snapshot elsewhere
+//!   bench_fluid --check <path>   also compare against a baseline snapshot,
+//!                                exiting 1 on a >25% speedup regression
+
+use std::time::Instant;
+
+use osdc_chaos::{run_campaign, CampaignConfig, RetryPolicy};
+use osdc_crypto::CipherKind;
+use osdc_net::{
+    osdc_wan, CongestionControl, FlowSpec, FluidNet, NodeId, OsdcSite, SolverMode, Topology,
+};
+use osdc_sim::{SimDuration, SimTime};
+use osdc_storage::GlusterVersion;
+use osdc_telemetry::Telemetry;
+use osdc_transfer::{Protocol, TransferEngine, TransferSpec};
+
+const SEED: u64 = 2012;
+/// Allowed speedup shrinkage before `--check` fails.
+const REGRESSION_FACTOR: f64 = 1.25;
+/// Speedups are compared after clamping here: ratios above this are all
+/// "epoch time is negligible" and their exact value is timer noise.
+const SPEEDUP_CAP: f64 = 10.0;
+
+fn table3_e2e(mode: SolverMode) {
+    let rows = [
+        (Protocol::Udr, CipherKind::None),
+        (Protocol::Rsync, CipherKind::None),
+        (Protocol::Udr, CipherKind::Blowfish),
+        (Protocol::Rsync, CipherKind::Blowfish),
+        (Protocol::Rsync, CipherKind::TripleDes),
+    ];
+    for (protocol, cipher) in rows {
+        for (bytes, seed) in [(108_000_000_000u64, SEED), (1_100_000_000_000, SEED + 1)] {
+            let wan = osdc_wan(0.9e-7);
+            let src = wan.node(OsdcSite::ChicagoKenwood);
+            let dst = wan.node(OsdcSite::Lvoc);
+            let mut engine = TransferEngine::new(FluidNet::with_solver(wan.topology, seed, mode));
+            engine.run(
+                &TransferSpec {
+                    protocol,
+                    cipher,
+                    bytes,
+                    files: 1,
+                    src,
+                    dst,
+                },
+                SimDuration::from_days(2),
+            );
+        }
+    }
+}
+
+fn resilience_quick_e2e(mode: SolverMode) {
+    let v31 = GlusterVersion::V3_1 {
+        replica_drop_prob: 0.15,
+    };
+    let cells = [
+        (v31, RetryPolicy::None),
+        (v31, RetryPolicy::exponential(12)),
+        (GlusterVersion::V3_3, RetryPolicy::fixed_30s(4)),
+        (GlusterVersion::V3_3, RetryPolicy::exponential(12)),
+    ];
+    for (gluster, retry) in cells {
+        let cfg = CampaignConfig::osdc(gluster, retry, SEED, 120, 2.0).with_solver(mode);
+        run_campaign(&cfg, &Telemetry::disabled());
+    }
+}
+
+fn mixed_cc_4000_ticks(mode: SolverMode) {
+    let wan = osdc_wan(1e-7);
+    let src = wan.node(OsdcSite::ChicagoKenwood);
+    let dst = wan.node(OsdcSite::Lvoc);
+    let mut net = FluidNet::with_solver(wan.topology, 42, mode);
+    for cc in [
+        CongestionControl::reno(0.104),
+        CongestionControl::udt(10e9),
+        CongestionControl::Constant { rate_bps: 1.5e9 },
+    ] {
+        net.start_flow(FlowSpec {
+            src,
+            dst,
+            bytes: u64::MAX / 4,
+            cc,
+            app_limit_bps: 3e9,
+        })
+        .expect("route");
+    }
+    for _ in 0..4000 {
+        net.step();
+    }
+}
+
+fn constant_run_until_90m(mode: SolverMode) {
+    let wan = osdc_wan(1.2e-7);
+    let src = wan.node(OsdcSite::ChicagoKenwood);
+    let dst = wan.node(OsdcSite::Lvoc);
+    let mut net = FluidNet::with_solver(wan.topology, 7, mode);
+    net.start_flow(FlowSpec {
+        src,
+        dst,
+        bytes: u64::MAX / 4,
+        cc: CongestionControl::Constant { rate_bps: 4e9 },
+        app_limit_bps: f64::INFINITY,
+    })
+    .expect("route");
+    net.run_until(SimTime::ZERO + SimDuration::from_mins(90));
+}
+
+fn link_flap_partial(mode: SolverMode) {
+    let mut topo = Topology::new();
+    let nodes: Vec<_> = (0..6).map(|i| topo.add_node(format!("n{i}"))).collect();
+    let mut hot = None;
+    for w in nodes.windows(2) {
+        let (a, _) = topo.add_duplex_link(w[0], w[1], 10e9, SimDuration::from_millis(10), 0.0);
+        hot.get_or_insert(a);
+    }
+    let hot = hot.expect("line has links");
+    let mut net = FluidNet::with_solver(topo, 11, mode);
+    for (s, d) in [(0usize, 5usize), (1, 4), (2, 5), (0, 3)] {
+        net.start_flow(FlowSpec {
+            src: NodeId(s),
+            dst: NodeId(d),
+            bytes: u64::MAX / 8,
+            cc: CongestionControl::Constant { rate_bps: 2e9 },
+            app_limit_bps: f64::INFINITY,
+        })
+        .expect("route");
+    }
+    for i in 0..200 {
+        net.set_link_up(hot, i % 2 == 1);
+        for _ in 0..20 {
+            net.step();
+        }
+    }
+}
+
+/// One timed sample: `inner` back-to-back runs, averaged, in milliseconds.
+/// Micro scenarios (sub-millisecond) use a large `inner` so a sample is
+/// tens of milliseconds and timer/scheduler noise averages out.
+fn sample_ms(run: &dyn Fn(SolverMode), mode: SolverMode, inner: u32) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..inner {
+        run(mode);
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / f64::from(inner)
+}
+
+struct Measurement {
+    name: &'static str,
+    reference_ms: f64,
+    epoch_ms: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.epoch_ms.max(1e-6)
+    }
+}
+
+fn snapshot_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reference_ms\": {:.3}, \"epoch_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.reference_ms,
+            m.epoch_ms,
+            m.speedup(),
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Compare measured speedups against a baseline snapshot. Returns the
+/// regression messages (empty = pass).
+fn check_against(baseline: &str, measurements: &[Measurement]) -> Result<Vec<String>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline is not JSON: {e:?}"))?;
+    let scenarios = value
+        .get("scenarios")
+        .and_then(|s| s.as_array())
+        .ok_or("baseline lacks a scenarios array")?;
+    let mut failures = Vec::new();
+    for base in scenarios {
+        let name = base
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("scenario lacks a name")?;
+        let base_speedup = base
+            .get("speedup")
+            .and_then(|s| s.as_f64())
+            .ok_or_else(|| format!("scenario {name} lacks a speedup"))?;
+        let Some(m) = measurements.iter().find(|m| m.name == name) else {
+            failures.push(format!("scenario {name} in baseline but not measured"));
+            continue;
+        };
+        let floor = base_speedup.min(SPEEDUP_CAP) / REGRESSION_FACTOR;
+        if m.speedup().min(SPEEDUP_CAP) < floor {
+            failures.push(format!(
+                "{name}: speedup {:.2}x fell below {floor:.2}x (baseline {base_speedup:.2}x capped at {SPEEDUP_CAP}x / {REGRESSION_FACTOR})",
+                m.speedup()
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fluid.json".into());
+    let check_path = flag_value(&args, "--check");
+
+    println!("fluid-solver perf baseline (min over 4 interleaved rounds, after warmup)");
+    println!(
+        "{:<24} {:>14} {:>12} {:>9}",
+        "scenario", "reference_ms", "epoch_ms", "speedup"
+    );
+    // (name, workload, inner iterations per timed sample).
+    type Scenario<'a> = (&'static str, &'a dyn Fn(SolverMode), u32);
+    let scenarios: [Scenario; 5] = [
+        ("table3_e2e", &table3_e2e, 1),
+        ("resilience_quick_e2e", &resilience_quick_e2e, 1),
+        ("mixed_cc_4000_ticks", &mixed_cc_4000_ticks, 20),
+        ("constant_run_until_90m", &constant_run_until_90m, 1),
+        ("link_flap_partial", &link_flap_partial, 20),
+    ];
+    let mut measurements = Vec::new();
+    for (name, run, inner) in scenarios {
+        // Interleave the modes across rounds and keep the per-mode minimum:
+        // background load only ever adds time, and interleaving stops a
+        // load burst from landing entirely on one mode.
+        run(SolverMode::Reference);
+        run(SolverMode::DEFAULT);
+        let (mut reference_ms, mut epoch_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..4 {
+            reference_ms = reference_ms.min(sample_ms(run, SolverMode::Reference, inner));
+            epoch_ms = epoch_ms.min(sample_ms(run, SolverMode::DEFAULT, inner));
+        }
+        let m = Measurement {
+            name,
+            reference_ms,
+            epoch_ms,
+        };
+        println!(
+            "{:<24} {:>14.3} {:>12.3} {:>8.2}x",
+            m.name,
+            m.reference_ms,
+            m.epoch_ms,
+            m.speedup()
+        );
+        measurements.push(m);
+    }
+
+    std::fs::write(&out_path, snapshot_json(&measurements)).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nsnapshot written to {out_path}");
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        match check_against(&baseline, &measurements) {
+            Ok(failures) if failures.is_empty() => {
+                println!("check vs {path}: all speedups within {REGRESSION_FACTOR}x of baseline");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot check baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake() -> Vec<Measurement> {
+        vec![Measurement {
+            name: "table3_e2e",
+            reference_ms: 1000.0,
+            epoch_ms: 100.0,
+        }]
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_check() {
+        let snap = snapshot_json(&fake());
+        assert!(check_against(&snap, &fake()).expect("parses").is_empty());
+    }
+
+    #[test]
+    fn regression_is_flagged() {
+        let snap = snapshot_json(&fake());
+        let slower = vec![Measurement {
+            name: "table3_e2e",
+            reference_ms: 1000.0,
+            epoch_ms: 200.0, // 5x, below 10x / 1.25 = 8x
+        }];
+        let failures = check_against(&snap, &slower).expect("parses");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("table3_e2e"));
+    }
+
+    #[test]
+    fn huge_speedups_compare_clamped() {
+        // 300x baseline vs 40x measured: both beyond the cap, so the swing
+        // is treated as timer noise and passes.
+        let base = vec![Measurement {
+            name: "constant_run_until_90m",
+            reference_ms: 3000.0,
+            epoch_ms: 10.0,
+        }];
+        let snap = snapshot_json(&base);
+        let measured = vec![Measurement {
+            name: "constant_run_until_90m",
+            reference_ms: 400.0,
+            epoch_ms: 10.0,
+        }];
+        assert!(check_against(&snap, &measured).expect("parses").is_empty());
+    }
+
+    #[test]
+    fn missing_scenario_is_flagged() {
+        let snap = snapshot_json(&fake());
+        let failures = check_against(&snap, &[]).expect("parses");
+        assert_eq!(failures.len(), 1);
+    }
+}

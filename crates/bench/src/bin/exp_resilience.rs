@@ -16,9 +16,11 @@
 //!
 //! Run: `cargo run --release -p osdc-bench --bin exp_resilience`
 //! Flags: `--quick` (shorter campaign, used by CI), `--trace <path>`
-//! (emit the telemetry JSONL artifact for the canonical cell).
+//! (emit the telemetry JSONL artifact for the canonical cell),
+//! `--tick-compat` / `--reference-solver` (fluid-solver mode; the default
+//! is the fast epoch mode).
 
-use osdc_bench::{banner, finish_trace, row, seed_line, trace_path};
+use osdc_bench::{banner, finish_trace, row, seed_line, solver_mode, trace_path};
 use osdc_chaos::{run_campaign, CampaignConfig, ResilienceScorecard, RetryPolicy};
 use osdc_storage::GlusterVersion;
 use osdc_telemetry::Telemetry;
@@ -42,6 +44,7 @@ fn main() {
         if quick { "  [--quick]" } else { "" }
     );
 
+    let solver = solver_mode();
     let v31 = GlusterVersion::V3_1 {
         replica_drop_prob: 0.15,
     };
@@ -75,6 +78,7 @@ fn main() {
             EXTRA_FAULTS_PER_HOUR,
         ),
     ];
+    let cells: Vec<CampaignConfig> = cells.into_iter().map(|c| c.with_solver(solver)).collect();
 
     let widths = [26usize, 8, 8, 10, 10, 12, 12];
     println!(

@@ -13,10 +13,14 @@
 //! throughput traces into a telemetry JSONL artifact at `<path>`, plus a
 //! federation ops report on stdout. Same-seed runs produce byte-identical
 //! artifacts.
+//!
+//! Solver flags: `--tick-compat` runs the epoch solver pinned to
+//! byte-identical pre-epoch output; `--reference-solver` runs the original
+//! per-tick solver; the default is the fast epoch mode.
 
-use osdc_bench::{banner, finish_trace, row, seed_line, trace_path};
+use osdc_bench::{banner, finish_trace, row, seed_line, solver_mode, trace_path};
 use osdc_crypto::CipherKind;
-use osdc_net::{osdc_wan, FluidNet, OsdcSite};
+use osdc_net::{osdc_wan, FluidNet, OsdcSite, SolverMode};
 use osdc_sim::SimDuration;
 use osdc_telemetry::Telemetry;
 use osdc_transfer::{Protocol, TransferEngine, TransferReport, TransferSpec};
@@ -30,12 +34,13 @@ fn transfer(
     cipher: CipherKind,
     bytes: u64,
     seed: u64,
+    mode: SolverMode,
     tele: &Telemetry,
 ) -> TransferReport {
     let wan = osdc_wan(LONG_HAUL_LOSS);
     let src = wan.node(OsdcSite::ChicagoKenwood);
     let dst = wan.node(OsdcSite::Lvoc);
-    let mut engine = TransferEngine::new(FluidNet::new(wan.topology, seed));
+    let mut engine = TransferEngine::new(FluidNet::with_solver(wan.topology, seed, mode));
     engine.set_telemetry(tele.clone());
     engine.run(
         &TransferSpec {
@@ -56,6 +61,7 @@ fn main() {
         "overall transfer speeds (mbit/s) and LLR, Chicago ↔ Livermore, RTT 104 ms",
     );
     seed_line(SEED);
+    let mode = solver_mode();
     let trace = trace_path();
     let tele = match &trace {
         Some(_) => Telemetry::new(),
@@ -134,8 +140,8 @@ fn main() {
 
     let mut measured: Vec<(&str, f64, f64)> = Vec::new();
     for (label, protocol, cipher, paper_mbps, paper_llr) in rows {
-        let small = transfer(protocol, cipher, gb108, SEED, &tele);
-        let large = transfer(protocol, cipher, tb1_1, SEED + 1, &tele);
+        let small = transfer(protocol, cipher, gb108, SEED, mode, &tele);
+        let large = transfer(protocol, cipher, tb1_1, SEED + 1, mode, &tele);
         println!(
             "{}",
             row(

@@ -55,6 +55,25 @@ pub fn trace_path() -> Option<std::path::PathBuf> {
     trace_path_from(&std::env::args().skip(1).collect::<Vec<_>>())
 }
 
+/// Parse the harnesses' shared fluid-solver flags out of an argument list:
+/// `--tick-compat` selects the epoch solver pinned to byte-identical
+/// pre-epoch output, `--reference-solver` the original per-tick solver,
+/// and neither selects the default epoch mode.
+pub fn solver_mode_from(args: &[String]) -> osdc_net::SolverMode {
+    if args.iter().any(|a| a == "--reference-solver") {
+        osdc_net::SolverMode::Reference
+    } else if args.iter().any(|a| a == "--tick-compat") {
+        osdc_net::SolverMode::TICK_COMPAT
+    } else {
+        osdc_net::SolverMode::DEFAULT
+    }
+}
+
+/// [`solver_mode_from`] over the process arguments.
+pub fn solver_mode() -> osdc_net::SolverMode {
+    solver_mode_from(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
 /// Write the telemetry JSONL artifact and print the ops report — the
 /// shared tail of every `--trace`-capable harness.
 pub fn finish_trace(tele: &osdc_telemetry::Telemetry, path: &std::path::Path) {

@@ -99,25 +99,29 @@ impl Injector for FluidNet {
         )
     }
 
+    // Both directions use the targeted [`FluidNet`] mutators rather than
+    // `topology_mut` + a global `refresh_paths`: each mutator marks only the
+    // touched link dirty (and reroutes only when the routing metric can have
+    // changed), so the epoch solver re-solves just the flows whose paths
+    // cross the faulted link instead of recomputing the whole WAN.
     fn inject(&mut self, ev: &FaultEvent, _now: SimTime) -> Result<Effect, InjectError> {
         let links = resolve_links(self, &ev.target)?;
         for id in links {
             match ev.kind {
                 FaultKind::LinkDown | FaultKind::LinkFlap => {
-                    self.topology_mut().set_link_up(id, false);
+                    self.set_link_up(id, false);
                 }
                 FaultKind::LossSpike => {
                     let loss = self.topology().link(id).loss_rate + ev.magnitude;
-                    self.topology_mut().set_link_loss_rate(id, loss.min(0.999));
+                    self.set_link_loss_rate(id, loss.min(0.999));
                 }
                 FaultKind::RttInflate => {
                     let delay = self.topology().link(id).delay.mul_f64(ev.magnitude);
-                    self.topology_mut().set_link_delay(id, delay);
+                    self.set_link_delay(id, delay);
                 }
                 other => return Err(InjectError::Unsupported(other)),
             }
         }
-        self.refresh_paths();
         Ok(Effect::default())
     }
 
@@ -126,20 +130,19 @@ impl Injector for FluidNet {
         for id in links {
             match ev.kind {
                 FaultKind::LinkDown | FaultKind::LinkFlap => {
-                    self.topology_mut().set_link_up(id, true);
+                    self.set_link_up(id, true);
                 }
                 FaultKind::LossSpike => {
                     let loss = (self.topology().link(id).loss_rate - ev.magnitude).max(0.0);
-                    self.topology_mut().set_link_loss_rate(id, loss);
+                    self.set_link_loss_rate(id, loss);
                 }
                 FaultKind::RttInflate => {
                     let delay = self.topology().link(id).delay.mul_f64(1.0 / ev.magnitude);
-                    self.topology_mut().set_link_delay(id, delay);
+                    self.set_link_delay(id, delay);
                 }
                 other => return Err(InjectError::Unsupported(other)),
             }
         }
-        self.refresh_paths();
         Ok(Effect::default())
     }
 }

@@ -13,6 +13,36 @@
 //!    congestion control's loss reaction. Links driven at ≥ capacity apply
 //!    an additional congestion-loss probability, closing the AIMD loop even
 //!    on clean fiber.
+//!
+//! # Epochs
+//!
+//! Re-running progressive filling every tick is wasteful: between
+//! *allocation-changing events* (flow arrival/completion, a link going up
+//! or down, a material change in a flow's desired rate) the allocation is
+//! constant, so the solver result can be cached and each tick reduced to
+//! the advance/loss bookkeeping of step 3–4. [`SolverMode`] selects how
+//! aggressively the cache is reused:
+//!
+//! * [`SolverMode::Reference`] — the original semantics: a full
+//!   progressive-filling solve on every tick. Kept as the referee for
+//!   differential tests.
+//! * [`SolverMode::Epoch`] — the cached allocation is reused until an
+//!   allocation-changing event. `desire_tolerance` bounds how far a
+//!   congestion-controlled flow's desire may drift from the value used at
+//!   the last solve before a re-solve is forced. At `0.0`
+//!   (tick-compatibility mode) any bit-level drift re-solves, every solve
+//!   runs the full reference arithmetic, and runs are **byte-identical**
+//!   to `Reference` — same rates, same traces, same RNG draws. At a
+//!   positive tolerance the solver additionally re-solves *incrementally*:
+//!   only the connected component of flows touched by dirty links or
+//!   drifted desires is re-filled (exact, because max-min allocation
+//!   decomposes over link-disjoint components), an early-exit skips
+//!   filling entirely when every link can carry the sum of its flows'
+//!   desires, and deadline-driven runs jump analytically over runs of
+//!   ticks where every active flow is constant-rate.
+//!
+//! The solver is allocation-free on the hot path: all per-solve working
+//! sets live in persistent scratch buffers on the [`FluidNet`].
 
 use osdc_sim::stats::Series;
 use osdc_sim::{SimDuration, SimRng, SimTime};
@@ -50,6 +80,42 @@ impl NetIds {
 /// shared ring gets one point per ~5 simulated seconds so a terabyte-scale
 /// Table 3 transfer cannot evict everything else.
 const TRACE_POINT_STRIDE: u64 = 10;
+
+/// How the max-min allocation is computed and reused across ticks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolverMode {
+    /// Full progressive-filling solve on every tick (the pre-epoch
+    /// semantics). The referee for differential testing.
+    Reference,
+    /// Cache the allocation between allocation-changing events.
+    Epoch {
+        /// Relative drift of a flow's desired rate (vs. the desire used at
+        /// the last solve) that forces a re-solve. `0.0` is
+        /// tick-compatibility mode: byte-identical to [`SolverMode::Reference`].
+        desire_tolerance: f64,
+    },
+}
+
+impl SolverMode {
+    /// Default epoch mode: re-solve on ~0.5 % desire drift. Fast, and
+    /// throughput-accurate to well under a percent.
+    pub const DEFAULT: SolverMode = SolverMode::Epoch {
+        desire_tolerance: 5e-3,
+    };
+
+    /// Epoch bookkeeping with zero drift tolerance: same rates, traces and
+    /// RNG draws as [`SolverMode::Reference`], byte for byte.
+    pub const TICK_COMPAT: SolverMode = SolverMode::Epoch {
+        desire_tolerance: 0.0,
+    };
+
+    fn tolerance(self) -> Option<f64> {
+        match self {
+            SolverMode::Reference => None,
+            SolverMode::Epoch { desire_tolerance } => Some(desire_tolerance),
+        }
+    }
+}
 
 /// Handle to a flow inside a [`FluidNet`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -119,6 +185,68 @@ struct FlowState {
     /// `("net.flowN.mbps", "net.flowN.cwnd_mbps")`, precomputed at
     /// `start_flow` only when telemetry is live.
     point_names: Option<(String, String)>,
+    /// Allocated rate from the last solve, bits/second.
+    rate_bps: f64,
+    /// The desire fed to the solver at the last solve; drift beyond the
+    /// mode's tolerance forces a re-solve.
+    desire_used: f64,
+    /// Whether any path link was saturated at the last solve.
+    congested: bool,
+    /// Per-tick loss-event probability cache, keyed on the exact
+    /// `(p, pkts)` pair so the `powf` is skipped while the rate holds.
+    q_key_p: f64,
+    q_key_pkts: f64,
+    q_event: f64,
+}
+
+impl FlowState {
+    fn is_active(&self) -> bool {
+        self.status == FlowStatus::Active
+    }
+
+    fn desire(&self) -> f64 {
+        self.cc.desired_rate_bps().min(self.app_limit_bps)
+    }
+
+    /// Would re-solving with desire `d` materially change the allocation?
+    fn desire_drifted(&self, d: f64, tol: f64) -> bool {
+        if tol == 0.0 {
+            // Tick compatibility: any bit-level drift re-solves.
+            return d != self.desire_used;
+        }
+        // A flow held below its desire by links stays link-limited while
+        // its desire remains above the allocation: the desire is not the
+        // binding constraint, so its motion cannot change the result.
+        if self.rate_bps < self.desire_used - 1e-6 && d > self.rate_bps * (1.0 + tol) {
+            return false;
+        }
+        (d - self.desire_used).abs() > tol * self.desire_used.max(1.0)
+    }
+}
+
+/// Persistent solver working sets: nothing on the solve path allocates.
+#[derive(Default)]
+struct Scratch {
+    /// `(flow index, desired rate)` in ascending flow order.
+    desires: Vec<(usize, f64)>,
+    /// `(flow index, allocated rate)`, parallel to `desires`.
+    alloc: Vec<(usize, f64)>,
+    frozen: Vec<bool>,
+    remaining: Vec<f64>,
+    users: Vec<usize>,
+    /// Per-flow membership in the incremental re-solve set.
+    resolve: Vec<bool>,
+    /// Per-link membership closure of the re-solve set.
+    link_in_r: Vec<bool>,
+}
+
+/// Solver work counters, exposed for benches and perf baselines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Ticks advanced (analytic jumps count every tick they cover).
+    pub ticks: u64,
+    /// Progressive-filling solves actually executed.
+    pub solves: u64,
 }
 
 /// The simulator. Owns a topology, the flows, a clock and a seeded RNG.
@@ -134,10 +262,32 @@ pub struct FluidNet {
     trace_every: SimDuration,
     tele: Telemetry,
     ids: Option<NetIds>,
+    mode: SolverMode,
+    /// Active-flow counter, maintained on start/complete/cancel so no call
+    /// site pays an O(flows) scan.
+    active: usize,
+    /// Whether the cached allocation may be reused at all. Cleared by
+    /// whole-topology invalidations (`topology_mut`, tick changes).
+    cache_valid: bool,
+    /// Links whose state or crossing-flow set changed since the last
+    /// solve; only flows across these links need re-solving.
+    dirty_links: Vec<bool>,
+    any_dirty: bool,
+    /// Current per-link allocated load, maintained across solves.
+    link_load: Vec<f64>,
+    link_saturated: Vec<bool>,
+    scratch: Scratch,
+    stats: SolverStats,
 }
 
 impl FluidNet {
     pub fn new(topo: Topology, seed: u64) -> Self {
+        Self::with_solver(topo, seed, SolverMode::DEFAULT)
+    }
+
+    /// Build with an explicit solver mode; see [`SolverMode`].
+    pub fn with_solver(topo: Topology, seed: u64, mode: SolverMode) -> Self {
+        let links = topo.link_count();
         FluidNet {
             topo,
             flows: Vec::new(),
@@ -148,7 +298,31 @@ impl FluidNet {
             trace_every: SimDuration::from_millis(500),
             tele: Telemetry::disabled(),
             ids: None,
+            mode,
+            active: 0,
+            cache_valid: false,
+            dirty_links: vec![false; links],
+            any_dirty: false,
+            link_load: vec![0.0; links],
+            link_saturated: vec![false; links],
+            scratch: Scratch::default(),
+            stats: SolverStats::default(),
         }
+    }
+
+    /// Epoch bookkeeping, byte-identical artifacts to the pre-epoch
+    /// (reference) solver. For golden-trace comparisons.
+    pub fn tick_compat(topo: Topology, seed: u64) -> Self {
+        Self::with_solver(topo, seed, SolverMode::TICK_COMPAT)
+    }
+
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
+    }
+
+    /// Tick/solve counters since construction.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Attach a telemetry handle. Per-flow throughput/cwnd go into the
@@ -169,6 +343,7 @@ impl FluidNet {
     pub fn set_tick(&mut self, tick: SimDuration) {
         assert!(!tick.is_zero());
         self.tick = tick;
+        self.cache_valid = false;
     }
 
     /// Launch a flow. Errors (rather than panicking) when the endpoints
@@ -196,6 +371,9 @@ impl FluidNet {
                 format!("net.flow{}.cwnd_mbps", id.0),
             )
         });
+        for &l in &path {
+            self.mark_link_dirty(l);
+        }
         self.flows.push(FlowState {
             src: spec.src,
             dst: spec.dst,
@@ -212,18 +390,28 @@ impl FluidNet {
             loss_events: 0,
             samples: 0,
             point_names,
+            rate_bps: 0.0,
+            desire_used: f64::NAN,
+            congested: false,
+            q_key_p: f64::NAN,
+            q_key_pkts: f64::NAN,
+            q_event: 0.0,
         });
+        self.active += 1;
         if let Some(ids) = &self.ids {
             self.tele.incr(ids.flows_started);
-            self.tele
-                .set_gauge(ids.active_flows, self.active_flows() as f64);
+            self.tele.set_gauge(ids.active_flows, self.active as f64);
         }
         Ok(id)
     }
 
     /// Mutable access to the topology, for fault injection. Follow link
-    /// mutations with [`FluidNet::refresh_paths`].
+    /// mutations with [`FluidNet::refresh_paths`]. Invalidates the cached
+    /// allocation wholesale; the targeted [`FluidNet::set_link_up`] /
+    /// [`FluidNet::set_link_loss_rate`] / [`FluidNet::set_link_delay`]
+    /// mutators are cheaper because they only dirty what they touch.
     pub fn topology_mut(&mut self) -> &mut Topology {
+        self.cache_valid = false;
         &mut self.topo
     }
 
@@ -234,21 +422,78 @@ impl FluidNet {
     /// nothing) until connectivity returns. Returns how many flows
     /// changed path.
     pub fn refresh_paths(&mut self) -> usize {
+        self.cache_valid = false;
+        self.reroute_flows()
+    }
+
+    /// Reroute active flows onto current shortest paths, marking the old
+    /// and new path links of every moved flow dirty and keeping the
+    /// per-link load ledger consistent.
+    fn reroute_flows(&mut self) -> usize {
         let mut rerouted = 0;
-        for f in self
-            .flows
-            .iter_mut()
-            .filter(|f| f.status == FlowStatus::Active)
-        {
-            if let Some(path) = self.topo.shortest_path(f.src, f.dst) {
-                if path != f.path {
-                    rerouted += 1;
-                }
-                f.path = path;
+        for i in 0..self.flows.len() {
+            if !self.flows[i].is_active() {
+                continue;
             }
-            f.path_loss = self.topo.path_loss_rate(&f.path);
+            let (src, dst) = (self.flows[i].src, self.flows[i].dst);
+            if let Some(path) = self.topo.shortest_path(src, dst) {
+                if path != self.flows[i].path {
+                    rerouted += 1;
+                    let rate = self.flows[i].rate_bps;
+                    for k in 0..self.flows[i].path.len() {
+                        let l = self.flows[i].path[k];
+                        self.mark_link_dirty(l);
+                        self.link_load[l.0] -= rate;
+                    }
+                    for &l in &path {
+                        self.mark_link_dirty(l);
+                        self.link_load[l.0] += rate;
+                    }
+                    self.flows[i].path = path;
+                }
+            }
+            self.flows[i].path_loss = self.topo.path_loss_rate(&self.flows[i].path);
         }
         rerouted
+    }
+
+    /// Bring a link up or down and reconverge routing, dirtying only the
+    /// link and the paths of flows that moved. Equivalent to
+    /// `topology_mut().set_link_up(..)` + [`FluidNet::refresh_paths`] but
+    /// keeps the allocation cache for flows the change cannot affect.
+    /// Returns how many flows changed path.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) -> usize {
+        self.topo.set_link_up(id, up);
+        self.mark_link_dirty(id);
+        self.reroute_flows()
+    }
+
+    /// Change a link's residual loss rate. Loss does not enter the
+    /// allocator or the routing metric, so only the path-loss of flows
+    /// crossing the link is refreshed; cached rates stay valid.
+    pub fn set_link_loss_rate(&mut self, id: LinkId, loss_rate: f64) {
+        self.topo.set_link_loss_rate(id, loss_rate);
+        for i in 0..self.flows.len() {
+            if self.flows[i].is_active() && self.flows[i].path.contains(&id) {
+                self.flows[i].path_loss = self.topo.path_loss_rate(&self.flows[i].path);
+            }
+        }
+    }
+
+    /// Change a link's propagation delay and reconverge routing (delay is
+    /// the routing metric, so any path may move). Returns how many flows
+    /// changed path.
+    pub fn set_link_delay(&mut self, id: LinkId, delay: SimDuration) -> usize {
+        self.topo.set_link_delay(id, delay);
+        self.reroute_flows()
+    }
+
+    fn mark_link_dirty(&mut self, l: LinkId) {
+        if l.0 >= self.dirty_links.len() {
+            self.dirty_links.resize(l.0 + 1, false);
+        }
+        self.dirty_links[l.0] = true;
+        self.any_dirty = true;
     }
 
     pub fn status(&self, id: FlowId) -> FlowStatus {
@@ -267,6 +512,11 @@ impl FluidNet {
         &self.flows[id.0].trace
     }
 
+    /// The rate the flow was granted at the most recent solve, bits/second.
+    pub fn current_rate_bps(&self, id: FlowId) -> f64 {
+        self.flows[id.0].rate_bps
+    }
+
     /// Mean goodput of a finished flow in bits/second.
     pub fn average_throughput_bps(&self, id: FlowId) -> Option<f64> {
         let f = &self.flows[id.0];
@@ -279,39 +529,55 @@ impl FluidNet {
         }
     }
 
+    /// Number of active flows. O(1): a counter maintained at flow
+    /// start/completion/cancel.
     pub fn active_flows(&self) -> usize {
-        self.flows
-            .iter()
-            .filter(|f| f.status == FlowStatus::Active)
-            .count()
+        self.active
     }
 
-    /// Max-min fair allocation by progressive filling. Returns per-flow
-    /// allocated rates in bits/second for the given desires.
-    fn allocate(&self, desires: &[(usize, f64)]) -> Vec<(usize, f64)> {
-        let mut remaining: Vec<f64> = (0..self.topo.link_count())
-            .map(|l| {
-                let link = self.topo.link(LinkId(l));
-                // A downed link carries nothing: flows still routed over it
-                // (no alternative path) freeze at zero rate and stall.
-                if link.up {
-                    link.capacity_bps
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut alloc: Vec<(usize, f64)> = desires.iter().map(|&(i, _)| (i, 0.0)).collect();
-        let mut frozen: Vec<bool> = vec![false; desires.len()];
-        let mut users_per_link = vec![0usize; self.topo.link_count()];
+    /// Ensure link-indexed buffers cover the current topology (links can
+    /// be added through `topology_mut`).
+    fn ensure_link_buffers(&mut self) {
+        let n = self.topo.link_count();
+        if self.dirty_links.len() < n {
+            self.dirty_links.resize(n, false);
+        }
+        if self.link_load.len() < n {
+            self.link_load.resize(n, 0.0);
+            self.link_saturated.resize(n, false);
+        }
+    }
+
+    /// Reference progressive filling over `scratch.desires`, writing
+    /// `scratch.alloc`. Arithmetic is identical to the pre-epoch solver;
+    /// only the storage is persistent.
+    fn allocate_into(topo: &Topology, flows: &[FlowState], s: &mut Scratch) {
+        let links = topo.link_count();
+        s.remaining.clear();
+        s.remaining.extend((0..links).map(|l| {
+            let link = topo.link(LinkId(l));
+            // A downed link carries nothing: flows still routed over it
+            // (no alternative path) freeze at zero rate and stall.
+            if link.up {
+                link.capacity_bps
+            } else {
+                0.0
+            }
+        }));
+        s.alloc.clear();
+        s.alloc.extend(s.desires.iter().map(|&(i, _)| (i, 0.0)));
+        s.frozen.clear();
+        s.frozen.resize(s.desires.len(), false);
+        s.users.clear();
+        s.users.resize(links, 0);
         loop {
-            for c in users_per_link.iter_mut() {
+            for c in s.users.iter_mut() {
                 *c = 0;
             }
-            for (k, &(i, _)) in desires.iter().enumerate() {
-                if !frozen[k] {
-                    for &l in &self.flows[i].path {
-                        users_per_link[l.0] += 1;
+            for (k, &(i, _)) in s.desires.iter().enumerate() {
+                if !s.frozen[k] {
+                    for &l in &flows[i].path {
+                        s.users[l.0] += 1;
                     }
                 }
             }
@@ -319,40 +585,40 @@ impl FluidNet {
             // and min over their links of remaining/users.
             let mut delta = f64::INFINITY;
             let mut any = false;
-            for (k, &(i, desire)) in desires.iter().enumerate() {
-                if frozen[k] {
+            for (k, &(i, desire)) in s.desires.iter().enumerate() {
+                if s.frozen[k] {
                     continue;
                 }
                 any = true;
-                delta = delta.min(desire - alloc[k].1);
-                for &l in &self.flows[i].path {
-                    delta = delta.min(remaining[l.0] / users_per_link[l.0] as f64);
+                delta = delta.min(desire - s.alloc[k].1);
+                for &l in &flows[i].path {
+                    delta = delta.min(s.remaining[l.0] / s.users[l.0] as f64);
                 }
             }
             if !any {
                 break;
             }
             let delta = delta.max(0.0);
-            for (k, &(i, desire)) in desires.iter().enumerate() {
-                if frozen[k] {
+            for (k, &(i, desire)) in s.desires.iter().enumerate() {
+                if s.frozen[k] {
                     continue;
                 }
-                alloc[k].1 += delta;
-                for &l in &self.flows[i].path {
-                    remaining[l.0] -= delta;
+                s.alloc[k].1 += delta;
+                for &l in &flows[i].path {
+                    s.remaining[l.0] -= delta;
                 }
-                if alloc[k].1 >= desire - 1e-6 {
-                    frozen[k] = true;
+                if s.alloc[k].1 >= desire - 1e-6 {
+                    s.frozen[k] = true;
                 }
             }
             // Freeze every unfrozen flow crossing a saturated link.
             let mut progressed = false;
-            for (k, &(i, _)) in desires.iter().enumerate() {
-                if frozen[k] {
+            for (k, &(i, _)) in s.desires.iter().enumerate() {
+                if s.frozen[k] {
                     continue;
                 }
-                if self.flows[i].path.iter().any(|&l| remaining[l.0] <= 1e-3) {
-                    frozen[k] = true;
+                if flows[i].path.iter().any(|&l| s.remaining[l.0] <= 1e-3) {
+                    s.frozen[k] = true;
                     progressed = true;
                 }
             }
@@ -361,43 +627,234 @@ impl FluidNet {
                 break;
             }
         }
-        alloc
+    }
+
+    /// Full solve over every active flow: rebuilds desires, the per-link
+    /// load ledger, saturation flags and every flow's cached rate.
+    fn solve_full(&mut self) {
+        self.stats.solves += 1;
+        self.ensure_link_buffers();
+        self.scratch.desires.clear();
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.is_active() {
+                self.scratch.desires.push((i, f.desire()));
+            }
+        }
+        // Early exit (approximate modes only): if every link can carry the
+        // sum of its crossing desires, the allocation *is* the desires.
+        // Skipped in tick-compat because progressive filling reaches the
+        // same values through different float additions.
+        let relaxed = matches!(self.mode.tolerance(), Some(t) if t > 0.0);
+        let mut fits = relaxed;
+        if relaxed {
+            for v in self.link_load.iter_mut() {
+                *v = 0.0;
+            }
+            for &(i, d) in &self.scratch.desires {
+                for &l in &self.flows[i].path {
+                    self.link_load[l.0] += d;
+                }
+            }
+            for l in 0..self.topo.link_count() {
+                if self.link_load[l] > 0.0 {
+                    let link = self.topo.link(LinkId(l));
+                    if !link.up || self.link_load[l] > link.capacity_bps {
+                        fits = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if fits {
+            self.scratch.alloc.clear();
+            let desires = std::mem::take(&mut self.scratch.desires);
+            self.scratch.alloc.extend(desires.iter().copied());
+            self.scratch.desires = desires;
+        } else {
+            Self::allocate_into(&self.topo, &self.flows, &mut self.scratch);
+            // Per-link load from the fresh allocation (reference order).
+            for v in self.link_load.iter_mut() {
+                *v = 0.0;
+            }
+            for &(i, rate) in &self.scratch.alloc {
+                for &l in &self.flows[i].path {
+                    self.link_load[l.0] += rate;
+                }
+            }
+        }
+        for l in 0..self.topo.link_count() {
+            self.link_saturated[l] =
+                self.link_load[l] >= self.topo.link(LinkId(l)).capacity_bps * 0.999;
+        }
+        for k in 0..self.scratch.desires.len() {
+            let (i, d) = self.scratch.desires[k];
+            let rate = self.scratch.alloc[k].1;
+            let sat = &self.link_saturated;
+            let congested = self.flows[i].path.iter().any(|&l| sat[l.0]);
+            let f = &mut self.flows[i];
+            f.rate_bps = rate;
+            f.desire_used = d;
+            f.congested = congested;
+        }
+        self.clear_dirty();
+        self.cache_valid = true;
+    }
+
+    /// Incremental solve (positive-tolerance epoch mode only): re-fill
+    /// just the connected component of flows reached from dirty links and
+    /// drifted desires. Exact, because components sharing no link are
+    /// independent under max-min filling.
+    fn solve_partial(&mut self, tol: f64) {
+        self.ensure_link_buffers();
+        let nf = self.flows.len();
+        self.scratch.resolve.clear();
+        self.scratch.resolve.resize(nf, false);
+        self.scratch.link_in_r.clear();
+        self.scratch.link_in_r.resize(self.topo.link_count(), false);
+        let mut any = false;
+        for i in 0..nf {
+            let f = &self.flows[i];
+            if !f.is_active() {
+                continue;
+            }
+            let d = f.desire();
+            if f.path.iter().any(|&l| self.dirty_links[l.0]) || f.desire_drifted(d, tol) {
+                self.scratch.resolve[i] = true;
+                any = true;
+            }
+        }
+        if !any {
+            self.clear_dirty();
+            return;
+        }
+        self.stats.solves += 1;
+        for i in 0..nf {
+            if self.scratch.resolve[i] {
+                for &l in &self.flows[i].path {
+                    self.scratch.link_in_r[l.0] = true;
+                }
+            }
+        }
+        // Closure: pull in every flow sharing a link with the set, until
+        // the set's links are used by member flows only.
+        loop {
+            let mut grew = false;
+            for i in 0..nf {
+                if self.scratch.resolve[i] || !self.flows[i].is_active() {
+                    continue;
+                }
+                let s = &self.scratch;
+                if self.flows[i].path.iter().any(|&l| s.link_in_r[l.0]) {
+                    self.scratch.resolve[i] = true;
+                    for &l in &self.flows[i].path {
+                        self.scratch.link_in_r[l.0] = true;
+                    }
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Member flows release their load, re-fill on full capacities
+        // (their links carry member flows only), then re-book.
+        self.scratch.desires.clear();
+        for i in 0..nf {
+            if !self.scratch.resolve[i] || !self.flows[i].is_active() {
+                continue;
+            }
+            let rate = self.flows[i].rate_bps;
+            for k in 0..self.flows[i].path.len() {
+                let l = self.flows[i].path[k];
+                self.link_load[l.0] -= rate;
+            }
+            let d = self.flows[i].desire();
+            self.scratch.desires.push((i, d));
+        }
+        Self::allocate_into(&self.topo, &self.flows, &mut self.scratch);
+        for k in 0..self.scratch.desires.len() {
+            let (i, d) = self.scratch.desires[k];
+            let rate = self.scratch.alloc[k].1;
+            for j in 0..self.flows[i].path.len() {
+                let l = self.flows[i].path[j];
+                self.link_load[l.0] += rate;
+            }
+            let f = &mut self.flows[i];
+            f.rate_bps = rate;
+            f.desire_used = d;
+        }
+        for l in 0..self.topo.link_count() {
+            if self.scratch.link_in_r[l] {
+                self.link_saturated[l] =
+                    self.link_load[l] >= self.topo.link(LinkId(l)).capacity_bps * 0.999;
+            }
+        }
+        for i in 0..nf {
+            if self.scratch.resolve[i] {
+                let sat = &self.link_saturated;
+                let congested = self.flows[i].path.iter().any(|&l| sat[l.0]);
+                self.flows[i].congested = congested;
+            }
+        }
+        self.clear_dirty();
+    }
+
+    fn clear_dirty(&mut self) {
+        if self.any_dirty {
+            for d in self.dirty_links.iter_mut() {
+                *d = false;
+            }
+            self.any_dirty = false;
+        }
+    }
+
+    /// Does any active flow's desire sit outside the cached solve's
+    /// tolerance band?
+    fn desires_drifted(&self, tol: f64) -> bool {
+        self.flows
+            .iter()
+            .any(|f| f.is_active() && f.desire_drifted(f.desire(), tol))
     }
 
     /// Advance one tick. Returns the new virtual time.
     pub fn step(&mut self) -> SimTime {
-        let dt = self.tick.as_secs_f64();
-        // 1. Desires.
-        let desires: Vec<(usize, f64)> = self
-            .flows
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.status == FlowStatus::Active)
-            .map(|(i, f)| (i, f.cc.desired_rate_bps().min(f.app_limit_bps)))
-            .collect();
-        if desires.is_empty() {
+        self.stats.ticks += 1;
+        if self.active == 0 {
             self.now += self.tick;
             return self.now;
         }
-        // 2. Fair shares.
-        let alloc = self.allocate(&desires);
-        // 3+4. Advance, complete, sample loss.
-        let saturated: Vec<bool> = {
-            // Recompute per-link load to detect saturation for congestion loss.
-            let mut load = vec![0.0f64; self.topo.link_count()];
-            for &(i, rate) in &alloc {
-                for &l in &self.flows[i].path {
-                    load[l.0] += rate;
+        match self.mode.tolerance() {
+            None => self.solve_full(),
+            Some(tol) => {
+                if !self.cache_valid {
+                    self.solve_full();
+                } else if self.any_dirty || self.desires_drifted(tol) {
+                    if tol == 0.0 {
+                        // Tick compatibility: always the full reference
+                        // arithmetic, so rates stay bit-identical.
+                        self.solve_full();
+                    } else {
+                        self.solve_partial(tol);
+                    }
                 }
             }
-            (0..self.topo.link_count())
-                .map(|l| load[l] >= self.topo.link(LinkId(l)).capacity_bps * 0.999)
-                .collect()
-        };
+        }
+        self.advance_tick()
+    }
+
+    /// Steps 3–4 of the tick: advance every active flow on its cached
+    /// rate, record completions and traces, sample loss. Observable order
+    /// matches the reference solver exactly (ascending flow index).
+    fn advance_tick(&mut self) -> SimTime {
+        let dt = self.tick.as_secs_f64();
         let end = self.now + self.tick;
         let ids = self.ids;
         let mut completed = 0usize;
-        for &(i, rate) in &alloc {
+        for i in 0..self.flows.len() {
+            if !self.flows[i].is_active() {
+                continue;
+            }
+            let rate = self.flows[i].rate_bps;
             let f = &mut self.flows[i];
             let bytes = rate * dt / 8.0;
             f.bytes_done += bytes;
@@ -406,6 +863,7 @@ impl FluidNet {
                 f.bytes_done = f.bytes_total as f64;
                 f.status = FlowStatus::Done { at: end };
                 completed += 1;
+                self.active -= 1;
                 if let Some(ids) = &ids {
                     self.tele.incr(ids.flows_completed);
                     let secs = end.saturating_since(f.started).as_secs_f64();
@@ -414,7 +872,14 @@ impl FluidNet {
                             .observe(ids.flow_throughput_mbps, f.bytes_done * 8.0 / secs / 1e6);
                     }
                 }
+                // The freed capacity re-solves the sharers next tick.
+                for k in 0..self.flows[i].path.len() {
+                    let l = self.flows[i].path[k];
+                    self.link_load[l.0] -= rate;
+                    self.mark_link_dirty(l);
+                }
             }
+            let f = &mut self.flows[i];
             if end >= f.next_trace_at {
                 f.trace.push(end, rate / 1e6);
                 f.next_trace_at = end + self.trace_every;
@@ -430,10 +895,22 @@ impl FluidNet {
             // Loss sampling: path residual loss plus congestion loss on any
             // saturated link of the path.
             let pkts = bytes / MSS_BYTES;
-            let congested = f.path.iter().any(|&l| saturated[l.0]);
-            let p = f.path_loss + if congested { self.congestion_loss } else { 0.0 };
+            let p = f.path_loss
+                + if f.congested {
+                    self.congestion_loss
+                } else {
+                    0.0
+                };
             if p > 0.0 && pkts > 0.0 {
-                let p_event = 1.0 - (1.0 - p).powf(pkts);
+                let p_event = if p == f.q_key_p && pkts == f.q_key_pkts {
+                    f.q_event
+                } else {
+                    let q = 1.0 - (1.0 - p).powf(pkts);
+                    f.q_key_p = p;
+                    f.q_key_pkts = pkts;
+                    f.q_event = q;
+                    q
+                };
                 if self.rng.chance(p_event) {
                     f.cc.on_loss();
                     f.loss_events += 1;
@@ -445,16 +922,155 @@ impl FluidNet {
         }
         if completed > 0 {
             if let Some(ids) = &ids {
-                let active = self
-                    .flows
-                    .iter()
-                    .filter(|f| f.status == FlowStatus::Active)
-                    .count();
-                self.tele.set_gauge(ids.active_flows, active as f64);
+                self.tele.set_gauge(ids.active_flows, self.active as f64);
             }
         }
         self.now = end;
         self.now
+    }
+
+    /// Ticks needed to reach `deadline` from now (0 if already there).
+    fn ticks_until(&self, deadline: SimTime) -> u64 {
+        if deadline.0 <= self.now.0 {
+            return 0;
+        }
+        (deadline.0 - self.now.0).div_ceil(self.tick.0)
+    }
+
+    /// Whether the run loops may replace tick-by-tick stepping with an
+    /// analytic jump: approximate epoch mode, a clean cache, and every
+    /// active flow constant-rate (so no desire can drift mid-jump).
+    fn jump_eligible(&self) -> bool {
+        matches!(self.mode.tolerance(), Some(t) if t > 0.0)
+            && self.cache_valid
+            && !self.any_dirty
+            && self
+                .flows
+                .iter()
+                .all(|f| !f.is_active() || matches!(f.cc, CongestionControl::Constant { .. }))
+    }
+
+    /// Advance up to `max_ticks` ticks in closed form: rates are frozen,
+    /// so bytes, trace samples and loss events are computed without
+    /// stepping. Stops one tick short of the earliest completion so the
+    /// completion tick itself goes through [`FluidNet::advance_tick`].
+    /// Returns the number of ticks jumped (0 when a completion or an
+    /// over-unity loss probability demands per-tick stepping).
+    fn jump_constant(&mut self, max_ticks: u64) -> u64 {
+        let dt = self.tick.as_secs_f64();
+        let mut k = max_ticks;
+        for f in self.flows.iter().filter(|f| f.is_active()) {
+            let bpt = f.rate_bps * dt / 8.0;
+            if bpt <= 0.0 {
+                continue;
+            }
+            let rem = f.bytes_total as f64 - f.bytes_done;
+            let to_done = (rem / bpt).ceil();
+            let to_done = if to_done >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                to_done as u64
+            };
+            k = k.min(to_done.saturating_sub(1));
+            // Loss probability saturating at 1 would mean a loss per tick;
+            // leave that regime to the stepper.
+            let p = f.path_loss
+                + if f.congested {
+                    self.congestion_loss
+                } else {
+                    0.0
+                };
+            if p > 0.0 && 1.0 - (1.0 - p).powf(bpt / MSS_BYTES) >= 1.0 {
+                return 0;
+            }
+        }
+        if k == 0 {
+            return 0;
+        }
+        let t0 = self.now;
+        let end = SimTime(t0.0 + k * self.tick.0);
+        for i in 0..self.flows.len() {
+            if !self.flows[i].is_active() {
+                continue;
+            }
+            let f = &mut self.flows[i];
+            let rate = f.rate_bps;
+            let bpt = rate * dt / 8.0;
+            f.bytes_done += k as f64 * bpt;
+            // Trace grid: the first tick-end at or past each due sample.
+            loop {
+                let nta = f.next_trace_at;
+                if nta > end {
+                    break;
+                }
+                let j = if nta.0 <= t0.0 {
+                    1
+                } else {
+                    (nta.0 - t0.0).div_ceil(self.tick.0).max(1)
+                };
+                let sample_t = SimTime(t0.0 + j * self.tick.0);
+                if sample_t > end {
+                    break;
+                }
+                f.trace.push(sample_t, rate / 1e6);
+                f.next_trace_at = sample_t + self.trace_every;
+                if let Some((mbps_name, cwnd_name)) = &f.point_names {
+                    if f.samples.is_multiple_of(TRACE_POINT_STRIDE) {
+                        self.tele.point(mbps_name, sample_t, rate / 1e6);
+                        self.tele
+                            .point(cwnd_name, sample_t, f.cc.desired_rate_bps() / 1e6);
+                    }
+                }
+                f.samples += 1;
+            }
+            // Loss events over k ticks: the per-tick Bernoulli process is
+            // memoryless, so inter-loss gaps are geometric; sample them
+            // directly instead of drawing every tick.
+            let pkts = bpt / MSS_BYTES;
+            let p = f.path_loss
+                + if f.congested {
+                    self.congestion_loss
+                } else {
+                    0.0
+                };
+            if p > 0.0 && pkts > 0.0 {
+                let q = if p == f.q_key_p && pkts == f.q_key_pkts {
+                    f.q_event
+                } else {
+                    let q = 1.0 - (1.0 - p).powf(pkts);
+                    f.q_key_p = p;
+                    f.q_key_pkts = pkts;
+                    f.q_event = q;
+                    q
+                };
+                let ln_1mq = (1.0 - q).ln();
+                if ln_1mq < 0.0 {
+                    let mut at = 0u64;
+                    loop {
+                        let u = self.rng.f64();
+                        let gap = ((1.0 - u).ln() / ln_1mq).floor() + 1.0;
+                        let gap = if gap >= u64::MAX as f64 {
+                            u64::MAX
+                        } else {
+                            gap as u64
+                        };
+                        at = at.saturating_add(gap);
+                        if at > k {
+                            break;
+                        }
+                        let f = &mut self.flows[i];
+                        f.cc.on_loss();
+                        f.loss_events += 1;
+                        if let Some(ids) = &self.ids {
+                            self.tele.incr(ids.loss_events);
+                        }
+                    }
+                }
+            }
+        }
+        self.now = end;
+        self.stats.ticks += k;
+        k
     }
 
     /// Step until `flow` completes or `deadline` passes; returns completion
@@ -467,13 +1083,25 @@ impl FluidNet {
             if self.now >= deadline {
                 return None;
             }
+            if self.jump_eligible() {
+                let k = self.ticks_until(deadline);
+                if k > 0 && self.jump_constant(k) > 0 {
+                    continue;
+                }
+            }
             self.step();
         }
     }
 
     /// Step until every flow completes or `deadline` passes.
     pub fn run_all(&mut self, deadline: SimTime) {
-        while self.active_flows() > 0 && self.now < deadline {
+        while self.active > 0 && self.now < deadline {
+            if self.jump_eligible() {
+                let k = self.ticks_until(deadline);
+                if k > 0 && self.jump_constant(k) > 0 {
+                    continue;
+                }
+            }
             self.step();
         }
     }
@@ -482,6 +1110,20 @@ impl FluidNet {
     /// active. Backoff waits idle here so the whole net stays on one clock.
     pub fn run_until(&mut self, deadline: SimTime) {
         while self.now < deadline {
+            if self.active == 0 && self.mode != SolverMode::Reference {
+                // No flows: ticks are pure clock advancement; integer-exact
+                // in every epoch mode (tick compatibility included).
+                let k = self.ticks_until(deadline);
+                self.now = SimTime(self.now.0 + k * self.tick.0);
+                self.stats.ticks += k;
+                return;
+            }
+            if self.jump_eligible() {
+                let k = self.ticks_until(deadline);
+                if k > 0 && self.jump_constant(k) > 0 {
+                    continue;
+                }
+            }
             self.step();
         }
     }
@@ -490,12 +1132,17 @@ impl FluidNet {
     /// stops consuming bandwidth immediately. Returns the bytes it had
     /// moved, so a retrying caller can resume from the remainder.
     pub fn cancel_flow(&mut self, id: FlowId) -> u64 {
-        let f = &mut self.flows[id.0];
-        if f.status == FlowStatus::Active {
-            f.status = FlowStatus::Done { at: self.now };
+        if self.flows[id.0].is_active() {
+            let rate = self.flows[id.0].rate_bps;
+            self.flows[id.0].status = FlowStatus::Done { at: self.now };
+            self.active -= 1;
+            for k in 0..self.flows[id.0].path.len() {
+                let l = self.flows[id.0].path[k];
+                self.link_load[l.0] -= rate;
+                self.mark_link_dirty(l);
+            }
             if let Some(ids) = &self.ids {
-                self.tele
-                    .set_gauge(ids.active_flows, self.active_flows() as f64);
+                self.tele.set_gauge(ids.active_flows, self.active as f64);
             }
         }
         self.flows[id.0].bytes_done as u64
@@ -794,5 +1441,230 @@ mod tests {
             net.run_flow_to_completion(f, deadline_secs(1000))
         };
         assert_eq!(run(), run());
+    }
+
+    // ---- epoch-solver specific coverage ------------------------------
+
+    /// Trace samples as `(nanos, rate bits)` for exact comparison.
+    type TraceBits = Vec<(u64, u64)>;
+
+    /// Run a mixed CC scenario in a given mode and return every
+    /// bit-comparable observable.
+    fn mixed_run(mode: SolverMode) -> (Vec<u64>, Vec<u64>, Vec<TraceBits>, u64) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let h = t.add_node("hub");
+        let b = t.add_node("b");
+        t.add_duplex_link(a, h, 10e9, SimDuration::from_millis(20), 1e-6);
+        t.add_duplex_link(h, b, 2e9, SimDuration::from_millis(32), 1e-6);
+        let mut net = FluidNet::with_solver(t, 99, mode);
+        let specs = [
+            CongestionControl::reno(0.104),
+            CongestionControl::udt(2e9),
+            CongestionControl::Constant { rate_bps: 400e6 },
+        ];
+        let flows: Vec<FlowId> = specs
+            .iter()
+            .map(|cc| {
+                net.start_flow(FlowSpec {
+                    src: a,
+                    dst: b,
+                    bytes: 3_000_000_000,
+                    cc: cc.clone(),
+                    app_limit_bps: 1.5e9,
+                })
+                .expect("route")
+            })
+            .collect();
+        for _ in 0..4000 {
+            net.step();
+        }
+        let bytes = flows.iter().map(|&f| net.bytes_done(f)).collect();
+        let losses = flows.iter().map(|&f| net.loss_events(f)).collect();
+        let traces = flows
+            .iter()
+            .map(|&f| {
+                net.trace(f)
+                    .points()
+                    .iter()
+                    .map(|&(t, v)| (t.as_nanos(), v.to_bits()))
+                    .collect()
+            })
+            .collect();
+        (bytes, losses, traces, net.solver_stats().solves)
+    }
+
+    #[test]
+    fn tick_compat_is_bit_identical_to_reference() {
+        let (rb, rl, rt, _) = mixed_run(SolverMode::Reference);
+        let (eb, el, et, _) = mixed_run(SolverMode::TICK_COMPAT);
+        assert_eq!(rb, eb, "bytes diverge");
+        assert_eq!(rl, el, "loss events diverge");
+        assert_eq!(rt, et, "traces diverge");
+    }
+
+    #[test]
+    fn default_epoch_mode_stays_close_and_solves_less() {
+        let (rb, _, _, rs) = mixed_run(SolverMode::Reference);
+        let (eb, _, _, es) = mixed_run(SolverMode::DEFAULT);
+        for (r, e) in rb.iter().zip(&eb) {
+            let (r, e) = (*r as f64, *e as f64);
+            assert!(
+                (r - e).abs() / r.max(1.0) < 0.02,
+                "epoch bytes drifted: {r} vs {e}"
+            );
+        }
+        assert!(
+            es * 3 < rs,
+            "epoch mode should solve far less often: {es} vs {rs}"
+        );
+    }
+
+    #[test]
+    fn constant_only_jump_matches_stepping() {
+        let run = |jump: bool| {
+            let (mut net, a, b) = two_node_net(1e9, 5, 1e-5);
+            let f = net
+                .start_flow(FlowSpec {
+                    src: a,
+                    dst: b,
+                    bytes: 250_000_000,
+                    cc: CongestionControl::Constant { rate_bps: 400e6 },
+                    app_limit_bps: f64::INFINITY,
+                })
+                .expect("route");
+            if jump {
+                net.run_flow_to_completion(f, deadline_secs(60))
+            } else {
+                loop {
+                    if let FlowStatus::Done { at } = net.status(f) {
+                        break Some(at);
+                    }
+                    net.step();
+                }
+            }
+        };
+        let jumped = run(true).expect("finishes");
+        let stepped = run(false).expect("finishes");
+        assert_eq!(
+            jumped, stepped,
+            "completion time must not depend on jumping"
+        );
+    }
+
+    #[test]
+    fn run_until_with_no_flows_is_exact() {
+        let (mut net, _a, _b) = two_node_net(1e9, 5, 0.0);
+        let deadline = SimTime::ZERO + SimDuration::from_millis(12_345);
+        net.run_until(deadline);
+        // Tick-grid overshoot, exactly as the stepper would land.
+        assert_eq!(net.now(), SimTime::ZERO + SimDuration::from_millis(12_350));
+    }
+
+    #[test]
+    fn active_flow_counter_tracks_lifecycle() {
+        let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
+        assert_eq!(net.active_flows(), 0);
+        let f1 = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: 1_000_000,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
+        let f2 = net
+            .start_flow(FlowSpec {
+                src: a,
+                dst: b,
+                bytes: u64::MAX,
+                cc: CongestionControl::Constant { rate_bps: 100e6 },
+                app_limit_bps: f64::INFINITY,
+            })
+            .expect("route");
+        assert_eq!(net.active_flows(), 2);
+        net.run_flow_to_completion(f1, deadline_secs(10))
+            .expect("finishes");
+        assert_eq!(net.active_flows(), 1);
+        net.cancel_flow(f2);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn targeted_link_mutators_match_global_refresh() {
+        // Same fault sequence via topology_mut+refresh_paths and via the
+        // targeted mutators must produce identical transfers.
+        let run = |targeted: bool| {
+            let mut t = Topology::new();
+            let a = t.add_node("a");
+            let b = t.add_node("b");
+            let c = t.add_node("c");
+            t.add_duplex_link(a, b, 10e9, SimDuration::from_millis(10), 1e-7);
+            t.add_duplex_link(b, c, 10e9, SimDuration::from_millis(10), 1e-7);
+            t.add_duplex_link(a, c, 1e9, SimDuration::from_millis(50), 1e-7);
+            let fast = t.links_between(a, b);
+            let mut net = FluidNet::tick_compat(t, 7);
+            let f = net
+                .start_flow(FlowSpec {
+                    src: a,
+                    dst: c,
+                    bytes: u64::MAX,
+                    cc: CongestionControl::Constant { rate_bps: 5e9 },
+                    app_limit_bps: f64::INFINITY,
+                })
+                .expect("route");
+            for _ in 0..50 {
+                net.step();
+            }
+            for &l in &fast {
+                if targeted {
+                    net.set_link_up(l, false);
+                    net.set_link_loss_rate(l, 0.5);
+                } else {
+                    net.topology_mut().set_link_up(l, false);
+                    net.topology_mut().set_link_loss_rate(l, 0.5);
+                    net.refresh_paths();
+                }
+            }
+            for _ in 0..50 {
+                net.step();
+            }
+            for &l in &fast {
+                if targeted {
+                    net.set_link_up(l, true);
+                    net.set_link_loss_rate(l, 1e-7);
+                } else {
+                    net.topology_mut().set_link_up(l, true);
+                    net.topology_mut().set_link_loss_rate(l, 1e-7);
+                    net.refresh_paths();
+                }
+            }
+            for _ in 0..50 {
+                net.step();
+            }
+            (net.bytes_done(f), net.loss_events(f))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn solver_stats_count_work() {
+        let (mut net, a, b) = two_node_net(1e9, 1, 0.0);
+        net.start_flow(FlowSpec {
+            src: a,
+            dst: b,
+            bytes: u64::MAX,
+            cc: CongestionControl::Constant { rate_bps: 100e6 },
+            app_limit_bps: f64::INFINITY,
+        })
+        .expect("route");
+        for _ in 0..100 {
+            net.step();
+        }
+        let s = net.solver_stats();
+        assert_eq!(s.ticks, 100);
+        // A constant flow needs exactly one solve in epoch mode.
+        assert_eq!(s.solves, 1);
     }
 }

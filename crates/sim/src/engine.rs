@@ -227,6 +227,42 @@ impl<E> Engine<E> {
     pub fn pending(&self) -> usize {
         self.sched.pending()
     }
+
+    /// Timestamp of the next pending event without dispatching it.
+    ///
+    /// An epoch-driven co-simulator (the fluid WAN) uses this to bound an
+    /// analytic jump: it may advance its own clock to `peek_next()` without
+    /// missing a DES event that would dirty its allocation.
+    pub fn peek_next(&self) -> Option<SimTime> {
+        self.sched.peek_time()
+    }
+
+    /// Dispatch every event sharing the earliest pending timestamp,
+    /// including same-time events the handlers schedule while the batch
+    /// drains. Returns `(timestamp, events dispatched)`, or `None` when the
+    /// queue is empty.
+    ///
+    /// This is the batch half of the epoch protocol: callers drain one
+    /// whole timestamp, then let the co-simulator jump to the next
+    /// [`Engine::peek_next`] knowing no event can fire in between.
+    pub fn drain_next_batch<S>(&mut self, world: &mut S) -> Option<(SimTime, u64)>
+    where
+        S: Simulation<Event = E>,
+    {
+        let at = self.sched.peek_time()?;
+        let mut dispatched = 0;
+        while self.sched.peek_time() == Some(at) {
+            let entry = self.sched.heap.pop().expect("peeked entry vanished");
+            self.sched.now = at;
+            self.events_processed += 1;
+            dispatched += 1;
+            if let Some(p) = self.probe.as_mut() {
+                p(at, self.sched.heap.len());
+            }
+            world.handle(at, entry.event, &mut self.sched);
+        }
+        Some((at, dispatched))
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +396,63 @@ mod tests {
         // One sample per event, with the post-pop queue depth.
         assert_eq!(&*samples.borrow(), &[(10, 2), (20, 1), (30, 0)]);
         eng.set_probe(None);
+    }
+
+    #[test]
+    fn peek_next_is_nondestructive() {
+        let mut eng: Engine<Ev> = Engine::new();
+        assert_eq!(eng.peek_next(), None);
+        eng.schedule(SimTime(40), Ev::Ping(2));
+        eng.schedule(SimTime(10), Ev::Ping(1));
+        assert_eq!(eng.peek_next(), Some(SimTime(10)));
+        assert_eq!(eng.peek_next(), Some(SimTime(10)), "peek must not pop");
+        assert_eq!(eng.pending(), 2);
+    }
+
+    #[test]
+    fn drain_next_batch_takes_one_timestamp() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime(10), Ev::Ping(0));
+        eng.schedule(SimTime(10), Ev::Ping(1));
+        eng.schedule(SimTime(20), Ev::Ping(2));
+        let mut w = Recorder::default();
+        let (at, n) = eng.drain_next_batch(&mut w).expect("queue nonempty");
+        assert_eq!((at, n), (SimTime(10), 2));
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.peek_next(), Some(SimTime(20)));
+        let (at, n) = eng.drain_next_batch(&mut w).expect("second batch");
+        assert_eq!((at, n), (SimTime(20), 1));
+        assert_eq!(eng.drain_next_batch(&mut w), None);
+        assert_eq!(w.seen.len(), 3);
+    }
+
+    #[test]
+    fn drain_next_batch_includes_same_time_followups() {
+        // A handler that schedules a same-timestamp follow-up: the batch
+        // drain must keep going until the timestamp is truly exhausted.
+        struct SameTime {
+            fired: Vec<u32>,
+        }
+        impl Simulation for SameTime {
+            type Event = Ev;
+            fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+                if let Ev::Ping(n) = ev {
+                    self.fired.push(n);
+                    if n < 3 {
+                        sched.at(now, Ev::Ping(n + 1));
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule(SimTime(7), Ev::Ping(0));
+        eng.schedule(SimTime(99), Ev::Stop);
+        let mut w = SameTime { fired: Vec::new() };
+        let (at, n) = eng.drain_next_batch(&mut w).expect("batch");
+        assert_eq!(at, SimTime(7));
+        assert_eq!(n, 4, "follow-ups at the same timestamp join the batch");
+        assert_eq!(w.fired, vec![0, 1, 2, 3]);
+        assert_eq!(eng.peek_next(), Some(SimTime(99)));
     }
 
     #[test]
