@@ -41,6 +41,32 @@ fn bench_rolling(c: &mut Criterion) {
                 .sum::<u64>()
         })
     });
+    // The production prefix-sum initialization against the textbook
+    // (l − i)·x multiply form it replaced, over the same 1 MiB of blocks.
+    group.bench_function("weak_init_prefix_sum_1MiB", |b| {
+        b.iter(|| {
+            data.chunks(2048)
+                .map(|c| RollingChecksum::new(black_box(c)).value() as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("weak_init_multiply_reference_1MiB", |b| {
+        b.iter(|| {
+            data.chunks(2048)
+                .map(|c| {
+                    let c = black_box(c);
+                    let mut a: u32 = 0;
+                    let mut bb: u32 = 0;
+                    let l = c.len() as u32;
+                    for (i, &x) in c.iter().enumerate() {
+                        a = a.wrapping_add(x as u32);
+                        bb = bb.wrapping_add((l - i as u32).wrapping_mul(x as u32));
+                    }
+                    ((a & 0xFFFF) | (bb << 16)) as u64
+                })
+                .sum::<u64>()
+        })
+    });
     group.finish();
 }
 

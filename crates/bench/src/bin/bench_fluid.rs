@@ -26,15 +26,22 @@
 //!   bench_fluid --out <path>     write the snapshot elsewhere
 //!   bench_fluid --check <path>   also compare against a baseline snapshot,
 //!                                exiting 1 on a >25% speedup regression
+//!   bench_fluid --jobs <N>       run the e2e grid workloads on N runner
+//!                                workers. Defaults to 1 — unlike the
+//!                                experiment harnesses — because this
+//!                                binary's product is wall-clock time, and
+//!                                co-scheduled cells contend for cores and
+//!                                corrupt the per-scenario measurements.
 
 use std::time::Instant;
 
-use osdc_chaos::{run_campaign, CampaignConfig, RetryPolicy};
+use osdc_bench::jobs_from;
+use osdc_chaos::{run_campaigns, CampaignConfig, RetryPolicy};
 use osdc_crypto::CipherKind;
 use osdc_net::{
     osdc_wan, CongestionControl, FlowSpec, FluidNet, NodeId, OsdcSite, SolverMode, Topology,
 };
-use osdc_sim::{SimDuration, SimTime};
+use osdc_sim::{Runner, SimDuration, SimTime};
 use osdc_storage::GlusterVersion;
 use osdc_telemetry::Telemetry;
 use osdc_transfer::{Protocol, TransferEngine, TransferSpec};
@@ -46,7 +53,7 @@ const REGRESSION_FACTOR: f64 = 1.25;
 /// "epoch time is negligible" and their exact value is timer noise.
 const SPEEDUP_CAP: f64 = 10.0;
 
-fn table3_e2e(mode: SolverMode) {
+fn table3_e2e(mode: SolverMode, jobs: usize) {
     let rows = [
         (Protocol::Udr, CipherKind::None),
         (Protocol::Rsync, CipherKind::None),
@@ -54,28 +61,35 @@ fn table3_e2e(mode: SolverMode) {
         (Protocol::Rsync, CipherKind::Blowfish),
         (Protocol::Rsync, CipherKind::TripleDes),
     ];
-    for (protocol, cipher) in rows {
-        for (bytes, seed) in [(108_000_000_000u64, SEED), (1_100_000_000_000, SEED + 1)] {
-            let wan = osdc_wan(0.9e-7);
-            let src = wan.node(OsdcSite::ChicagoKenwood);
-            let dst = wan.node(OsdcSite::Lvoc);
-            let mut engine = TransferEngine::new(FluidNet::with_solver(wan.topology, seed, mode));
-            engine.run(
-                &TransferSpec {
-                    protocol,
-                    cipher,
-                    bytes,
-                    files: 1,
-                    src,
-                    dst,
-                },
-                SimDuration::from_days(2),
-            );
-        }
-    }
+    Runner::new(jobs).run(
+        rows.into_iter()
+            .flat_map(|(protocol, cipher)| {
+                [(108_000_000_000u64, SEED), (1_100_000_000_000, SEED + 1)].map(|(bytes, seed)| {
+                    move |_i: usize| {
+                        let wan = osdc_wan(0.9e-7);
+                        let src = wan.node(OsdcSite::ChicagoKenwood);
+                        let dst = wan.node(OsdcSite::Lvoc);
+                        let mut engine =
+                            TransferEngine::new(FluidNet::with_solver(wan.topology, seed, mode));
+                        engine.run(
+                            &TransferSpec {
+                                protocol,
+                                cipher,
+                                bytes,
+                                files: 1,
+                                src,
+                                dst,
+                            },
+                            SimDuration::from_days(2),
+                        );
+                    }
+                })
+            })
+            .collect(),
+    );
 }
 
-fn resilience_quick_e2e(mode: SolverMode) {
+fn resilience_quick_e2e(mode: SolverMode, jobs: usize) {
     let v31 = GlusterVersion::V3_1 {
         replica_drop_prob: 0.15,
     };
@@ -85,10 +99,13 @@ fn resilience_quick_e2e(mode: SolverMode) {
         (GlusterVersion::V3_3, RetryPolicy::fixed_30s(4)),
         (GlusterVersion::V3_3, RetryPolicy::exponential(12)),
     ];
-    for (gluster, retry) in cells {
-        let cfg = CampaignConfig::osdc(gluster, retry, SEED, 120, 2.0).with_solver(mode);
-        run_campaign(&cfg, &Telemetry::disabled());
-    }
+    let cfgs: Vec<CampaignConfig> = cells
+        .into_iter()
+        .map(|(gluster, retry)| {
+            CampaignConfig::osdc(gluster, retry, SEED, 120, 2.0).with_solver(mode)
+        })
+        .collect();
+    run_campaigns(&cfgs, jobs, &Telemetry::disabled());
 }
 
 fn mixed_cc_4000_ticks(mode: SolverMode) {
@@ -249,17 +266,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_fluid.json".into());
     let check_path = flag_value(&args, "--check");
+    // Timing binary: serial by default; see the usage note on --jobs.
+    let jobs = jobs_from(&args, 1);
 
     println!("fluid-solver perf baseline (min over 4 interleaved rounds, after warmup)");
     println!(
         "{:<24} {:>14} {:>12} {:>9}",
         "scenario", "reference_ms", "epoch_ms", "speedup"
     );
+    let table3 = move |mode: SolverMode| table3_e2e(mode, jobs);
+    let resilience = move |mode: SolverMode| resilience_quick_e2e(mode, jobs);
     // (name, workload, inner iterations per timed sample).
     type Scenario<'a> = (&'static str, &'a dyn Fn(SolverMode), u32);
     let scenarios: [Scenario; 5] = [
-        ("table3_e2e", &table3_e2e, 1),
-        ("resilience_quick_e2e", &resilience_quick_e2e, 1),
+        ("table3_e2e", &table3, 1),
+        ("resilience_quick_e2e", &resilience, 1),
         ("mixed_cc_4000_ticks", &mixed_cc_4000_ticks, 20),
         ("constant_run_until_90m", &constant_run_until_90m, 1),
         ("link_flap_partial", &link_flap_partial, 20),

@@ -12,37 +12,45 @@
 //! seeds. Finishes with the §4.1 modENCODE disaster-recovery scenario.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin exp_gluster_mirroring`
+//!
+//! `--jobs <N>` runs the 60 campaign trials (3 configurations × 20
+//! seeds) on N workers of the deterministic scenario runner (default:
+//! host parallelism). Each trial's seed is `SEED + trial` regardless of
+//! which worker runs it, so the tables are byte-identical for any N.
 
-use osdc_bench::{banner, row, seed_line};
+use osdc_bench::{banner, jobs, row, seed_line};
+use osdc_sim::Runner;
 use osdc_storage::{BackupService, BrickId, FileData, GlusterVersion, Volume};
 
 const SEED: u64 = 2012;
 const FILES: u64 = 500;
 const TRIALS: u64 = 20;
 
-fn campaign(version: GlusterVersion, heal_first: bool) -> (f64, u64) {
-    let mut total_lost = 0u64;
-    let mut total_drops = 0u64;
-    for trial in 0..TRIALS {
-        let mut vol = Volume::new("vol", version, 8, 2, 1 << 34, SEED + trial);
-        let paths: Vec<String> = (0..FILES)
-            .map(|i| {
-                let p = format!("/corpus/f{i}");
-                vol.write(&p, FileData::synthetic(1 << 20, i), "lab")
-                    .expect("write");
-                p
-            })
-            .collect();
-        if heal_first {
-            vol.heal();
-        }
-        // One brick per replica set fails (even indices are primaries).
-        for set in 0..4 {
-            vol.fail_brick(BrickId(set * 2));
-        }
-        total_lost += vol.audit_lost(&paths).len() as u64;
-        total_drops += vol.silent_drops;
+/// One campaign trial: fresh volume, corpus, brick kills, audit.
+fn trial_run(version: GlusterVersion, heal_first: bool, trial: u64) -> (u64, u64) {
+    let mut vol = Volume::new("vol", version, 8, 2, 1 << 34, SEED + trial);
+    let paths: Vec<String> = (0..FILES)
+        .map(|i| {
+            let p = format!("/corpus/f{i}");
+            vol.write(&p, FileData::synthetic(1 << 20, i), "lab")
+                .expect("write");
+            p
+        })
+        .collect();
+    if heal_first {
+        vol.heal();
     }
+    // One brick per replica set fails (even indices are primaries).
+    for set in 0..4 {
+        vol.fail_brick(BrickId(set * 2));
+    }
+    (vol.audit_lost(&paths).len() as u64, vol.silent_drops)
+}
+
+/// Sum a configuration's trial results into (% lost, silent drops).
+fn reduce(trials: &[(u64, u64)]) -> (f64, u64) {
+    let total_lost: u64 = trials.iter().map(|t| t.0).sum();
+    let total_drops: u64 = trials.iter().map(|t| t.1).sum();
     (
         total_lost as f64 / (FILES * TRIALS) as f64 * 100.0,
         total_drops,
@@ -62,9 +70,26 @@ fn main() {
     let v31 = GlusterVersion::V3_1 {
         replica_drop_prob: 0.15,
     };
-    let (lost31, drops31) = campaign(v31, false);
-    let (lost33, _) = campaign(GlusterVersion::V3_3, false);
-    let (lost33h, _) = campaign(GlusterVersion::V3_3, true);
+    // All 60 trials (3 configs × 20 seeds) are independent: run them on
+    // the scenario pool, then reduce per configuration. Trial seeds come
+    // from the submission layout, never from worker identity.
+    let configs = [
+        (v31, false),
+        (GlusterVersion::V3_3, false),
+        (GlusterVersion::V3_3, true),
+    ];
+    let trials = Runner::new(jobs()).run(
+        configs
+            .into_iter()
+            .flat_map(|(version, heal_first)| {
+                (0..TRIALS).map(move |trial| move |_i: usize| trial_run(version, heal_first, trial))
+            })
+            .collect(),
+    );
+    let per_config: Vec<(f64, u64)> = trials.chunks(TRIALS as usize).map(reduce).collect();
+    let (lost31, drops31) = per_config[0];
+    let (lost33, _) = per_config[1];
+    let (lost33h, _) = per_config[2];
 
     let widths = [38usize, 14, 16];
     println!(

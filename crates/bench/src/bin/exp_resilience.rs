@@ -18,10 +18,12 @@
 //! Flags: `--quick` (shorter campaign, used by CI), `--trace <path>`
 //! (emit the telemetry JSONL artifact for the canonical cell),
 //! `--tick-compat` / `--reference-solver` (fluid-solver mode; the default
-//! is the fast epoch mode).
+//! is the fast epoch mode), `--jobs <N>` (run the sweep cells on N
+//! workers of the deterministic scenario runner — output is
+//! byte-identical for any N; default: host parallelism).
 
-use osdc_bench::{banner, finish_trace, row, seed_line, solver_mode, trace_path};
-use osdc_chaos::{run_campaign, CampaignConfig, ResilienceScorecard, RetryPolicy};
+use osdc_bench::{banner, finish_trace, jobs, row, seed_line, solver_mode, trace_path};
+use osdc_chaos::{run_campaigns, CampaignConfig, RetryPolicy};
 use osdc_storage::GlusterVersion;
 use osdc_telemetry::Telemetry;
 
@@ -98,9 +100,10 @@ fn main() {
     );
     println!("{}", "-".repeat(96));
 
-    let mut cards: Vec<ResilienceScorecard> = Vec::new();
-    for cfg in &cells {
-        let card = run_campaign(cfg, &Telemetry::disabled());
+    // The four sweep cells are independent campaigns: run them on the
+    // scenario pool, then print the scorecards in submission order.
+    let cards = run_campaigns(&cells, jobs(), &Telemetry::disabled());
+    for card in &cards {
         println!(
             "{}",
             row(
@@ -116,7 +119,6 @@ fn main() {
                 &widths
             )
         );
-        cards.push(card);
     }
 
     let worst = &cards[0]; // gluster-3.1 + no-retry
@@ -146,8 +148,11 @@ fn main() {
     if let Some(path) = trace_path() {
         // Re-run the canonical cell with telemetry enabled so the JSONL
         // artifact carries the full span/metric stream plus the verdict.
+        // A single cell runs inline whatever `--jobs` says, and the
+        // sharded merge keeps the artifact byte-identical either way.
         let tele = Telemetry::new();
-        let _ = run_campaign(cells.last().expect("sweep is non-empty"), &tele);
+        let canonical = cells.last().cloned().expect("sweep is non-empty");
+        let _ = run_campaigns(&[canonical], jobs(), &tele);
         finish_trace(&tele, &path);
     }
 }

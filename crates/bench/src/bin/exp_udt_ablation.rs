@@ -14,11 +14,15 @@
 //!    bandwidth-delay products.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin exp_udt_ablation`
+//!
+//! `--jobs <N>` runs each sweep's cells on N workers of the deterministic
+//! scenario runner (default: host parallelism); every cell is seeded by
+//! its grid position, so the tables are byte-identical for any N.
 
-use osdc_bench::{banner, row, seed_line};
+use osdc_bench::{banner, jobs, row, seed_line};
 use osdc_net::cc::UdtState;
 use osdc_net::{CongestionControl, FlowSpec, FluidNet, Topology};
-use osdc_sim::{SimDuration, SimRng, SimTime};
+use osdc_sim::{Runner, SimDuration, SimRng, SimTime};
 
 const SEED: u64 = 2012;
 /// Receiver pipeline cap from the Table 3 model, bits/s.
@@ -80,6 +84,10 @@ fn rate_based_goodput(decrease: f64, one_way_ms: u64, loss: f64) -> f64 {
 fn main() {
     banner("Experiment X5", "transport ablations: why UDR wins Table 3");
     seed_line(SEED);
+    // Every cell of each sweep is an independent simulation whose inputs
+    // are fixed by its grid position: run the cells on the scenario pool,
+    // then print the table rows in submission order.
+    let runner = Runner::new(jobs());
 
     // ---- 1. RTT sweep -------------------------------------------------------
     println!("RTT sweep (loss 0.9e-7, app cap 750 mbit/s):");
@@ -88,10 +96,19 @@ fn main() {
         "{}",
         row(&["RTT", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths)
     );
-    for one_way in [5u64, 25, 52, 100] {
-        let rtt = 2.0 * one_way as f64 / 1000.0;
-        let tcp = goodput(CongestionControl::reno(rtt), one_way, 0.45e-7);
-        let udt = goodput(CongestionControl::udt(10e9), one_way, 0.45e-7);
+    const ONE_WAYS: [u64; 4] = [5, 25, 52, 100];
+    let rtt_cells = runner.run(
+        ONE_WAYS
+            .into_iter()
+            .flat_map(|one_way| {
+                let rtt = 2.0 * one_way as f64 / 1000.0;
+                [CongestionControl::reno(rtt), CongestionControl::udt(10e9)]
+                    .map(|cc| move |_i: usize| goodput(cc, one_way, 0.45e-7))
+            })
+            .collect(),
+    );
+    for (k, one_way) in ONE_WAYS.into_iter().enumerate() {
+        let (tcp, udt) = (rtt_cells[k * 2], rtt_cells[k * 2 + 1]);
         println!(
             "{}",
             row(
@@ -113,9 +130,18 @@ fn main() {
         "{}",
         row(&["pkt loss", "rsync/TCP", "UDR/UDT", "UDT gain"], &widths)
     );
-    for loss in [0.0f64, 1e-8, 1e-7, 1e-6, 1e-5] {
-        let tcp = goodput(CongestionControl::reno(0.104), 52, loss / 2.0);
-        let udt = goodput(CongestionControl::udt(10e9), 52, loss / 2.0);
+    const LOSSES: [f64; 5] = [0.0, 1e-8, 1e-7, 1e-6, 1e-5];
+    let loss_cells = runner.run(
+        LOSSES
+            .into_iter()
+            .flat_map(|loss| {
+                [CongestionControl::reno(0.104), CongestionControl::udt(10e9)]
+                    .map(|cc| move |_i: usize| goodput(cc, 52, loss / 2.0))
+            })
+            .collect(),
+    );
+    for (k, loss) in LOSSES.into_iter().enumerate() {
+        let (tcp, udt) = (loss_cells[k * 2], loss_cells[k * 2 + 1]);
         println!(
             "{}",
             row(
@@ -134,12 +160,18 @@ fn main() {
     // ---- 3. decrease-factor ablation ----------------------------------------
     println!("UDT decrease-factor ablation (104 ms, loss 4e-5 — loss-dominated regime):");
     println!("{}", row(&["decrease", "goodput", "note"], &[12, 16, 34]));
-    for (factor, note) in [
+    let factors = [
         (8.0 / 9.0, "UDT's choice (x8/9)"),
         (0.75, "intermediate"),
         (0.5, "TCP-style halving"),
-    ] {
-        let g = rate_based_goodput(factor, 52, 2e-5);
+    ];
+    let ablation_cells = runner.run(
+        factors
+            .iter()
+            .map(|&(factor, _)| move |_i: usize| rate_based_goodput(factor, 52, 2e-5))
+            .collect(),
+    );
+    for ((factor, note), g) in factors.into_iter().zip(ablation_cells) {
         println!(
             "{}",
             row(

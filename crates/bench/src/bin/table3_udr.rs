@@ -17,8 +17,14 @@
 //! Solver flags: `--tick-compat` runs the epoch solver pinned to
 //! byte-identical pre-epoch output; `--reference-solver` runs the original
 //! per-tick solver; the default is the fast epoch mode.
+//!
+//! `--jobs <N>` runs the ten grid cells on N workers of the deterministic
+//! scenario runner (default: host parallelism, `--jobs 1` = the serial
+//! path). Every cell's seed is fixed by its grid position, and telemetry
+//! shards are merged in submission order, so stdout and the `--trace`
+//! artifact are byte-identical for any N.
 
-use osdc_bench::{banner, finish_trace, row, seed_line, solver_mode, trace_path};
+use osdc_bench::{banner, finish_trace, jobs, row, seed_line, solver_mode, trace_path};
 use osdc_crypto::CipherKind;
 use osdc_net::{osdc_wan, FluidNet, OsdcSite, SolverMode};
 use osdc_sim::SimDuration;
@@ -62,6 +68,7 @@ fn main() {
     );
     seed_line(SEED);
     let mode = solver_mode();
+    let jobs = jobs();
     let trace = trace_path();
     let tele = match &trace {
         Some(_) => Telemetry::new(),
@@ -138,10 +145,26 @@ fn main() {
     );
     println!("{}", "-".repeat(112));
 
+    // The ten grid cells (5 rows × 2 sizes) are independent seeded runs:
+    // execute them on the scenario runner, then print in submission order.
+    // Seeds keep the published convention (SEED for 108 GB, SEED+1 for
+    // 1.1 TB) and depend only on the cell, never on the worker.
+    let tasks: Vec<_> = rows
+        .iter()
+        .flat_map(|&(_, protocol, cipher, _, _)| {
+            [(gb108, SEED), (tb1_1, SEED + 1)].map(|(bytes, seed)| {
+                move |cell_tele: &Telemetry, _i: usize| {
+                    transfer(protocol, cipher, bytes, seed, mode, cell_tele)
+                }
+            })
+        })
+        .collect();
+    let reports = osdc_telemetry::run_sharded(jobs, &tele, tasks);
+
     let mut measured: Vec<(&str, f64, f64)> = Vec::new();
-    for (label, protocol, cipher, paper_mbps, paper_llr) in rows {
-        let small = transfer(protocol, cipher, gb108, SEED, mode, &tele);
-        let large = transfer(protocol, cipher, tb1_1, SEED + 1, mode, &tele);
+    for (k, (label, _, _, paper_mbps, paper_llr)) in rows.into_iter().enumerate() {
+        let small = &reports[k * 2];
+        let large = &reports[k * 2 + 1];
         println!(
             "{}",
             row(

@@ -55,6 +55,44 @@ pub fn trace_path() -> Option<std::path::PathBuf> {
     trace_path_from(&std::env::args().skip(1).collect::<Vec<_>>())
 }
 
+/// Parse the harnesses' shared `--jobs <N>` flag out of an argument list.
+///
+/// `N` is the worker count for the deterministic scenario runner
+/// (`osdc_sim::Runner`); artifacts are byte-identical for any value.
+/// Absent the flag, harnesses default to the host's parallelism
+/// ([`osdc_sim::available_jobs`]); timing-sensitive benches default to 1.
+pub fn jobs_from(args: &[String], default: usize) -> usize {
+    let parse = |s: &str| -> usize {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs requires a positive integer, got {s:?}");
+            std::process::exit(2);
+        })
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return parse(it.next().unwrap_or_else(|| {
+                eprintln!("--jobs requires a worker count argument");
+                std::process::exit(2);
+            }))
+            .max(1);
+        }
+        if let Some(n) = a.strip_prefix("--jobs=") {
+            return parse(n).max(1);
+        }
+    }
+    default.max(1)
+}
+
+/// [`jobs_from`] over the process arguments, defaulting to the host's
+/// available parallelism.
+pub fn jobs() -> usize {
+    jobs_from(
+        &std::env::args().skip(1).collect::<Vec<_>>(),
+        osdc_sim::available_jobs(),
+    )
+}
+
 /// Parse the harnesses' shared fluid-solver flags out of an argument list:
 /// `--tick-compat` selects the epoch solver pinned to byte-identical
 /// pre-epoch output, `--reference-solver` the original per-tick solver,
@@ -99,6 +137,20 @@ mod tests {
     #[test]
     fn vs_formatting() {
         assert_eq!(vs(751.6, 752.0, ""), "752 (paper 752)");
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from(&args(&["--jobs", "4"]), 1), 4);
+        assert_eq!(jobs_from(&args(&["--jobs=8"]), 1), 8);
+        assert_eq!(
+            jobs_from(&args(&["--jobs", "0"]), 7),
+            1,
+            "clamped, not defaulted"
+        );
+        assert_eq!(jobs_from(&args(&["--quick"]), 3), 3, "default when absent");
+        assert_eq!(jobs_from(&[], 0), 1, "default itself is clamped");
     }
 
     #[test]

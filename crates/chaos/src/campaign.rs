@@ -453,6 +453,26 @@ pub fn run_campaign(cfg: &CampaignConfig, tele: &Telemetry) -> ResilienceScoreca
     card
 }
 
+/// Run a batch of campaign configurations on `jobs` workers, returning
+/// the scorecards in submission order.
+///
+/// Each cell records into a private telemetry registry; the registries
+/// are folded into `tele` in submission order after all cells finish, so
+/// traces and scorecards are byte-identical for any `jobs` — `jobs == 1`
+/// is exactly a serial loop of [`run_campaign`] calls.
+pub fn run_campaigns(
+    cfgs: &[CampaignConfig],
+    jobs: usize,
+    tele: &Telemetry,
+) -> Vec<ResilienceScorecard> {
+    let tasks: Vec<_> = cfgs
+        .iter()
+        .cloned()
+        .map(|cfg| move |cell_tele: &Telemetry, _i: usize| run_campaign(&cfg, cell_tele))
+        .collect();
+    osdc_telemetry::run_sharded(jobs, tele, tasks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +514,24 @@ mod tests {
             "the §7.1 bug must show: {}",
             card.render()
         );
+    }
+
+    #[test]
+    fn run_campaigns_is_jobs_invariant() {
+        let cfgs = vec![
+            quick(GlusterVersion::V3_3, RetryPolicy::exponential(12)),
+            quick(GlusterVersion::V3_3, RetryPolicy::None),
+        ];
+        let run = |jobs: usize| {
+            let tele = Telemetry::new();
+            let cards = run_campaigns(&cfgs, jobs, &tele);
+            (cards, tele.export_jsonl())
+        };
+        let (serial_cards, serial_trace) = run(1);
+        assert_eq!(serial_cards[0], run_campaign(&cfgs[0], &Telemetry::new()));
+        let (par_cards, par_trace) = run(4);
+        assert_eq!(par_cards, serial_cards);
+        assert_eq!(par_trace, serial_trace);
     }
 
     #[test]

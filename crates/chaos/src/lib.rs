@@ -41,7 +41,7 @@ pub mod inject;
 pub mod plan;
 pub mod scorecard;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{run_campaign, run_campaigns, CampaignConfig};
 pub use inject::{Effect, InjectError, Injector};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, Phase, TimedAction};
 pub use scorecard::{ResilienceScorecard, ScoreTracker};

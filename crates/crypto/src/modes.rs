@@ -94,40 +94,77 @@ impl<'c, C: BlockCipher64> CbcEncryptor<'c, C> {
 
 /// Counter-mode keystream: encryption and decryption are the same XOR, so
 /// one type serves both directions. Suitable for UDR's packetized stream.
+///
+/// Keystream is generated in batches of up to [`CTR_BATCH_BLOCKS`]
+/// blocks into a fixed buffer (refills are sized to the bytes actually
+/// needed, so short messages never pay for a full batch), and the XOR
+/// runs over word-sized chunks. The byte stream — counter sequence,
+/// big-endian block serialization, resumption mid-block across `apply`
+/// calls — is identical to applying one block at a time.
 pub struct CtrStream<'c, C: BlockCipher64> {
     cipher: &'c C,
     nonce: u64,
     counter: u64,
-    keystream: [u8; 8],
+    keystream: [u8; CTR_BATCH_BLOCKS * 8],
+    /// Valid bytes in `keystream` (a multiple of the block size).
+    filled: usize,
+    /// Bytes of `keystream[..filled]` already consumed.
     used: usize,
 }
 
+/// Blocks generated per [`CtrStream`] keystream refill.
+pub const CTR_BATCH_BLOCKS: usize = 8;
+
 impl<'c, C: BlockCipher64> CtrStream<'c, C> {
+    /// Blocks generated per keystream refill.
+    pub const BATCH_BLOCKS: usize = CTR_BATCH_BLOCKS;
+
     pub fn new(cipher: &'c C, nonce: u64) -> Self {
         CtrStream {
             cipher,
             nonce,
             counter: 0,
-            keystream: [0u8; 8],
-            used: 8, // force refill on first byte
+            keystream: [0u8; CTR_BATCH_BLOCKS * 8],
+            filled: 0,
+            used: 0,
         }
     }
 
-    fn refill(&mut self) {
-        let block = self.nonce ^ self.counter;
-        self.counter = self.counter.wrapping_add(1);
-        self.keystream = self.cipher.encrypt_block_u64(block).to_be_bytes();
+    /// Generate enough blocks for `need` more bytes, capped at one batch.
+    fn refill(&mut self, need: usize) {
+        let blocks = need.div_ceil(8).clamp(1, CTR_BATCH_BLOCKS);
+        for out in self.keystream.chunks_exact_mut(8).take(blocks) {
+            let block = self.nonce ^ self.counter;
+            self.counter = self.counter.wrapping_add(1);
+            out.copy_from_slice(&self.cipher.encrypt_block_u64(block).to_be_bytes());
+        }
+        self.filled = blocks * 8;
         self.used = 0;
     }
 
     /// XOR the keystream into `data` in place.
     pub fn apply(&mut self, data: &mut [u8]) {
-        for byte in data {
-            if self.used == 8 {
-                self.refill();
+        let mut i = 0;
+        while i < data.len() {
+            if self.used == self.filled {
+                self.refill(data.len() - i);
             }
-            *byte ^= self.keystream[self.used];
-            self.used += 1;
+            let n = (self.filled - self.used).min(data.len() - i);
+            let dst = &mut data[i..i + n];
+            let ks = &self.keystream[self.used..self.used + n];
+            let mut j = 0;
+            while j + 8 <= n {
+                let d = u64::from_ne_bytes(dst[j..j + 8].try_into().expect("8 bytes"));
+                let k = u64::from_ne_bytes(ks[j..j + 8].try_into().expect("8 bytes"));
+                dst[j..j + 8].copy_from_slice(&(d ^ k).to_ne_bytes());
+                j += 8;
+            }
+            while j < n {
+                dst[j] ^= ks[j];
+                j += 1;
+            }
+            self.used += n;
+            i += n;
         }
     }
 }
@@ -232,6 +269,54 @@ mod tests {
             s.apply(chunk);
         }
         assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn ctr_batched_matches_per_block_reference() {
+        // The pre-batching implementation: one block of keystream at a
+        // time, XORed bytewise. The batched stream must be bit-identical,
+        // whatever the chunking.
+        struct Reference<'c, C: BlockCipher64> {
+            cipher: &'c C,
+            nonce: u64,
+            counter: u64,
+            keystream: [u8; 8],
+            used: usize,
+        }
+        impl<C: BlockCipher64> Reference<'_, C> {
+            fn apply(&mut self, data: &mut [u8]) {
+                for byte in data {
+                    if self.used == 8 {
+                        let block = self.nonce ^ self.counter;
+                        self.counter = self.counter.wrapping_add(1);
+                        self.keystream = self.cipher.encrypt_block_u64(block).to_be_bytes();
+                        self.used = 0;
+                    }
+                    *byte ^= self.keystream[self.used];
+                    self.used += 1;
+                }
+            }
+        }
+        let bf = Blowfish::new(b"udr-stream");
+        for chunk_size in [1usize, 3, 7, 8, 9, 63, 64, 65, 200] {
+            let mut batched: Vec<u8> = (0..731).map(|i| (i * 5 % 256) as u8).collect();
+            let mut reference = batched.clone();
+            let mut s = CtrStream::new(&bf, 77);
+            for chunk in batched.chunks_mut(chunk_size) {
+                s.apply(chunk);
+            }
+            let mut r = Reference {
+                cipher: &bf,
+                nonce: 77,
+                counter: 0,
+                keystream: [0u8; 8],
+                used: 8,
+            };
+            for chunk in reference.chunks_mut(chunk_size) {
+                r.apply(chunk);
+            }
+            assert_eq!(batched, reference, "chunk_size={chunk_size}");
+        }
     }
 
     #[test]

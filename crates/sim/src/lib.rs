@@ -20,6 +20,10 @@
 //! * [`retry`] — deterministic retry/backoff policies and a circuit
 //!   breaker on virtual time, shared by the transfer, Tukey and
 //!   provisioning layers (and exercised by `osdc-chaos`).
+//! * [`runner`] — a deterministic work-stealing scenario pool: experiment
+//!   grids of independent seeded runs execute on `--jobs` workers yet
+//!   return results in submission order, so every artifact is
+//!   byte-identical for any worker count.
 //!
 //! ## Design notes
 //!
@@ -34,10 +38,12 @@ pub mod engine;
 pub mod resource;
 pub mod retry;
 pub mod rng;
+pub mod runner;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, EngineProbe, Scheduler, Simulation};
 pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::SimRng;
+pub use runner::{available_jobs, derive_seed, Runner};
 pub use time::{SimDuration, SimTime};

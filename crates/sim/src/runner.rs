@@ -1,0 +1,264 @@
+//! Deterministic work-stealing scenario runner.
+//!
+//! Every experiment harness in this workspace is a grid of *independent*
+//! seeded runs — Table 3 is a cipher×tool×size grid, the resilience sweep
+//! is storage-era×retry-policy, the GlusterFS campaign is trials×versions.
+//! Each cell owns its own `Engine`, RNG seed and telemetry registry, so
+//! the grid is embarrassingly parallel; what must **not** change with the
+//! worker count is any observable artifact: stdout tables, JSONL traces,
+//! scorecards.
+//!
+//! [`Runner`] executes a `Vec` of closures on a from-scratch work-stealing
+//! pool built over `std::thread::scope` and returns the results **in
+//! submission order**, which is the whole determinism story:
+//!
+//! * Tasks are dealt round-robin into per-worker deques *before* any
+//!   worker starts — distribution depends only on the submission index,
+//!   never on thread identity or timing.
+//! * Workers pop their own deque LIFO (newest local task first — the
+//!   classic cache-friendly choice) and steal from other deques FIFO
+//!   (oldest queued task first), so contention is on opposite ends.
+//! * Results land in a slot vector indexed by submission index; which
+//!   worker computed a result is unobservable.
+//! * Nothing in the pool consults the wall clock, a global RNG, or thread
+//!   ids. Per-scenario randomness must come from seeds derived from the
+//!   scenario *index* (see [`derive_seed`]), so a scenario's stream is
+//!   identical whether worker 0 or worker 7 runs it.
+//!
+//! `jobs = 1` never spawns a thread: tasks run inline on the caller, in
+//! submission order — byte-for-byte today's serial path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of workers the host offers, the default for `--jobs`.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derive the seed for scenario `index` from a harness base seed.
+///
+/// One SplitMix64 step over a golden-ratio stride: indices 0, 1, 2, …
+/// yield decorrelated 64-bit seeds, and the mapping depends on nothing
+/// but `(base, index)` — never on which worker runs the scenario. Grids
+/// that predate the runner keep their published `SEED + k` conventions;
+/// new grids should use this.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The work-stealing scenario pool. Cheap to construct; each [`Runner::run`]
+/// call spawns a fresh scoped crew and joins it before returning.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// A runner sized to the host.
+    pub fn host_sized() -> Self {
+        Runner::new(available_jobs())
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Execute every task and return the results in **submission order**,
+    /// regardless of worker count or scheduling. Each closure receives its
+    /// submission index (the input for [`derive_seed`]).
+    ///
+    /// With `jobs == 1` the tasks run inline on the calling thread, in
+    /// order — the exact serial path, no threads, no locks.
+    ///
+    /// A panicking task propagates its panic to the caller (after the
+    /// scope joins), like the serial loop it replaces.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce(usize) -> T + Send,
+    {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            return tasks.into_iter().enumerate().map(|(i, f)| f(i)).collect();
+        }
+        let workers = self.jobs.min(n);
+
+        // Deal tasks round-robin by submission index before any worker
+        // exists: deque w holds indices w, w+workers, w+2·workers, … with
+        // the *lowest* index at the front (FIFO steal end) and the highest
+        // at the back (LIFO local end).
+        let mut deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, f) in tasks.into_iter().enumerate() {
+            deques[i % workers]
+                .get_mut()
+                .expect("fresh deque")
+                .push_back((i, f));
+        }
+        let deques = &deques;
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                scope.spawn(move || {
+                    loop {
+                        // Local work first, newest first (LIFO).
+                        let local = deques[w].lock().expect("deque lock").pop_back();
+                        if let Some((i, f)) = local {
+                            let r = f(i);
+                            slots.lock().expect("slot lock")[i] = Some(r);
+                            continue;
+                        }
+                        // Steal oldest-first (FIFO) in a fixed victim
+                        // order. The order only affects *which* worker
+                        // computes a task, which no observable depends on.
+                        let mut stolen = None;
+                        for off in 1..workers {
+                            let v = (w + off) % workers;
+                            if let Some(task) = deques[v].lock().expect("deque lock").pop_front() {
+                                stolen = Some(task);
+                                break;
+                            }
+                        }
+                        match stolen {
+                            Some((i, f)) => {
+                                let r = f(i);
+                                slots.lock().expect("slot lock")[i] = Some(r);
+                            }
+                            // Tasks are a fixed batch (none spawns more),
+                            // so one empty sweep means the grid is drained.
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every submission index was executed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1usize, 2, 3, 8, 17] {
+            let tasks: Vec<_> = (0..50u64)
+                .map(|k| move |i: usize| (i as u64, k * 3))
+                .collect();
+            let out = Runner::new(jobs).run(tasks);
+            for (i, (idx, v)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64, "jobs={jobs}");
+                assert_eq!(*v, i as u64 * 3, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_runs_inline_in_order() {
+        // jobs=1 must execute on the calling thread, strictly in order.
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        let tasks: Vec<_> = (0..10usize)
+            .map(|_| {
+                |i: usize| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    seen.lock().expect("seen").push(i);
+                    i
+                }
+            })
+            .collect();
+        let out = Runner::new(1).run(tasks);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(*seen.lock().expect("seen"), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..97usize)
+            .map(|_| {
+                |i: usize| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    i * i
+                }
+            })
+            .collect();
+        let out = Runner::new(8).run(tasks);
+        assert_eq!(count.load(Ordering::Relaxed), 97);
+        assert_eq!(out, (0..97).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_workloads_still_order() {
+        // Heavy tasks clump on low indices; stealing must redistribute
+        // without disturbing result order.
+        let tasks: Vec<_> = (0..24usize)
+            .map(|k| {
+                move |i: usize| {
+                    let spin = if k < 4 { 200_000u64 } else { 200 };
+                    let mut acc = i as u64;
+                    for j in 0..spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(j);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let out = Runner::new(4).run(tasks);
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let out = Runner::new(64).run((0..3usize).map(|_| |i: usize| i).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let out: Vec<u32> = Runner::new(4).run(Vec::<fn(usize) -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_spread() {
+        assert_eq!(derive_seed(2012, 0), derive_seed(2012, 0));
+        assert_ne!(derive_seed(2012, 0), derive_seed(2012, 1));
+        assert_ne!(derive_seed(2012, 0), derive_seed(2013, 0));
+        // Neighbouring indices should differ in many bits, not one.
+        let d = derive_seed(7, 3) ^ derive_seed(7, 4);
+        assert!(d.count_ones() > 8, "{d:b}");
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Runner::new(0).jobs(), 1);
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -287,6 +287,33 @@ impl Telemetry {
             .unwrap_or(0)
     }
 
+    // ---- scenario-shard merging -------------------------------------------
+
+    /// Fold another collector's recorded state into this one: trace events
+    /// append in the other's recording order (span ids renumbered past the
+    /// ids already issued here), counters add, gauges take the other's
+    /// value, histograms merge.
+    ///
+    /// This is the submission-order merge behind [`run_sharded`]: each grid
+    /// scenario records into a private registry, and the parent absorbs the
+    /// registries in submission order after the pool drains. Absorbing in
+    /// that order reproduces the stream a single shared collector would
+    /// have recorded from the same scenarios run serially, which is what
+    /// keeps `--trace` artifacts byte-identical for any `--jobs N`.
+    ///
+    /// A disabled side (either one) makes this a no-op, as does absorbing a
+    /// collector into itself.
+    pub fn absorb(&self, other: &Telemetry) {
+        let (Some(a), Some(b)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(a, b) {
+            return;
+        }
+        a.trace.lock().absorb(&b.trace.lock());
+        a.metrics.lock().absorb(&b.metrics.lock());
+    }
+
     // ---- exporters ---------------------------------------------------------
 
     /// The full trace + metrics dump as JSONL, deterministic byte-for-byte
@@ -321,6 +348,47 @@ impl Telemetry {
             None => "federation ops report: telemetry disabled\n".to_string(),
         }
     }
+}
+
+/// Run a grid of independent scenarios on the deterministic work-stealing
+/// pool ([`osdc_sim::runner::Runner`]), each against its **own** telemetry
+/// registry, then absorb the registries into `parent` in submission order.
+///
+/// Each task receives `(its private Telemetry, its submission index)`; the
+/// private collector is live iff `parent` is live, so disabled runs pay
+/// nothing. Results come back in submission order, and because the merge
+/// happens on the calling thread after the pool drains — never
+/// concurrently — the parent's exported JSONL and ops report are
+/// byte-identical for any `jobs`, including the inline serial path at
+/// `jobs == 1`.
+pub fn run_sharded<T, F>(jobs: usize, parent: &Telemetry, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce(&Telemetry, usize) -> T + Send,
+{
+    let live = parent.is_enabled();
+    let sharded: Vec<_> = tasks
+        .into_iter()
+        .map(|f| {
+            move |i: usize| {
+                let tele = if live {
+                    Telemetry::new()
+                } else {
+                    Telemetry::disabled()
+                };
+                let r = f(&tele, i);
+                (tele, r)
+            }
+        })
+        .collect();
+    osdc_sim::runner::Runner::new(jobs)
+        .run(sharded)
+        .into_iter()
+        .map(|(tele, r)| {
+            parent.absorb(&tele);
+            r
+        })
+        .collect()
 }
 
 /// RAII wrapper around a [`MetricShard`]: deref to record, merge-on-drop.
@@ -569,6 +637,134 @@ mod tests {
         assert!(report.contains("tukey.cloud.adler.latency_ms"));
         assert!(report.contains("federation ops report"));
         assert!(Telemetry::disabled().ops_report().contains("disabled"));
+    }
+
+    /// One synthetic "scenario": spans, attrs, points and metrics keyed by
+    /// the scenario index, recorded into `t`.
+    fn scenario(t: &Telemetry, i: usize) {
+        let c = t.counter("grid.cells");
+        let g = t.gauge("grid.last_cell");
+        let h = t.histogram("grid.cost");
+        let span = t.span_start(&format!("cell{i}"), SimTime(i as u64 * 10));
+        t.attr(span, "index", i as u64);
+        let child = t.span_start("inner", SimTime(i as u64 * 10 + 1));
+        t.span_end(child, SimTime(i as u64 * 10 + 2));
+        t.point("cell.sample", SimTime(i as u64 * 10 + 3), i as f64);
+        t.span_end(span, SimTime(i as u64 * 10 + 5));
+        t.add(c, 1);
+        t.set_gauge(g, i as f64);
+        t.observe(h, (i * i) as f64);
+    }
+
+    #[test]
+    fn absorb_in_submission_order_equals_serial_shared_recording() {
+        // Serial baseline: one shared collector records all scenarios.
+        let shared = Telemetry::new();
+        for i in 0..6 {
+            scenario(&shared, i);
+        }
+        // Sharded: private collectors, absorbed in submission order.
+        let parent = Telemetry::new();
+        for i in 0..6 {
+            let t = Telemetry::new();
+            scenario(&t, i);
+            parent.absorb(&t);
+        }
+        assert_eq!(parent.export_jsonl(), shared.export_jsonl());
+        assert_eq!(parent.ops_report(), shared.ops_report());
+    }
+
+    #[test]
+    fn run_sharded_is_jobs_invariant() {
+        let export = |jobs: usize| {
+            let parent = Telemetry::new();
+            let tasks: Vec<_> = (0..9)
+                .map(|_| |t: &Telemetry, i: usize| scenario(t, i))
+                .collect();
+            run_sharded(jobs, &parent, tasks);
+            parent.export_jsonl()
+        };
+        let serial = export(1);
+        assert!(!serial.is_empty());
+        for jobs in [2, 4, 8] {
+            assert_eq!(export(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_disabled_parent_records_nothing() {
+        let parent = Telemetry::disabled();
+        let out = run_sharded(
+            4,
+            &parent,
+            (0..5)
+                .map(|_| {
+                    |t: &Telemetry, i: usize| {
+                        assert!(!t.is_enabled());
+                        scenario(t, i);
+                        i * 2
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert_eq!(parent.export_jsonl(), "");
+    }
+
+    #[test]
+    fn absorb_handles_disabled_and_self() {
+        let live = Telemetry::new();
+        live.add(live.counter("c"), 3);
+        let before = live.export_jsonl();
+        live.absorb(&Telemetry::disabled());
+        assert_eq!(live.export_jsonl(), before, "disabled other is a no-op");
+        live.absorb(&live.clone());
+        assert_eq!(live.export_jsonl(), before, "self-absorb is a no-op");
+        let disabled = Telemetry::disabled();
+        disabled.absorb(&live);
+        assert_eq!(disabled.export_jsonl(), "", "disabled parent stays empty");
+    }
+
+    #[test]
+    fn absorb_renumbers_spans_past_existing_ids() {
+        let parent = Telemetry::new();
+        let s = parent.span_start("first", SimTime(1));
+        parent.span_end(s, SimTime(2));
+        let child = Telemetry::new();
+        let c = child.span_start("second", SimTime(3));
+        child.attr(c, "k", 9u64);
+        child.span_end(c, SimTime(4));
+        parent.absorb(&child);
+        let jsonl = parent.export_jsonl();
+        // The child's span 1 must have become span 2 in the parent.
+        assert!(
+            jsonl.contains("\"id\":2,\"kind\":\"span_start\",\"name\":\"second\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"span\":2"), "{jsonl}");
+        // And a span opened after the merge continues the numbering.
+        let s3 = parent.span_start("third", SimTime(5));
+        assert_eq!(s3, SpanId(3));
+    }
+
+    #[test]
+    fn absorb_counts_ring_drops_like_live_recording() {
+        let run_live = || {
+            let t = Telemetry::with_ring_capacity(4);
+            for i in 0..10 {
+                t.point("p", SimTime(i), i as f64);
+            }
+            t.export_jsonl()
+        };
+        let parent = Telemetry::with_ring_capacity(4);
+        for chunk in [(0..5), (5..10)] {
+            let t = Telemetry::new();
+            for i in chunk {
+                t.point("p", SimTime(i), i as f64);
+            }
+            parent.absorb(&t);
+        }
+        assert_eq!(parent.export_jsonl(), run_live());
     }
 
     struct Relay(u32);

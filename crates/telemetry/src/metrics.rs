@@ -73,6 +73,31 @@ impl MetricsCore {
         }
     }
 
+    /// Fold another registry into this one, interning names in the other's
+    /// registration order: counters add, gauges take the other's value
+    /// (last-writer-wins, matching a later serial scenario overwriting an
+    /// earlier one), histograms merge. Absorbing per-scenario registries in
+    /// submission order therefore reproduces the name order and values a
+    /// single shared registry would hold after the same scenarios ran
+    /// serially — given the workspace convention that a scenario writes
+    /// every gauge it registers.
+    pub(crate) fn absorb(&mut self, other: &MetricsCore) {
+        for (name, &v) in other.counters.names.iter().zip(&other.counters.values) {
+            let id = self.counters.intern(name);
+            self.add(CounterId(id), v);
+        }
+        for (name, &v) in other.gauges.names.iter().zip(&other.gauges.values) {
+            let id = self.gauges.intern(name);
+            self.set(GaugeId(id), v);
+        }
+        for (name, h) in other.histograms.names.iter().zip(&other.histograms.values) {
+            let id = self.histograms.intern(name);
+            if let Some(dst) = self.histograms.values.get_mut(id as usize) {
+                dst.merge(h);
+            }
+        }
+    }
+
     pub(crate) fn merge_shard(&mut self, shard: &MetricShard) {
         for (i, &n) in shard.counters.iter().enumerate() {
             if n > 0 {

@@ -182,4 +182,59 @@ impl TraceCore {
     pub(crate) fn current_span(&self) -> Option<SpanId> {
         self.stack.last().copied()
     }
+
+    /// Append another core's event stream onto this one, in that core's
+    /// recording order, renumbering span ids past the ids already issued
+    /// here. This is the submission-order merge behind the parallel
+    /// scenario runner: per-scenario rings absorbed one after another
+    /// reproduce the very stream a single shared ring would have recorded
+    /// from the same scenarios run serially (span ids are contiguous per
+    /// scenario in both cases). Ring capacity and drop accounting apply to
+    /// each appended event exactly as if it had been recorded live.
+    pub(crate) fn absorb(&mut self, other: &TraceCore) {
+        debug_assert!(
+            other.stack.is_empty(),
+            "absorbing a trace with open spans loses nesting"
+        );
+        let offset = self.next_span - 1; // span ids are 1-based
+        let remap = |id: SpanId| {
+            if id == SpanId::NONE {
+                id
+            } else {
+                SpanId(id.0 + offset)
+            }
+        };
+        for ev in &other.events {
+            let remapped = match ev {
+                TraceEvent::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    t,
+                } => TraceEvent::SpanStart {
+                    id: remap(*id),
+                    parent: parent.map(remap),
+                    name: name.clone(),
+                    t: *t,
+                },
+                TraceEvent::SpanEnd { id, t } => TraceEvent::SpanEnd {
+                    id: remap(*id),
+                    t: *t,
+                },
+                TraceEvent::Attr { span, key, value } => TraceEvent::Attr {
+                    span: remap(*span),
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                TraceEvent::Point { name, t, value } => TraceEvent::Point {
+                    name: name.clone(),
+                    t: *t,
+                    value: *value,
+                },
+            };
+            self.push(remapped);
+        }
+        self.dropped += other.dropped;
+        self.next_span += other.next_span - 1;
+    }
 }

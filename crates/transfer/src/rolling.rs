@@ -15,13 +15,18 @@
 //! matches.
 
 /// Checksum of a complete block.
+///
+/// `b = Σ (l − i) X_i` is computed multiply-free: after byte `j`, `a`
+/// holds the prefix sum `X_0 + … + X_j`, and summing those prefix sums
+/// over all `j` counts each `X_i` exactly `l − i` times — so `b += a`
+/// per byte is the whole weighted sum (wrapping adds are associative mod
+/// 2^32, and the final masks are unchanged).
 pub fn weak_checksum(block: &[u8]) -> u32 {
     let mut a: u32 = 0;
     let mut b: u32 = 0;
-    let l = block.len() as u32;
-    for (i, &x) in block.iter().enumerate() {
+    for &x in block {
         a = a.wrapping_add(x as u32);
-        b = b.wrapping_add((l - i as u32) * x as u32);
+        b = b.wrapping_add(a);
     }
     (a & 0xFFFF) | (b << 16)
 }
@@ -35,19 +40,19 @@ pub struct RollingChecksum {
 }
 
 impl RollingChecksum {
-    /// Initialize over a full window.
+    /// Initialize over a full window (multiply-free prefix-sum form; see
+    /// [`weak_checksum`]).
     pub fn new(window: &[u8]) -> Self {
         let mut a: u32 = 0;
         let mut b: u32 = 0;
-        let l = window.len() as u32;
-        for (i, &x) in window.iter().enumerate() {
+        for &x in window {
             a = a.wrapping_add(x as u32);
-            b = b.wrapping_add((l - i as u32) * x as u32);
+            b = b.wrapping_add(a);
         }
         RollingChecksum {
             a: a & 0xFFFF,
             b: b & 0xFFFF,
-            len: l,
+            len: window.len() as u32,
         }
     }
 
@@ -103,6 +108,33 @@ mod tests {
     #[test]
     fn empty_block_is_zero() {
         assert_eq!(weak_checksum(&[]), 0);
+    }
+
+    #[test]
+    fn prefix_sum_form_matches_weighted_formula() {
+        // The textbook form with the explicit (l − i) multiply, as a
+        // reference for the production prefix-sum version.
+        fn weighted(block: &[u8]) -> u32 {
+            let mut a: u32 = 0;
+            let mut b: u32 = 0;
+            let l = block.len() as u32;
+            for (i, &x) in block.iter().enumerate() {
+                a = a.wrapping_add(x as u32);
+                b = b.wrapping_add((l - i as u32).wrapping_mul(x as u32));
+            }
+            (a & 0xFFFF) | (b << 16)
+        }
+        let data: Vec<u8> = (0..70_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 21) as u8)
+            .collect();
+        for len in [0usize, 1, 2, 255, 700, 4096, 65_536, 70_000] {
+            assert_eq!(
+                weak_checksum(&data[..len]),
+                weighted(&data[..len]),
+                "len={len}"
+            );
+        }
+        assert_eq!(weak_checksum(&[0xFF; 66_000]), weighted(&[0xFF; 66_000]));
     }
 
     #[test]
