@@ -1,0 +1,212 @@
+//! Event-log recomputation oracle for billing (§6.4).
+//!
+//! [`BillingOracle`] records every poll, sweep and month close it
+//! forwards to the live [`BillingService`], and after each operation
+//! re-bills the *entire* log from scratch through an independent
+//! interpreter ([`replay`]). The service accumulates incrementally
+//! across cycles; the oracle recomputes from first principles — if
+//! cursor state leaks, a boundary double-counts, or a cycle reset drops
+//! usage, the two disagree. Each close also re-checks the §8 pricing
+//! rules on both sides: no negative invoice lines, billable never above
+//! metered, and a zero bill inside the free tier.
+
+use std::collections::BTreeMap;
+
+use osdc_sim::SimTime;
+use osdc_tukey::billing::{BillingService, CycleUsage, Invoice, Rates};
+
+const NANOS_PER_MIN: u64 = 60_000_000_000;
+const NANOS_PER_DAY: u64 = 86_400 * 1_000_000_000;
+
+/// One billing-facing event, in delivery order.
+#[derive(Clone, Debug)]
+pub enum BillingOp {
+    Poll {
+        user: String,
+        cores: u32,
+        at: SimTime,
+    },
+    Sweep {
+        user: String,
+        bytes: u64,
+        at: SimTime,
+    },
+    Close,
+}
+
+/// Everything [`replay`] derives from a log.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayState {
+    /// Open-cycle usage per user (what the console's usage page shows).
+    pub open: BTreeMap<String, CycleUsage>,
+    /// Invoice batch of every close, in close order.
+    pub closes: Vec<Vec<Invoice>>,
+}
+
+/// Re-bill a log from scratch: the reference semantics of §6.4 in ~40
+/// lines. Polls count once per user-minute and sweeps once per
+/// user-day, with the dedup cursor surviving month closes; closes price
+/// each user's cycle against the free tier and reset the cycle.
+pub fn replay(rates: &Rates, log: &[BillingOp]) -> ReplayState {
+    let mut state = ReplayState::default();
+    let mut last_minute: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_day: BTreeMap<String, u64> = BTreeMap::new();
+    for op in log {
+        match op {
+            BillingOp::Poll { user, cores, at } => {
+                if *cores == 0 {
+                    continue;
+                }
+                let minute = at.as_nanos() / NANOS_PER_MIN;
+                if last_minute.get(user).is_some_and(|&last| minute <= last) {
+                    continue;
+                }
+                last_minute.insert(user.clone(), minute);
+                let usage = state.open.entry(user.clone()).or_default();
+                usage.core_minutes += *cores as f64;
+                usage.peak_cores = usage.peak_cores.max(*cores);
+            }
+            BillingOp::Sweep { user, bytes, at } => {
+                if *bytes == 0 {
+                    continue;
+                }
+                let day = at.as_nanos() / NANOS_PER_DAY;
+                if last_day.get(user).is_some_and(|&last| day <= last) {
+                    continue;
+                }
+                last_day.insert(user.clone(), day);
+                state.open.entry(user.clone()).or_default().tb_days += *bytes as f64 / 1e12;
+            }
+            BillingOp::Close => {
+                let month = state.closes.len() as u32;
+                let batch: Vec<Invoice> = std::mem::take(&mut state.open)
+                    .into_iter()
+                    .map(|(user, usage)| {
+                        let core_hours = usage.core_minutes / 60.0;
+                        let billable_core_hours = (core_hours - rates.free_core_hours).max(0.0);
+                        let billable_tb_days = (usage.tb_days - rates.free_tb_days).max(0.0);
+                        Invoice {
+                            user,
+                            month,
+                            core_hours,
+                            tb_days: usage.tb_days,
+                            billable_core_hours,
+                            billable_tb_days,
+                            total_usd: billable_core_hours * rates.per_core_hour
+                                + billable_tb_days * rates.per_tb_day,
+                        }
+                    })
+                    .collect();
+                state.closes.push(batch);
+            }
+        }
+    }
+    state
+}
+
+/// The §8 pricing-rule invariants every issued invoice must satisfy.
+pub fn check_invoice(inv: &Invoice, rates: &Rates) -> Result<(), String> {
+    if inv.billable_core_hours < 0.0 || inv.billable_tb_days < 0.0 || inv.total_usd < 0.0 {
+        return Err(format!(
+            "negative invoice line for {} month {}: {} core-hours, {} TB-days, ${}",
+            inv.user, inv.month, inv.billable_core_hours, inv.billable_tb_days, inv.total_usd
+        ));
+    }
+    if inv.billable_core_hours > inv.core_hours || inv.billable_tb_days > inv.tb_days {
+        return Err(format!(
+            "billable exceeds metered for {} month {}",
+            inv.user, inv.month
+        ));
+    }
+    if inv.core_hours <= rates.free_core_hours
+        && inv.tb_days <= rates.free_tb_days
+        && inv.total_usd != 0.0
+    {
+        return Err(format!(
+            "free-tier usage billed for {} month {}: ${}",
+            inv.user, inv.month, inv.total_usd
+        ));
+    }
+    Ok(())
+}
+
+/// Shadows a [`BillingService`] with a from-scratch re-bill after every
+/// operation.
+pub struct BillingOracle {
+    rates: Rates,
+    log: Vec<BillingOp>,
+}
+
+impl BillingOracle {
+    /// Build the service and its shadow over the same rate card.
+    pub fn paired(rates: Rates) -> (BillingService, BillingOracle) {
+        (
+            BillingService::new(rates),
+            BillingOracle {
+                rates,
+                log: Vec::new(),
+            },
+        )
+    }
+}
+
+impl crate::Oracle for BillingOracle {
+    type System = BillingService;
+    type Op = BillingOp;
+
+    fn name(&self) -> &'static str {
+        "tukey.re-bill"
+    }
+
+    fn step(&mut self, service: &mut BillingService, op: &BillingOp) -> Result<(), String> {
+        self.log.push(op.clone());
+        match op {
+            BillingOp::Poll { user, cores, at } => {
+                let before = service.current_usage(user);
+                let counted = service.poll_compute(user, *cores, *at);
+                let after = service.current_usage(user);
+                if counted != (after.core_minutes != before.core_minutes) {
+                    return Err(format!(
+                        "poll for {user} returned counted={counted} but core-minutes went \
+                         {} -> {}",
+                        before.core_minutes, after.core_minutes
+                    ));
+                }
+                let want = replay(&self.rates, &self.log);
+                let model = want.open.get(user).cloned().unwrap_or_default();
+                if after != model {
+                    return Err(format!(
+                        "open cycle for {user}: service {after:?}, re-bill {model:?}"
+                    ));
+                }
+            }
+            BillingOp::Sweep { user, bytes, at } => {
+                let counted = service.sweep_storage(user, *bytes, *at);
+                let after = service.current_usage(user);
+                let want = replay(&self.rates, &self.log);
+                let model = want.open.get(user).cloned().unwrap_or_default();
+                if after != model {
+                    return Err(format!(
+                        "open cycle for {user} after sweep (counted={counted}): \
+                         service {after:?}, re-bill {model:?}"
+                    ));
+                }
+            }
+            BillingOp::Close => {
+                let got = service.close_month();
+                let want = replay(&self.rates, &self.log);
+                let model = want.closes.last().cloned().unwrap_or_default();
+                if got != model {
+                    return Err(format!(
+                        "close #{}: service issued {got:?}, re-bill computed {model:?}",
+                        want.closes.len()
+                    ));
+                }
+                for inv in &got {
+                    check_invoice(inv, &self.rates)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

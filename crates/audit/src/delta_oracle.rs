@@ -1,0 +1,97 @@
+//! Direct-copy oracle for the rsync delta codec.
+//!
+//! The codec's contract is exact reconstruction: for any `(basis,
+//! target, block_size)`, applying `delta(basis, target)` to `basis`
+//! must reproduce `target` byte-for-byte, and the delta's own
+//! accounting must add up (`matched_bytes + literal_bytes ==
+//! target.len()`, with `matched_bytes` equal to the bytes actually
+//! covered by its `Copy` ops). The reference model here is the most
+//! direct one possible — the target itself — which is what makes the
+//! check complete: any block mis-match, mis-offset, or dropped tail
+//! shows up as a byte difference.
+
+use osdc_transfer::delta::{apply_delta, compute_signatures, generate_delta, DeltaOp};
+
+/// One `(basis, target, block_size)` instance to round-trip.
+#[derive(Clone, Debug)]
+pub struct DeltaCase {
+    pub basis: Vec<u8>,
+    pub target: Vec<u8>,
+    pub block_size: usize,
+}
+
+/// Checks `apply(delta(basis, target)) == target` plus the delta's
+/// internal accounting for one case.
+pub fn check_roundtrip(case: &DeltaCase) -> Result<(), String> {
+    let bs = case.block_size;
+    let sigs = compute_signatures(&case.basis, bs);
+    let delta = generate_delta(&sigs, &case.target);
+
+    let rebuilt = apply_delta(&case.basis, &delta, bs)
+        .ok_or_else(|| "delta references a block outside the basis".to_string())?;
+    if rebuilt != case.target {
+        return Err(format!(
+            "reconstruction diverged: rebuilt {} bytes, target {} bytes (basis {}, block {})",
+            rebuilt.len(),
+            case.target.len(),
+            case.basis.len(),
+            bs
+        ));
+    }
+
+    if delta.matched_bytes + delta.literal_bytes != case.target.len() {
+        return Err(format!(
+            "accounting: matched {} + literal {} != target {}",
+            delta.matched_bytes,
+            delta.literal_bytes,
+            case.target.len()
+        ));
+    }
+
+    // matched_bytes must equal the bytes the Copy ops actually cover
+    // (the final basis block may be short).
+    let covered: usize = delta
+        .ops
+        .iter()
+        .map(|op| match op {
+            DeltaOp::Copy { index } => case
+                .basis
+                .len()
+                .saturating_sub(*index as usize * bs)
+                .min(bs),
+            DeltaOp::Literal(_) => 0,
+        })
+        .sum();
+    if covered != delta.matched_bytes {
+        return Err(format!(
+            "Copy ops cover {covered} bytes but matched_bytes says {}",
+            delta.matched_bytes
+        ));
+    }
+
+    // The direct-copy case: an unchanged file must ship no literals.
+    if case.basis == case.target && delta.literal_bytes != 0 {
+        return Err(format!(
+            "identical basis/target still shipped {} literal bytes",
+            delta.literal_bytes
+        ));
+    }
+    Ok(())
+}
+
+/// [`crate::Oracle`] wrapper around [`check_roundtrip`]. The codec is a
+/// pure function, so the "system" carries no state.
+pub struct DeltaOracle;
+
+impl crate::Oracle for DeltaOracle {
+    type System = ();
+    type Op = DeltaCase;
+
+    fn name(&self) -> &'static str {
+        "transfer.direct-copy"
+    }
+
+    fn step(&mut self, _system: &mut (), case: &DeltaCase) -> Result<(), String> {
+        check_roundtrip(case)
+    }
+}

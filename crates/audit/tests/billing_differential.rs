@@ -1,0 +1,201 @@
+//! Differential driver for billing (§6.4): the live service against a
+//! from-scratch re-bill of the event log, plus the two policy
+//! invariants the paper's pricing rules imply — cadence independence
+//! (where a poll lands inside its minute must not change the bill) and
+//! free-tier monotonicity (raising the allowance never raises a bill).
+
+use osdc_audit::{drive, BillingOp, BillingOracle};
+use osdc_sim::{SimDuration, SimTime};
+use osdc_tukey::billing::Rates;
+use proptest::prelude::*;
+
+fn at(mins: u64, secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_mins(mins) + SimDuration::from_secs(secs)
+}
+
+fn user(u: usize) -> String {
+    format!("user{}", u % 3)
+}
+
+fn rates(idx: usize) -> Rates {
+    match idx {
+        0 => Rates::default(),
+        1 => Rates {
+            per_core_hour: 0.10,
+            per_tb_day: 0.05,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        },
+        _ => Rates {
+            per_core_hour: 0.05,
+            per_tb_day: 0.08,
+            free_core_hours: 5.0,
+            free_tb_days: 0.5,
+        },
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = BillingOp> {
+    prop_oneof![
+        6 => (0usize..3, 0u32..6, 0u64..600, 0u64..60)
+            .prop_map(|(u, cores, mins, secs)| BillingOp::Poll {
+                user: user(u),
+                cores,
+                at: at(mins, secs),
+            }),
+        3 => (0usize..3, 0u64..4_000_000_000_000u64, 0u64..10, 0u64..86_400)
+            .prop_map(|(u, bytes, day, secs)| BillingOp::Sweep {
+                user: user(u),
+                bytes,
+                at: at(day * 24 * 60, secs),
+            }),
+        1 => Just(BillingOp::Close),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn service_agrees_with_event_log_rebill(
+        rate_idx in 0usize..3,
+        mut ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        // Delivery order is arbitrary: the dedup cursor rejects replays
+        // and late samples identically on both sides, so out-of-order
+        // logs are part of the contract being checked.
+        ops.push(BillingOp::Close);
+        let (mut service, mut oracle) = BillingOracle::paired(rates(rate_idx));
+        let report = drive(&mut oracle, &mut service, &ops);
+        prop_assert!(report.is_clean(), "{}", report.summary());
+        osdc_telemetry::audit::assert_clean("billing differential property");
+    }
+
+    #[test]
+    fn billing_is_cadence_independent(
+        minutes in prop::collection::vec(0u64..5000, 1..80),
+        cores in 1u32..9,
+        offset_a in 0u64..60,
+        offset_b in 0u64..60,
+    ) {
+        // The same per-minute samples, landing at second `offset_a` vs
+        // `offset_b` within their minute, must price identically.
+        let mut minutes = minutes;
+        minutes.sort_unstable();
+        minutes.dedup();
+        let bill = |offset: u64| {
+            let (mut service, mut oracle) = BillingOracle::paired(Rates::default());
+            let ops: Vec<BillingOp> = minutes
+                .iter()
+                .map(|&m| BillingOp::Poll {
+                    user: "alice".into(),
+                    cores,
+                    at: at(m, offset),
+                })
+                .chain(std::iter::once(BillingOp::Close))
+                .collect();
+            let report = drive(&mut oracle, &mut service, &ops);
+            prop_assert!(report.is_clean(), "{}", report.summary());
+            service.invoice_history("alice").last().expect("invoice").total_usd
+        };
+        prop_assert_eq!(bill(offset_a), bill(offset_b));
+    }
+
+    #[test]
+    fn free_tier_is_monotone(
+        polls in prop::collection::vec((0u64..2000, 1u32..9), 1..60),
+        tiers in prop::collection::vec(0.0f64..50.0, 2..5),
+    ) {
+        // A larger free allowance can only lower (never raise) the bill.
+        let mut polls = polls;
+        polls.sort_by_key(|&(m, _)| m);
+        let mut tiers = tiers;
+        tiers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last_total = f64::INFINITY;
+        for &free in tiers.iter().rev() {
+            let (mut service, mut oracle) = BillingOracle::paired(Rates {
+                per_core_hour: 0.05,
+                per_tb_day: 0.0,
+                free_core_hours: free,
+                free_tb_days: 0.0,
+            });
+            let ops: Vec<BillingOp> = polls
+                .iter()
+                .map(|&(m, cores)| BillingOp::Poll {
+                    user: "alice".into(),
+                    cores,
+                    at: at(m, 0),
+                })
+                .chain(std::iter::once(BillingOp::Close))
+                .collect();
+            let report = drive(&mut oracle, &mut service, &ops);
+            prop_assert!(report.is_clean(), "{}", report.summary());
+            let total = service
+                .invoice_history("alice")
+                .last()
+                .map_or(0.0, |inv| inv.total_usd);
+            // Iterating tiers from largest to smallest: totals must be
+            // non-decreasing as the allowance shrinks.
+            prop_assert!(
+                total >= last_total || last_total == f64::INFINITY,
+                "free tier {free} bills ${total}, but a larger tier billed ${last_total}"
+            );
+            last_total = total;
+        }
+        osdc_telemetry::audit::assert_clean("free-tier monotonicity property");
+    }
+}
+
+/// Month-boundary replay, double sweeps and zero-usage users, pinned as
+/// a deterministic sequence (the bugs the oracle originally caught).
+#[test]
+fn boundary_replays_and_double_sweeps_agree() {
+    let (mut service, mut oracle) = BillingOracle::paired(rates(1));
+    let tb = 1_000_000_000_000u64;
+    let ops = vec![
+        BillingOp::Poll {
+            user: "alice".into(),
+            cores: 4,
+            at: at(100, 0),
+        },
+        // Same-minute retry: must not double-bill.
+        BillingOp::Poll {
+            user: "alice".into(),
+            cores: 4,
+            at: at(100, 30),
+        },
+        // Same-day double sweep: one TB-day, not two.
+        BillingOp::Sweep {
+            user: "bob".into(),
+            bytes: tb,
+            at: at(0, 0),
+        },
+        BillingOp::Sweep {
+            user: "bob".into(),
+            bytes: tb,
+            at: at(6 * 60, 0),
+        },
+        // Idle users never enter the cycle.
+        BillingOp::Poll {
+            user: "ghost".into(),
+            cores: 0,
+            at: at(100, 0),
+        },
+        BillingOp::Close,
+        // The boundary replay: minute 100 again after the close.
+        BillingOp::Poll {
+            user: "alice".into(),
+            cores: 4,
+            at: at(100, 45),
+        },
+        BillingOp::Poll {
+            user: "alice".into(),
+            cores: 4,
+            at: at(101, 0),
+        },
+        BillingOp::Close,
+    ];
+    let report = drive(&mut oracle, &mut service, &ops);
+    assert!(report.is_clean(), "{}", report.summary());
+    osdc_telemetry::audit::assert_clean("billing boundary differential");
+}

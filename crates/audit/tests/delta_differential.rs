@@ -1,0 +1,125 @@
+//! Differential driver for the rsync delta codec: every generated
+//! `(basis, target, block_size)` must reconstruct exactly and account
+//! for every byte. Random-edit cases model real sync workloads
+//! (UDR/rsync over the WAN, §5); the deterministic set pins the edge
+//! geometry — empty inputs, short trailing blocks, oversized blocks —
+//! including the tail-block regression the oracle originally flushed
+//! out.
+
+use osdc_audit::delta_oracle::check_roundtrip;
+use osdc_audit::{drive, DeltaCase, DeltaOracle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_edits_roundtrip(
+        basis in prop::collection::vec(any::<u8>(), 0..1500),
+        block_size in 1usize..80,
+        edits in prop::collection::vec((any::<usize>(), 0usize..3, any::<u8>()), 0..8),
+    ) {
+        // Target = basis under a few point edits: realistic sync input
+        // with long matching runs and a perturbed tail.
+        let mut target = basis.clone();
+        for (pos, kind, byte) in edits {
+            let pos = pos % (target.len() + 1);
+            match kind {
+                0 => target.insert(pos, byte),
+                1 => {
+                    if pos < target.len() {
+                        target.remove(pos);
+                    }
+                }
+                _ => {
+                    if pos < target.len() {
+                        target[pos] ^= byte | 1;
+                    }
+                }
+            }
+        }
+        let case = DeltaCase { basis, target, block_size };
+        if let Err(e) = check_roundtrip(&case) {
+            prop_assert!(false, "{e}");
+        }
+        osdc_telemetry::audit::assert_clean("delta differential property");
+    }
+
+    #[test]
+    fn unrelated_inputs_roundtrip(
+        basis in prop::collection::vec(any::<u8>(), 0..600),
+        target in prop::collection::vec(any::<u8>(), 0..600),
+        block_size in 1usize..64,
+    ) {
+        let case = DeltaCase { basis, target, block_size };
+        if let Err(e) = check_roundtrip(&case) {
+            prop_assert!(false, "{e}");
+        }
+    }
+}
+
+#[test]
+fn edge_geometries_roundtrip() {
+    let block = |n: usize, fill: u8| vec![fill; n];
+    let mut cases = vec![
+        // Empty everything.
+        DeltaCase {
+            basis: vec![],
+            target: vec![],
+            block_size: 8,
+        },
+        DeltaCase {
+            basis: vec![],
+            target: b"fresh".to_vec(),
+            block_size: 8,
+        },
+        DeltaCase {
+            basis: b"stale".to_vec(),
+            target: vec![],
+            block_size: 8,
+        },
+        // Identity: must ship zero literals.
+        DeltaCase {
+            basis: b"identical content, several blocks long".to_vec(),
+            target: b"identical content, several blocks long".to_vec(),
+            block_size: 7,
+        },
+        // Block size larger than either input.
+        DeltaCase {
+            basis: b"tiny".to_vec(),
+            target: b"tinier".to_vec(),
+            block_size: 4096,
+        },
+        // Basis an exact multiple of the block size, target one byte
+        // short of it.
+        DeltaCase {
+            basis: block(64, b'a'),
+            target: block(63, b'a'),
+            block_size: 16,
+        },
+    ];
+    // The pinned tail regression, oracle-shaped: a short final block
+    // whose preceding full block was edited, at several geometries.
+    for lead in [0usize, 1, 15, 16, 17] {
+        let mut basis = block(16 * 4, b'b');
+        basis.extend_from_slice(b"short-tail");
+        let mut target = basis.clone();
+        target[16 * 3] ^= 0xff; // edit inside the last full block
+        let mut with_insert = target.clone();
+        with_insert.splice(0..0, std::iter::repeat_n(b'x', lead));
+        cases.push(DeltaCase {
+            basis: basis.clone(),
+            target,
+            block_size: 16,
+        });
+        cases.push(DeltaCase {
+            basis,
+            target: with_insert,
+            block_size: 16,
+        });
+    }
+    let mut oracle = DeltaOracle;
+    let report = drive(&mut oracle, &mut (), &cases);
+    assert!(report.is_clean(), "{}", report.summary());
+    osdc_telemetry::audit::assert_clean("delta edge-geometry differential");
+}

@@ -95,8 +95,11 @@ fn run_regime(billing_enabled: bool, seed: u64) -> Outcome {
             let idle = held_cores.saturating_sub(u.needed_cores);
             wasted += idle as f64 * 24.0;
             if billing_enabled {
-                for _ in 0..(24 * 60) {
-                    billing.poll_compute(&u.name, held_cores);
+                // One poll per minute of the day, at that minute's time —
+                // the dedup cursor rejects replays, so each of the 1440
+                // samples must carry its own timestamp.
+                for m in 0..(24 * 60) {
+                    billing.poll_compute(&u.name, held_cores, now + SimDuration::from_mins(m));
                 }
             }
         }

@@ -133,7 +133,7 @@ fn main() {
     let mut now = t0;
     for _ in 0..90 {
         now += SimDuration::from_mins(1);
-        console.billing_minute_tick();
+        console.billing_minute_tick(now);
     }
     let usage = console.usage_page(token).expect("usage page");
     println!(

@@ -46,7 +46,7 @@
 
 use osdc_sim::stats::Series;
 use osdc_sim::{SimDuration, SimRng, SimTime};
-use osdc_telemetry::{CounterId, GaugeId, HistogramId, Telemetry};
+use osdc_telemetry::{audit, CounterId, GaugeId, HistogramId, Telemetry};
 
 use crate::cc::CongestionControl;
 use crate::topology::{LinkId, NodeId, Topology};
@@ -689,6 +689,11 @@ impl FluidNet {
         for k in 0..self.scratch.desires.len() {
             let (i, d) = self.scratch.desires[k];
             let rate = self.scratch.alloc[k].1;
+            audit::check!(
+                rate.is_finite() && rate >= 0.0 && rate <= d + 1e-3,
+                "net.flow_rate_in_bounds",
+                "full solve: flow {i} allocated {rate} bps against desire {d}"
+            );
             let sat = &self.link_saturated;
             let congested = self.flows[i].path.iter().any(|&l| sat[l.0]);
             let f = &mut self.flows[i];
@@ -696,8 +701,36 @@ impl FluidNet {
             f.desire_used = d;
             f.congested = congested;
         }
+        self.audit_link_loads("solve_full");
         self.clear_dirty();
         self.cache_valid = true;
+    }
+
+    /// Audit-only structural scan over the link ledger: no link carries a
+    /// negative load, and no *up* link is booked beyond its capacity
+    /// (within progressive-filling float slack). Compiled out unless the
+    /// `audit` feature is on.
+    fn audit_link_loads(&self, site: &str) {
+        if !audit::enabled() {
+            return;
+        }
+        for l in 0..self.topo.link_count() {
+            let load = self.link_load[l];
+            let link = self.topo.link(LinkId(l));
+            audit::check!(
+                load >= -1e-3,
+                "net.link_load_nonnegative",
+                "{site}: link {l} booked at {load} bps"
+            );
+            if link.up {
+                audit::check!(
+                    load <= link.capacity_bps * (1.0 + 1e-6) + 1e-3,
+                    "net.link_load_le_capacity",
+                    "{site}: link {l} booked at {load} bps over {} bps capacity",
+                    link.capacity_bps
+                );
+            }
+        }
     }
 
     /// Incremental solve (positive-tolerance epoch mode only): re-fill
@@ -775,6 +808,11 @@ impl FluidNet {
         for k in 0..self.scratch.desires.len() {
             let (i, d) = self.scratch.desires[k];
             let rate = self.scratch.alloc[k].1;
+            audit::check!(
+                rate.is_finite() && rate >= 0.0 && rate <= d + 1e-3,
+                "net.flow_rate_in_bounds",
+                "partial solve: flow {i} allocated {rate} bps against desire {d}"
+            );
             for j in 0..self.flows[i].path.len() {
                 let l = self.flows[i].path[j];
                 self.link_load[l.0] += rate;
@@ -796,6 +834,7 @@ impl FluidNet {
                 self.flows[i].congested = congested;
             }
         }
+        self.audit_link_loads("solve_partial");
         self.clear_dirty();
     }
 
@@ -880,6 +919,13 @@ impl FluidNet {
                 }
             }
             let f = &mut self.flows[i];
+            audit::check!(
+                f.bytes_done <= f.bytes_total as f64,
+                "net.flow_done_le_total",
+                "flow {i}: {} of {} bytes after tick",
+                f.bytes_done,
+                f.bytes_total
+            );
             if end >= f.next_trace_at {
                 f.trace.push(end, rate / 1e6);
                 f.next_trace_at = end + self.trace_every;
@@ -997,6 +1043,15 @@ impl FluidNet {
             let rate = f.rate_bps;
             let bpt = rate * dt / 8.0;
             f.bytes_done += k as f64 * bpt;
+            // The jump stops one tick short of the earliest completion, so
+            // no flow may cross its total inside the closed form.
+            audit::check!(
+                f.bytes_done < f.bytes_total as f64 || bpt <= 0.0,
+                "net.jump_stops_before_completion",
+                "flow {i}: {} of {} bytes after a {k}-tick jump",
+                f.bytes_done,
+                f.bytes_total
+            );
             // Trace grid: the first tick-end at or past each due sample.
             loop {
                 let nta = f.next_trace_at;

@@ -38,4 +38,4 @@ pub use backup::BackupService;
 pub use brick::{Brick, BrickHealth, BrickId};
 pub use export::{AccessKind, ExportError, SambaExport};
 pub use file::{FileData, FileMeta};
-pub use volume::{GlusterVersion, HealReport, Volume, VolumeError};
+pub use volume::{GlusterVersion, HealReport, Volume, VolumeConfigError, VolumeError};

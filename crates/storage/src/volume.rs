@@ -8,6 +8,7 @@
 //! [`GlusterVersion`].
 
 use osdc_sim::SimRng;
+use osdc_telemetry::audit;
 
 use crate::brick::{Brick, BrickError, BrickHealth, BrickId};
 use crate::file::{FileData, FileMeta};
@@ -42,6 +43,57 @@ pub enum VolumeError {
     NoSpace,
 }
 
+/// Why a volume shape is unbuildable. Both rejected shapes used to be
+/// runtime hazards: zero replica sets makes the placement hash divide by
+/// zero, and a brick count that is not a multiple of the replica count
+/// leaves the trailing bricks unreachable by placement while
+/// [`Volume::usable_capacity_bytes`] still counts them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VolumeConfigError {
+    /// `replica_count` was zero.
+    ZeroReplicas,
+    /// `brick_count` was zero.
+    NoBricks,
+    /// Fewer bricks than one full replica set: `replica_sets()` would be
+    /// zero and every placement would divide by zero.
+    TooFewBricks {
+        brick_count: usize,
+        replica_count: usize,
+    },
+    /// Trailing `brick_count % replica_count` bricks would never receive
+    /// a file yet still inflate the advertised capacity.
+    NotAMultiple {
+        brick_count: usize,
+        replica_count: usize,
+    },
+}
+
+impl std::fmt::Display for VolumeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeConfigError::ZeroReplicas => write!(f, "need at least one replica"),
+            VolumeConfigError::NoBricks => write!(f, "need at least one brick"),
+            VolumeConfigError::TooFewBricks {
+                brick_count,
+                replica_count,
+            } => write!(
+                f,
+                "{brick_count} brick(s) cannot form a replica-{replica_count} set"
+            ),
+            VolumeConfigError::NotAMultiple {
+                brick_count,
+                replica_count,
+            } => write!(
+                f,
+                "brick count {brick_count} must be a multiple of replica count {replica_count} \
+                 (trailing bricks would be unreachable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VolumeConfigError {}
+
 /// A distributed, optionally replicated volume.
 ///
 /// ```
@@ -61,6 +113,7 @@ pub enum VolumeError {
 /// vol.replace_brick(BrickId(0));
 /// vol.heal();
 /// ```
+#[derive(Debug)]
 pub struct Volume {
     pub name: String,
     version: GlusterVersion,
@@ -76,6 +129,9 @@ pub struct Volume {
 impl Volume {
     /// Build a volume from equal bricks. `brick_count` must be a multiple
     /// of `replica_count`; replica sets are consecutive groups.
+    ///
+    /// Panics on an unbuildable shape; fallible callers (operator input,
+    /// randomized drivers) use [`Volume::try_new`].
     pub fn new(
         name: impl Into<String>,
         version: GlusterVersion,
@@ -84,11 +140,47 @@ impl Volume {
         brick_capacity: u64,
         seed: u64,
     ) -> Self {
-        assert!(replica_count >= 1, "need at least one replica");
-        assert!(
-            brick_count > 0 && brick_count.is_multiple_of(replica_count),
-            "brick count {brick_count} must be a positive multiple of replica count {replica_count}"
-        );
+        Self::try_new(
+            name,
+            version,
+            brick_count,
+            replica_count,
+            brick_capacity,
+            seed,
+        )
+        .unwrap_or_else(|e| panic!("invalid volume shape: {e}"))
+    }
+
+    /// Shape-validating constructor: every rejected configuration is a
+    /// typed [`VolumeConfigError`] instead of a latent panic (mod-by-zero
+    /// in the placement hash) or silent capacity lie (unreachable
+    /// trailing bricks counted as usable).
+    pub fn try_new(
+        name: impl Into<String>,
+        version: GlusterVersion,
+        brick_count: usize,
+        replica_count: usize,
+        brick_capacity: u64,
+        seed: u64,
+    ) -> Result<Self, VolumeConfigError> {
+        if replica_count == 0 {
+            return Err(VolumeConfigError::ZeroReplicas);
+        }
+        if brick_count == 0 {
+            return Err(VolumeConfigError::NoBricks);
+        }
+        if brick_count < replica_count {
+            return Err(VolumeConfigError::TooFewBricks {
+                brick_count,
+                replica_count,
+            });
+        }
+        if !brick_count.is_multiple_of(replica_count) {
+            return Err(VolumeConfigError::NotAMultiple {
+                brick_count,
+                replica_count,
+            });
+        }
         let name = name.into();
         let bricks = (0..brick_count)
             .map(|i| {
@@ -103,7 +195,7 @@ impl Volume {
                 )
             })
             .collect();
-        Volume {
+        Ok(Volume {
             name,
             version,
             replica_count,
@@ -111,7 +203,7 @@ impl Volume {
             rng: SimRng::new(seed),
             silent_drops: 0,
             next_version: 1,
-        }
+        })
     }
 
     pub fn replica_sets(&self) -> usize {
@@ -133,6 +225,14 @@ impl Volume {
 
     /// FNV-1a placement hash — the distribute translator.
     fn placement(&self, path: &str) -> usize {
+        audit::check!(
+            self.replica_sets() > 0,
+            "storage.placement_nonzero_sets",
+            "volume {} has {} bricks for replica-{}: placement would divide by zero",
+            self.name,
+            self.bricks.len(),
+            self.replica_count
+        );
         let mut h: u64 = 0xcbf29ce484222325;
         for b in path.bytes() {
             h ^= b as u64;
@@ -142,7 +242,41 @@ impl Volume {
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        set * self.replica_count..(set + 1) * self.replica_count
+        let range = set * self.replica_count..(set + 1) * self.replica_count;
+        audit::check!(
+            range.end <= self.bricks.len(),
+            "storage.replica_set_in_bounds",
+            "set {set} spans bricks {range:?} but volume {} has only {}",
+            self.name,
+            self.bricks.len()
+        );
+        range
+    }
+
+    /// Structural invariants re-asserted after every mutation (audit
+    /// builds only; free otherwise).
+    fn audit_structure(&self) {
+        if !audit::enabled() {
+            return;
+        }
+        for b in &self.bricks {
+            audit::check!(
+                b.used_bytes() <= b.capacity_bytes,
+                "storage.brick_used_le_capacity",
+                "brick {:?} holds {} bytes over its {}-byte capacity",
+                b.id,
+                b.used_bytes(),
+                b.capacity_bytes
+            );
+        }
+        audit::check!(
+            self.bricks.len() == self.replica_sets() * self.replica_count,
+            "storage.brick_count_multiple",
+            "volume {}: {} bricks not partitioned by replica-{}",
+            self.name,
+            self.bricks.len(),
+            self.replica_count
+        );
     }
 
     /// Write a file. In v3.3 the write succeeds only if *every online*
@@ -176,6 +310,7 @@ impl Volume {
                 Err(_) => {}
             }
         }
+        self.audit_structure();
         if wrote_any {
             Ok(())
         } else if full {
@@ -217,6 +352,7 @@ impl Volume {
                 deleted = true;
             }
         }
+        self.audit_structure();
         if deleted {
             Ok(())
         } else {
@@ -380,6 +516,7 @@ impl Volume {
                 }
             }
         }
+        self.audit_structure();
         report
     }
 
@@ -665,5 +802,66 @@ mod tests {
         let v = mk(GlusterVersion::V3_3, 4, 2, 13);
         assert_eq!(v.total_capacity_bytes(), 400 * GB);
         assert_eq!(v.usable_capacity_bytes(), 200 * GB);
+    }
+
+    // Regression: fewer bricks than one replica set used to reach a
+    // mod-by-zero in `placement` (replica_sets() == 0); now it is a typed
+    // constructor error.
+    #[test]
+    fn too_few_bricks_is_a_typed_error() {
+        let err = Volume::try_new("bad", GlusterVersion::V3_3, 1, 2, GB, 0).unwrap_err();
+        assert_eq!(
+            err,
+            VolumeConfigError::TooFewBricks {
+                brick_count: 1,
+                replica_count: 2
+            }
+        );
+    }
+
+    // Regression: a brick count that is not a multiple of the replica
+    // count silently stranded the trailing bricks (placement never chose
+    // them) while `usable_capacity_bytes` still advertised them.
+    #[test]
+    fn non_multiple_brick_count_is_a_typed_error() {
+        let err = Volume::try_new("bad", GlusterVersion::V3_3, 3, 2, GB, 0).unwrap_err();
+        assert_eq!(
+            err,
+            VolumeConfigError::NotAMultiple {
+                brick_count: 3,
+                replica_count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_counts_are_typed_errors() {
+        assert_eq!(
+            Volume::try_new("bad", GlusterVersion::V3_3, 4, 0, GB, 0).unwrap_err(),
+            VolumeConfigError::ZeroReplicas
+        );
+        assert_eq!(
+            Volume::try_new("bad", GlusterVersion::V3_3, 0, 1, GB, 0).unwrap_err(),
+            VolumeConfigError::NoBricks
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_valid_shapes() {
+        for (bricks, replicas) in [(1, 1), (2, 1), (2, 2), (6, 3), (8, 2)] {
+            let v = Volume::try_new("ok", GlusterVersion::V3_3, bricks, replicas, GB, 1)
+                .expect("valid shape");
+            assert_eq!(v.brick_count(), bricks);
+            assert_eq!(v.replica_sets(), bricks / replicas);
+            // Every advertised usable byte is reachable: capacity is the
+            // per-set capacity times the number of reachable sets.
+            assert_eq!(v.usable_capacity_bytes(), (bricks / replicas) as u64 * GB);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid volume shape")]
+    fn new_still_panics_with_context() {
+        let _ = Volume::new("bad", GlusterVersion::V3_3, 3, 2, GB, 0);
     }
 }

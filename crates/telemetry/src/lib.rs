@@ -34,6 +34,7 @@ use std::sync::Arc;
 use osdc_sim::{EngineProbe, SimTime};
 use parking_lot::Mutex;
 
+pub mod audit;
 mod export;
 mod metrics;
 mod trace;

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use osdc_crypto::md5::md5;
+use osdc_telemetry::audit;
 
 use crate::rolling::{weak_checksum, RollingChecksum};
 
@@ -190,25 +191,42 @@ pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
             pos += 1;
         }
     }
-    // Tail: try to match the (short) final basis block exactly, else emit
-    // the remainder as literal.
+    // Tail: a short final basis block can only match where the rolling
+    // window shrinks to its size — i.e. as the *suffix* of the data (real
+    // rsync behaves the same: sub-block-size windows exist only at
+    // end-of-stream). The scan loop above exits with up to `bs - 1` bytes
+    // left, so the identical tail may sit behind a few unmatched bytes;
+    // emit those as literals and still reuse the tail block rather than
+    // resending it.
     let rest = &new_data[pos..];
-    if tail_len > 0 && rest.len() == tail_len {
-        let tail_sig = signatures
-            .blocks
-            .last()
-            .expect("tail_len > 0 implies a final block");
-        if weak_checksum(rest) == tail_sig.weak && md5(rest) == tail_sig.strong {
-            flush_literals(&mut delta, &mut literal_run);
-            delta.matched_bytes += tail_len;
-            delta.ops.push(DeltaOp::Copy {
-                index: tail_sig.index,
-            });
-            return delta;
+    'tail: {
+        if tail_len > 0 && rest.len() >= tail_len {
+            let tail_sig = signatures
+                .blocks
+                .last()
+                .expect("tail_len > 0 implies a final block");
+            let (lead, suffix) = rest.split_at(rest.len() - tail_len);
+            if weak_checksum(suffix) == tail_sig.weak && md5(suffix) == tail_sig.strong {
+                literal_run.extend_from_slice(lead);
+                flush_literals(&mut delta, &mut literal_run);
+                delta.matched_bytes += tail_len;
+                delta.ops.push(DeltaOp::Copy {
+                    index: tail_sig.index,
+                });
+                break 'tail;
+            }
         }
+        literal_run.extend_from_slice(rest);
+        flush_literals(&mut delta, &mut literal_run);
     }
-    literal_run.extend_from_slice(rest);
-    flush_literals(&mut delta, &mut literal_run);
+    audit::check!(
+        delta.matched_bytes + delta.literal_bytes == new_data.len(),
+        "transfer.delta_accounting",
+        "matched {} + literal {} != target {}",
+        delta.matched_bytes,
+        delta.literal_bytes,
+        new_data.len()
+    );
     delta
 }
 
@@ -380,6 +398,65 @@ mod tests {
         assert_eq!(block_size_for(usize::MAX / 2), 128 * 1024);
     }
 
+    // Regression: the final short basis block used to be matched only
+    // when the scan loop happened to exit with exactly `tail_len` bytes
+    // left. An edit in the last *full* block pushed the loop exit to
+    // `bs - 1` remaining bytes, and the byte-identical tail was resent as
+    // literals. It must be copied.
+    #[test]
+    fn tail_matches_behind_edited_final_full_block() {
+        let bs = 2048;
+        let tail_len = 500;
+        let basis = pseudo_bytes(2 * bs + tail_len, 10);
+        let mut new = basis.clone();
+        // Edit inside the second (last full) block only.
+        for b in &mut new[bs + 100..bs + 140] {
+            *b ^= 0xFF;
+        }
+        let (delta, rebuilt) = sync(&basis, &new, bs);
+        assert_eq!(rebuilt, new);
+        // Block 0 and the short tail are both reused.
+        assert!(
+            delta.matched_bytes >= bs + tail_len,
+            "matched {} — tail block resent as literal",
+            delta.matched_bytes
+        );
+        assert!(delta.literal_bytes < bs + tail_len);
+        assert_eq!(delta.matched_bytes + delta.literal_bytes, new.len());
+        assert_eq!(
+            delta.ops.last(),
+            Some(&DeltaOp::Copy { index: 2 }),
+            "delta must end with the tail-block copy"
+        );
+    }
+
+    // The oracle contract on non-multiple lengths: a target identical to
+    // the basis costs zero literal bytes at *any* length, including the
+    // empty file and the `len < 700` floor of `block_size_for`.
+    #[test]
+    fn identical_non_multiple_lengths_cost_no_literals() {
+        for len in [0usize, 1, 13, 699, 700, 701, 2048, 2049, 3 * 2048 + 1] {
+            let data = pseudo_bytes(len, len as u64 + 21);
+            let bs = block_size_for(len);
+            let (delta, rebuilt) = sync(&data, &data, bs);
+            assert_eq!(rebuilt, data, "len {len}");
+            assert_eq!(delta.literal_bytes, 0, "len {len} resent literals");
+            assert_eq!(delta.matched_bytes, len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn bare_tail_target_is_one_copy() {
+        // Target consisting of exactly the basis's short tail block.
+        let bs = 1024;
+        let basis = pseudo_bytes(2 * bs + 300, 11);
+        let new = basis[2 * bs..].to_vec();
+        let (delta, rebuilt) = sync(&basis, &new, bs);
+        assert_eq!(rebuilt, new);
+        assert_eq!(delta.ops, vec![DeltaOp::Copy { index: 2 }]);
+        assert_eq!(delta.matched_bytes, 300);
+    }
+
     #[test]
     fn parallel_and_serial_signatures_agree() {
         // Straddle the parallel threshold to compare both code paths.
@@ -396,6 +473,59 @@ mod tests {
             .collect();
         assert_eq!(par.blocks, ser);
         assert_eq!(par.basis_len, data.len());
+    }
+
+    /// Hand-rolled single-threaded signature pass, the comparison baseline
+    /// for every `compute_signatures` edge case below.
+    fn serial_signatures(data: &[u8], bs: usize) -> Vec<BlockSignature> {
+        data.chunks(bs)
+            .enumerate()
+            .map(|(i, c)| BlockSignature {
+                index: i as u32,
+                weak: weak_checksum(c),
+                strong: md5(c),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn signatures_with_block_size_exceeding_len() {
+        let data = pseudo_bytes(1000, 12);
+        let sigs = compute_signatures(&data, 2048);
+        assert_eq!(sigs.blocks, serial_signatures(&data, 2048));
+        assert_eq!(sigs.blocks.len(), 1, "one short block");
+        assert_eq!(sigs.basis_len, 1000);
+
+        let empty = compute_signatures(&[], 700);
+        assert!(empty.blocks.is_empty());
+        assert_eq!(empty.basis_len, 0);
+    }
+
+    #[test]
+    fn signatures_single_chunk_at_parallel_threshold_stays_correct() {
+        // len >= PARALLEL_THRESHOLD but exactly one chunk: the fan-out
+        // guard (`chunks.len() > 1`) must keep this on the serial path
+        // and either way the output must match the baseline.
+        let data = pseudo_bytes(PARALLEL_THRESHOLD, 13);
+        let sigs = compute_signatures(&data, PARALLEL_THRESHOLD);
+        assert_eq!(sigs.blocks, serial_signatures(&data, PARALLEL_THRESHOLD));
+        assert_eq!(sigs.blocks.len(), 1);
+    }
+
+    #[test]
+    fn signatures_with_more_workers_than_chunks() {
+        // Two chunks over the parallel threshold: worker count exceeds
+        // chunk count on any multicore host and must clamp, not spawn
+        // empty batches or reorder output.
+        let data = pseudo_bytes(PARALLEL_THRESHOLD + 1, 14);
+        let bs = PARALLEL_THRESHOLD / 2;
+        let sigs = compute_signatures(&data, bs);
+        assert_eq!(sigs.blocks, serial_signatures(&data, bs));
+        assert_eq!(sigs.blocks.len(), 3, "two full chunks + 1-byte tail");
+        assert!(
+            sigs.blocks.windows(2).all(|w| w[0].index + 1 == w[1].index),
+            "indices must stay in order across worker batches"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use osdc_crypto::CipherKind;
 use osdc_net::{CongestionControl, FlowSpec, FluidNet, NetError, NodeId};
 use osdc_sim::{RetryPolicy, SimDuration, SimRng};
-use osdc_telemetry::Telemetry;
+use osdc_telemetry::{audit, Telemetry};
 
 /// Local source disk read bound, mbit/s (§7.2).
 pub const DISK_READ_MBPS: f64 = 3072.0;
@@ -254,8 +254,14 @@ impl TransferEngine {
         })?;
         let Some(done) = self.net.run_flow_to_completion(flow, start + deadline) else {
             let done_wire = self.net.cancel_flow(flow);
+            let done_bytes = ((done_wire as f64 * factor) as u64).min(spec.bytes);
+            audit::check!(
+                done_wire <= wire_bytes,
+                "transfer.partial_le_wire",
+                "cancelled flow reported {done_wire} of {wire_bytes} wire bytes"
+            );
             return Err(TransferError::DeadlineExceeded {
-                done_bytes: ((done_wire as f64 * factor) as u64).min(spec.bytes),
+                done_bytes,
                 total_bytes: spec.bytes,
             });
         };
@@ -264,6 +270,13 @@ impl TransferEngine {
             SimDuration::from_secs_f64(rtt * (1.0 + self.per_file_rtts * spec.files as f64));
         let duration = done.saturating_since(start) + chatter;
         let mbps = spec.bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6;
+        audit::check!(
+            mbps.is_finite() && mbps >= 0.0,
+            "transfer.mbps_finite",
+            "mbps = {mbps} for {} bytes over {:?}",
+            spec.bytes,
+            duration
+        );
         let loss_events = self.net.loss_events(flow);
         if self.tele.is_enabled() {
             // Flame-style stage breakdown: every child starts at the
@@ -349,7 +362,16 @@ impl TransferEngine {
                     ));
                 }
                 Err(e) => {
-                    if let TransferError::DeadlineExceeded { done_bytes, .. } = &e {
+                    if let TransferError::DeadlineExceeded {
+                        done_bytes,
+                        total_bytes,
+                    } = &e
+                    {
+                        audit::check!(
+                            done_bytes <= total_bytes,
+                            "transfer.partial_le_total",
+                            "attempt moved {done_bytes} of {total_bytes} bytes"
+                        );
                         remaining = remaining.saturating_sub(*done_bytes);
                     }
                     let Some(delay) = policy.delay(failures, rng) else {

@@ -19,6 +19,10 @@ use std::collections::BTreeMap;
 
 use osdc_sim::time::SECS_PER_DAY;
 use osdc_sim::SimTime;
+use osdc_telemetry::audit;
+
+const NANOS_PER_MIN: u64 = 60_000_000_000;
+const NANOS_PER_DAY: u64 = SECS_PER_DAY * 1_000_000_000;
 
 /// Prices. The free-tier allowance implements §8 rule 1 ("provide some
 /// services without charge to any interested researcher"); §8 rule 2 is
@@ -73,6 +77,12 @@ pub struct BillingService {
     open: BTreeMap<String, CycleUsage>,
     invoices: Vec<Invoice>,
     month: u32,
+    /// Last minute index each user was billed for. Survives
+    /// [`BillingService::close_month`]: the cycle resets, but a poll
+    /// replayed at the month boundary must still count only once.
+    polled_minute: BTreeMap<String, u64>,
+    /// Last day index each user's storage was swept for, same lifetime.
+    swept_day: BTreeMap<String, u64>,
 }
 
 impl BillingService {
@@ -82,26 +92,52 @@ impl BillingService {
             open: BTreeMap::new(),
             invoices: Vec::new(),
             month: 0,
+            polled_minute: BTreeMap::new(),
+            swept_day: BTreeMap::new(),
         }
     }
 
-    /// Per-minute compute poll: `cores` currently held by `user`.
-    pub fn poll_compute(&mut self, user: &str, cores: u32) {
+    /// Per-minute compute poll: `cores` currently held by `user` at `now`.
+    ///
+    /// Idempotent per user-minute: a second poll landing in the same
+    /// simulated minute (a retried cron tick, an overlapping poller) is
+    /// ignored rather than double-billed. Returns whether the sample was
+    /// counted.
+    pub fn poll_compute(&mut self, user: &str, cores: u32, now: SimTime) -> bool {
         if cores == 0 {
-            return;
+            return false;
         }
+        let minute = now.as_nanos() / NANOS_PER_MIN;
+        match self.polled_minute.get(user) {
+            Some(&last) if minute <= last => return false,
+            _ => {}
+        }
+        self.polled_minute.insert(user.to_string(), minute);
         let usage = self.open.entry(user.to_string()).or_default();
         usage.core_minutes += cores as f64;
         usage.peak_cores = usage.peak_cores.max(cores);
+        true
     }
 
-    /// Daily storage sweep: `bytes` stored by `user` today.
-    pub fn sweep_storage(&mut self, user: &str, bytes: u64) {
+    /// Daily storage sweep: `bytes` stored by `user` on the day containing
+    /// `now`.
+    ///
+    /// Idempotent per user-day: running the sweep twice in one simulated
+    /// day charges one TB-day, not two. Returns whether the sample was
+    /// counted.
+    pub fn sweep_storage(&mut self, user: &str, bytes: u64, now: SimTime) -> bool {
         if bytes == 0 {
-            return;
+            return false;
         }
+        let day = now.as_nanos() / NANOS_PER_DAY;
+        match self.swept_day.get(user) {
+            Some(&last) if day <= last => return false,
+            _ => {}
+        }
+        self.swept_day.insert(user.to_string(), day);
         let tb = bytes as f64 / 1e12;
         self.open.entry(user.to_string()).or_default().tb_days += tb;
+        true
     }
 
     /// Current-cycle usage, as shown on the console's usage page.
@@ -122,6 +158,18 @@ impl BillingService {
                 let billable_tb_days = (usage.tb_days - self.rates.free_tb_days).max(0.0);
                 let total_usd = billable_core_hours * self.rates.per_core_hour
                     + billable_tb_days * self.rates.per_tb_day;
+                audit::check!(
+                    billable_core_hours >= 0.0 && billable_tb_days >= 0.0 && total_usd >= 0.0,
+                    "tukey.invoice_nonnegative",
+                    "negative invoice line for {user} month {month}: \
+                     {billable_core_hours} core-hours, {billable_tb_days} TB-days, \
+                     ${total_usd}"
+                );
+                audit::check!(
+                    billable_core_hours <= core_hours && billable_tb_days <= usage.tb_days,
+                    "tukey.billable_le_metered",
+                    "billable exceeds metered usage for {user} month {month}"
+                );
                 Invoice {
                     user,
                     month,
@@ -156,13 +204,22 @@ impl BillingService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osdc_sim::SimDuration;
+
+    fn at_min(m: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(m)
+    }
+
+    fn at_day(d: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_days(d)
+    }
 
     #[test]
     fn core_minutes_accumulate_to_hours() {
         let mut b = BillingService::new(Rates::default());
         // 8 cores held for 120 minutes.
-        for _ in 0..120 {
-            b.poll_compute("alice", 8);
+        for m in 0..120 {
+            b.poll_compute("alice", 8, at_min(m));
         }
         let usage = b.current_usage("alice");
         assert_eq!(usage.core_minutes, 960.0);
@@ -177,8 +234,8 @@ mod tests {
         let rates = Rates::default();
         let mut b = BillingService::new(rates);
         // 50 core-hours: inside the 100 free hours.
-        for _ in 0..(50 * 60) {
-            b.poll_compute("smalluser", 1);
+        for m in 0..(50 * 60) {
+            b.poll_compute("smalluser", 1, at_min(m));
         }
         let inv = b.close_month().pop().expect("one invoice");
         assert_eq!(inv.billable_core_hours, 0.0);
@@ -193,8 +250,8 @@ mod tests {
             free_core_hours: 10.0,
             free_tb_days: 0.0,
         });
-        for _ in 0..(20 * 60) {
-            b.poll_compute("big", 1); // 20 core-hours
+        for m in 0..(20 * 60) {
+            b.poll_compute("big", 1, at_min(m)); // 20 core-hours
         }
         let inv = b.close_month().pop().expect("one invoice");
         assert!((inv.billable_core_hours - 10.0).abs() < 1e-9);
@@ -209,8 +266,8 @@ mod tests {
             free_core_hours: 0.0,
             free_tb_days: 0.0,
         });
-        for _ in 0..30 {
-            b.sweep_storage("hoarder", 2_000_000_000_000); // 2 TB/day
+        for d in 0..30 {
+            b.sweep_storage("hoarder", 2_000_000_000_000, at_day(d)); // 2 TB/day
         }
         let inv = b.close_month().pop().expect("one invoice");
         assert!((inv.tb_days - 60.0).abs() < 1e-9);
@@ -220,19 +277,19 @@ mod tests {
     #[test]
     fn idle_users_get_no_invoice() {
         let mut b = BillingService::new(Rates::default());
-        b.poll_compute("ghost", 0);
-        b.sweep_storage("ghost", 0);
+        assert!(!b.poll_compute("ghost", 0, at_min(0)));
+        assert!(!b.sweep_storage("ghost", 0, at_day(0)));
         assert!(b.close_month().is_empty());
     }
 
     #[test]
     fn cycle_resets_each_month() {
         let mut b = BillingService::new(Rates::default());
-        b.poll_compute("alice", 4);
+        b.poll_compute("alice", 4, at_min(0));
         let first = b.close_month();
         assert_eq!(first[0].month, 0);
         assert_eq!(b.current_usage("alice"), CycleUsage::default());
-        b.poll_compute("alice", 4);
+        b.poll_compute("alice", 4, at_min(1));
         let second = b.close_month();
         assert_eq!(second[0].month, 1);
         assert_eq!(b.invoice_history("alice").len(), 2);
@@ -241,10 +298,82 @@ mod tests {
     #[test]
     fn invoices_sorted_by_user() {
         let mut b = BillingService::new(Rates::default());
-        b.poll_compute("zed", 1);
-        b.poll_compute("amy", 1);
+        b.poll_compute("zed", 1, at_min(0));
+        b.poll_compute("amy", 1, at_min(0));
         let users: Vec<String> = b.close_month().into_iter().map(|i| i.user).collect();
         assert_eq!(users, vec!["amy".to_string(), "zed".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_poll_in_one_minute_counts_once() {
+        let mut b = BillingService::new(Rates::default());
+        assert!(b.poll_compute("alice", 8, at_min(5)));
+        // A retried cron tick 30 s later lands in the same minute.
+        assert!(!b.poll_compute("alice", 8, at_min(5) + SimDuration::from_secs(30)));
+        assert_eq!(b.current_usage("alice").core_minutes, 8.0);
+        // The next minute counts again.
+        assert!(b.poll_compute("alice", 8, at_min(6)));
+        assert_eq!(b.current_usage("alice").core_minutes, 16.0);
+    }
+
+    #[test]
+    fn double_storage_sweep_in_one_day_bills_once() {
+        let mut b = BillingService::new(Rates {
+            per_core_hour: 0.0,
+            per_tb_day: 0.10,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        });
+        assert!(b.sweep_storage("hoarder", 1_000_000_000_000, at_day(3)));
+        // Operator re-runs the sweep later the same sim-day.
+        assert!(!b.sweep_storage(
+            "hoarder",
+            1_000_000_000_000,
+            at_day(3) + SimDuration::from_hours(6)
+        ));
+        let inv = b.close_month().pop().expect("one invoice");
+        assert!((inv.tb_days - 1.0).abs() < 1e-9, "tb_days {}", inv.tb_days);
+        // Next day bills normally.
+        assert!(b.sweep_storage("hoarder", 1_000_000_000_000, at_day(4)));
+    }
+
+    #[test]
+    fn poll_replayed_across_close_month_counts_once() {
+        let mut b = BillingService::new(Rates::default());
+        b.poll_compute("alice", 4, at_min(100));
+        let first = b.close_month().pop().expect("invoice");
+        assert_eq!(first.core_hours * 60.0, 4.0);
+        // The same minute's sample arrives again after the close (an
+        // overlapping poller seeing the boundary). It must not re-bill
+        // into the new cycle.
+        assert!(!b.poll_compute("alice", 4, at_min(100)));
+        assert_eq!(b.current_usage("alice"), CycleUsage::default());
+        // Genuinely new minutes do bill into the new cycle.
+        assert!(b.poll_compute("alice", 4, at_min(101)));
+        let second = b.close_month().pop().expect("invoice");
+        assert!((second.core_hours * 60.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn month_boundary_neither_loses_nor_doubles_minutes() {
+        // Poll every minute across a 30-day month boundary; every minute
+        // lands in exactly one invoice.
+        let mut b = BillingService::new(Rates::default());
+        let boundary = 30 * 24 * 60; // minutes in the first month
+        for m in 0..boundary {
+            b.poll_compute("alice", 1, at_min(m));
+        }
+        let first = b.close_month().pop().expect("invoice");
+        for m in boundary..(boundary + 120) {
+            b.poll_compute("alice", 1, at_min(m));
+        }
+        let second = b.close_month().pop().expect("invoice");
+        let total_minutes = (first.core_hours + second.core_hours) * 60.0;
+        assert!(
+            (total_minutes - (boundary + 120) as f64).abs() < 1e-6,
+            "lost or doubled minutes: {total_minutes}"
+        );
+        assert!((second.core_hours * 60.0 - 120.0).abs() < 1e-6);
     }
 
     #[test]

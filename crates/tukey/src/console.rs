@@ -285,19 +285,21 @@ impl TukeyConsole {
         }))
     }
 
-    /// The per-minute billing poll across every enrolled identity (§6.4).
-    pub fn billing_minute_tick(&mut self) {
+    /// The per-minute billing poll across every enrolled identity (§6.4),
+    /// sampled at sim-time `now`. Duplicate ticks within one minute are
+    /// absorbed by the billing dedup cursor.
+    pub fn billing_minute_tick(&mut self, now: SimTime) {
         for id in &self.enrolled {
             let cores: u32 = self.proxy.usage(&self.vault, id).values().sum();
-            self.billing.poll_compute(&id.canonical, cores);
+            self.billing.poll_compute(&id.canonical, cores, now);
         }
     }
 
-    /// The daily storage sweep: callers supply per-identity stored bytes
-    /// (volumes live outside the console).
-    pub fn billing_daily_storage(&mut self, usage: &[(Identity, u64)]) {
+    /// The daily storage sweep at sim-time `now`: callers supply
+    /// per-identity stored bytes (volumes live outside the console).
+    pub fn billing_daily_storage(&mut self, usage: &[(Identity, u64)], now: SimTime) {
         for (id, bytes) in usage {
-            self.billing.sweep_storage(&id.canonical, *bytes);
+            self.billing.sweep_storage(&id.canonical, *bytes, now);
         }
     }
 
@@ -401,8 +403,8 @@ mod tests {
                 SimTime::ZERO,
             )
             .expect("launch");
-        for _ in 0..60 {
-            console.billing_minute_tick();
+        for m in 0..60 {
+            console.billing_minute_tick(SimTime::ZERO + SimDuration::from_mins(m));
         }
         let usage = console.usage_page(token).expect("usage");
         assert!((usage["cycle"]["core_hours"].as_f64().expect("f64") - 8.0).abs() < 1e-9);
@@ -426,11 +428,11 @@ mod tests {
             )
             .expect("launch");
         let id = resp["server"]["id"].as_u64().expect("id");
-        console.billing_minute_tick();
+        console.billing_minute_tick(SimTime::ZERO);
         console
             .terminate_instance(token, "adler", id, SimTime(60_000_000_000))
             .expect("terminate");
-        console.billing_minute_tick(); // no longer counted
+        console.billing_minute_tick(SimTime(60_000_000_000)); // no longer counted
         let usage = console.usage_page(token).expect("usage");
         let core_hours = usage["cycle"]["core_hours"].as_f64().expect("f64");
         assert!((core_hours - 1.0 / 60.0).abs() < 1e-9, "{core_hours}");
@@ -542,8 +544,11 @@ mod tests {
         let id = Identity {
             canonical: "shib:alice@uchicago.edu".into(),
         };
-        for _ in 0..30 {
-            console.billing_daily_storage(&[(id.clone(), 5_000_000_000_000)]);
+        for d in 0..30 {
+            console.billing_daily_storage(
+                &[(id.clone(), 5_000_000_000_000)],
+                SimTime::ZERO + SimDuration::from_days(d),
+            );
         }
         let invoices = console.billing.close_month();
         assert_eq!(invoices.len(), 1);

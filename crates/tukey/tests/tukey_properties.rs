@@ -2,6 +2,7 @@
 //! billing arithmetic, the secure channel, and sharing-permission
 //! monotonicity.
 
+use osdc_sim::{SimDuration, SimTime};
 use osdc_tukey::ark::{ArkRecord, ArkService};
 use osdc_tukey::billing::{BillingService, Rates};
 use osdc_tukey::channel::channel_pair;
@@ -78,11 +79,15 @@ proptest! {
             free_tb_days: 1.0,
         };
         let mut b = BillingService::new(rates);
-        for &c in &polls {
-            b.poll_compute("u", c);
+        for (m, &c) in polls.iter().enumerate() {
+            b.poll_compute("u", c, SimTime::ZERO + SimDuration::from_mins(m as u64));
         }
-        for &tb in &daily_tb {
-            b.sweep_storage("u", tb * 1_000_000_000_000);
+        for (d, &tb) in daily_tb.iter().enumerate() {
+            b.sweep_storage(
+                "u",
+                tb * 1_000_000_000_000,
+                SimTime::ZERO + SimDuration::from_days(d as u64),
+            );
         }
         let core_minutes: f64 = polls.iter().map(|&c| c as f64).sum();
         let tb_days: f64 = daily_tb.iter().map(|&t| t as f64).sum();
@@ -100,6 +105,82 @@ proptest! {
         }
         // Cycle reset: a fresh close yields nothing.
         prop_assert!(b.close_month().is_empty());
+    }
+
+    /// Billing dedup: re-delivering any minute's poll never changes the
+    /// total, no matter where a `close_month` lands in the stream — the
+    /// cursor survives the month boundary, so minutes are neither lost
+    /// nor double-counted.
+    #[test]
+    fn billing_poll_dedup_is_idempotent_across_close(
+        raw_minutes in proptest::collection::vec(0u64..240, 1..80),
+        close_idx in 0usize..80,
+    ) {
+        let mut b = BillingService::new(Rates {
+            per_core_hour: 1.0,
+            per_tb_day: 0.0,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        });
+        let mut minutes = raw_minutes.clone();
+        minutes.sort_unstable();
+        let mut billed = 0.0;
+        for (i, &m) in minutes.iter().enumerate() {
+            if i == close_idx {
+                for inv in b.close_month() {
+                    billed += inv.core_hours * 60.0;
+                }
+            }
+            let t = SimTime::ZERO + SimDuration::from_mins(m);
+            b.poll_compute("u", 2, t);
+            b.poll_compute("u", 2, t); // duplicate delivery of the same sample
+        }
+        for inv in b.close_month() {
+            billed += inv.core_hours * 60.0;
+        }
+        let mut uniq = minutes.clone();
+        uniq.dedup();
+        prop_assert!(
+            (billed - 2.0 * uniq.len() as f64).abs() < 1e-6,
+            "billed {} core-minutes for {} unique minutes", billed, uniq.len()
+        );
+    }
+
+    /// Storage-sweep dedup: double sweeps within a day bill once, and a
+    /// month close between them does not reopen the day.
+    #[test]
+    fn storage_sweep_dedup_across_close(
+        raw_days in proptest::collection::vec(0u64..60, 1..40),
+        close_idx in 0usize..40,
+    ) {
+        let mut b = BillingService::new(Rates {
+            per_core_hour: 0.0,
+            per_tb_day: 1.0,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        });
+        let mut days = raw_days.clone();
+        days.sort_unstable();
+        let mut billed = 0.0;
+        for (i, &d) in days.iter().enumerate() {
+            if i == close_idx {
+                for inv in b.close_month() {
+                    billed += inv.tb_days;
+                }
+            }
+            let t = SimTime::ZERO + SimDuration::from_days(d);
+            b.sweep_storage("u", 1_000_000_000_000, t);
+            b.sweep_storage("u", 1_000_000_000_000, t + SimDuration::from_hours(2));
+        }
+        for inv in b.close_month() {
+            billed += inv.tb_days;
+        }
+        let mut uniq = days.clone();
+        uniq.dedup();
+        prop_assert!(
+            (billed - uniq.len() as f64).abs() < 1e-6,
+            "billed {} TB-days for {} unique days", billed, uniq.len()
+        );
     }
 
     /// The secure channel round-trips arbitrary payloads in order and

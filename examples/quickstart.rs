@@ -69,7 +69,7 @@ fn main() {
     let mut now = t0;
     for _ in 0..(3 * 60) {
         now += SimDuration::from_mins(1);
-        fed.console.billing_minute_tick();
+        fed.console.billing_minute_tick(now);
     }
     println!(
         "\nusage page:\n{}",

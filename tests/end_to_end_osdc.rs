@@ -88,14 +88,16 @@ fn a_researchers_month() {
     // A 30-day month of minute polls and daily sweeps.
     let id = researcher();
     for day in 0..30u64 {
-        for _ in 0..(24 * 60) {
-            fed.console.billing_minute_tick();
+        let midnight = t0 + SimDuration::from_days(day);
+        for m in 0..(24 * 60) {
+            fed.console
+                .billing_minute_tick(midnight + SimDuration::from_mins(m));
         }
         let stored = fed
             .adler_share
             .with_volume(|v| v.usage_by_owner().get("heath").copied().unwrap_or(0));
-        fed.console.billing_daily_storage(&[(id.clone(), stored)]);
-        let _ = day;
+        fed.console
+            .billing_daily_storage(&[(id.clone(), stored)], midnight);
     }
     // Terminate at month end.
     fed.console
