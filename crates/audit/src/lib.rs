@@ -8,9 +8,10 @@
 //! defense here is a second, deliberately *simpler* implementation of
 //! each subsystem's contract — a [`storage_oracle::FlatStore`] behind the
 //! replicated volume, a byte-for-byte reconstruction behind the rsync
-//! delta codec, a from-the-event-log re-bill behind the invoicing engine
-//! — driven through the same operation sequence and compared after every
-//! step. The models share *specifications* with the production code, not
+//! delta codec, a from-the-event-log re-bill behind the invoicing engine,
+//! a flat who-can-do-what table ([`sharing_oracle::FlatShareModel`])
+//! behind the gossip-replicated capability registries — driven through
+//! the same operation sequence and compared after every step. The models share *specifications* with the production code, not
 //! code: a divergence means one of the two readings of the spec is wrong.
 //!
 //! This is the second half of the audit subsystem. The first half — the
@@ -36,10 +37,12 @@
 
 pub mod billing_oracle;
 pub mod delta_oracle;
+pub mod sharing_oracle;
 pub mod storage_oracle;
 
 pub use billing_oracle::{BillingOp, BillingOracle};
 pub use delta_oracle::{DeltaCase, DeltaOracle};
+pub use sharing_oracle::{churn_ops, FlatShareModel, LevelSpec, ShareOp, SharingOracle};
 pub use storage_oracle::{FlatStore, StorageOp, StorageOracle};
 
 /// A reference model that can shadow a subsystem operation-by-operation.

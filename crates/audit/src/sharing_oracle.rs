@@ -1,0 +1,569 @@
+//! Differential oracle for the sharing federation: a **flat, omniscient
+//! who-can-do-what table** shadowing [`osdc_sharing::SharingSim`].
+//!
+//! The production side is deliberately complicated — four replicas,
+//! signed append-only logs, version vectors, epidemic gossip, delay-
+//! tolerant queues parking traffic through WAN partitions. The reference
+//! model here is none of that: one global `BTreeMap` of capabilities
+//! with instant-apply grants and revocations and clock-local lend
+//! expiry. The two share the *specification* of the trust spectrum
+//! (`View < LendUntil(t) < Copy < Transfer`, subtree path coverage,
+//! highest-`(rank, id)` wins) but not a line of decision code — the
+//! lattice rules are re-derived flatly in this module.
+//!
+//! Two classes of assertion, with different timing disciplines:
+//!
+//! * **Safety (checked after every op, partitions or not):** a revoked
+//!   or expired capability must never grant, *at any replica*, at any
+//!   moment. Expiry is clock-local so no propagation excuse exists;
+//!   revocation safety is delegated to
+//!   [`SharingSim::safety_violations`], which scans every replica's own
+//!   knowledge.
+//! * **Equality (checked only when settled):** after a
+//!   [`ShareOp::Quiesce`] barrier — all partitions healed, gossip run to
+//!   convergence — every replica must answer every `check` exactly like
+//!   the flat table. Mid-partition the replicas are *allowed* to lag
+//!   (that is the documented inconsistency window), so full equality is
+//!   only demanded once the model is `settled`.
+//!
+//! Partition faults enter the op alphabet as `osdc-chaos`
+//! [`FaultEvent`]s ([`ShareOp::Fault`]), reusing the campaign vocabulary
+//! (`LinkDown` on `"<site>->starlight"`); [`partition_from_fault`] maps
+//! them onto the sharing plane's [`PartitionEvent`] windows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use osdc_chaos::{FaultEvent, FaultKind};
+use osdc_sharing::{
+    Action, Capability, CapabilityId, DcId, PartitionEvent, SharingSim, TrustLevel, SITES,
+};
+use osdc_sim::{SimDuration, SimTime};
+
+use crate::Oracle;
+
+/// Grantee pool the [`churn_ops`] generator draws from.
+pub const SHARE_USERS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// Path pool the [`churn_ops`] generator draws from (note the nesting:
+/// `/projects/genomics` grants cover `/projects/genomics/run7` queries).
+pub const SHARE_PATHS: [&str; 4] = [
+    "/projects/genomics",
+    "/public/1000genomes",
+    "/data/climate",
+    "/archive/modencode",
+];
+
+/// Trust level *specification* carried by a [`ShareOp::Grant`]: lend
+/// windows are relative so op streams stay position-independent; the
+/// oracle resolves them against the simulation clock at apply time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LevelSpec {
+    View,
+    LendFor { secs: u64 },
+    Copy,
+    Transfer,
+}
+
+impl LevelSpec {
+    fn resolve(self, now: SimTime) -> TrustLevel {
+        match self {
+            LevelSpec::View => TrustLevel::View,
+            LevelSpec::LendFor { secs } => TrustLevel::LendUntil {
+                expires: now + SimDuration::from_secs(secs),
+            },
+            LevelSpec::Copy => TrustLevel::Copy,
+            LevelSpec::Transfer => TrustLevel::Transfer,
+        }
+    }
+}
+
+/// One operation of the sharing plane's interface.
+#[derive(Clone, Debug)]
+pub enum ShareOp {
+    /// Advance virtual time (gossip rounds run, lends expire).
+    Advance { secs: u64 },
+    /// Mint a grant at data center `origin % 4`.
+    Grant {
+        origin: u8,
+        grantee: &'static str,
+        path: &'static str,
+        level: LevelSpec,
+    },
+    /// Revoke the `pick % minted`-th capability ever minted, issued from
+    /// `issuer % 4` (a no-op when nothing has been minted yet).
+    Revoke { issuer: u8, pick: u64 },
+    /// Inject a chaos fault. Only `LinkDown` on a `"<site>->starlight"`
+    /// spoke is meaningful to the sharing plane; `at_secs` is relative
+    /// to the clock when the op is applied.
+    Fault(FaultEvent),
+    /// Barrier: run past every scheduled partition window, then gossip
+    /// to convergence. Equality assertions arm after this.
+    Quiesce,
+    /// Ask `dc % 4` the who-can-do-what question and (when settled)
+    /// demand the flat model's exact answer.
+    Query {
+        dc: u8,
+        grantee: &'static str,
+        path: &'static str,
+        action: Action,
+    },
+}
+
+/// Map a chaos fault onto a sharing-plane partition window. `now` is
+/// the clock the relative `at_secs` is resolved against. Returns `None`
+/// for fault kinds or targets the sharing plane has no reading of.
+pub fn partition_from_fault(ev: &FaultEvent, now: SimTime) -> Option<PartitionEvent> {
+    if !matches!(ev.kind, FaultKind::LinkDown) {
+        return None;
+    }
+    let site_name = ev.target.strip_suffix("->starlight")?;
+    let site = *SITES.iter().find(|s| s.name() == site_name)?;
+    Some(PartitionEvent {
+        at_secs: now.0 as f64 / 1e9 + ev.at_secs,
+        duration_secs: ev.duration_secs.max(1.0),
+        site,
+    })
+}
+
+// --- The flat rules, re-derived independently of osdc-sharing ---------
+
+fn rank_flat(level: TrustLevel) -> u8 {
+    match level {
+        TrustLevel::View => 0,
+        TrustLevel::LendUntil { .. } => 1,
+        TrustLevel::Copy => 2,
+        TrustLevel::Transfer => 3,
+    }
+}
+
+fn allows_flat(level: TrustLevel, action: Action, now: SimTime) -> bool {
+    match level {
+        TrustLevel::View => matches!(action, Action::Read),
+        TrustLevel::LendUntil { expires } => matches!(action, Action::Read) && now < expires,
+        TrustLevel::Copy => matches!(action, Action::Read | Action::Copy),
+        TrustLevel::Transfer => true,
+    }
+}
+
+fn covers_flat(prefix: &str, path: &str) -> bool {
+    if prefix == "/" {
+        return path.starts_with('/');
+    }
+    if path == prefix {
+        return true;
+    }
+    path.len() > prefix.len() && path.starts_with(prefix) && path.as_bytes()[prefix.len()] == b'/'
+}
+
+/// The omniscient reference: every grant and revocation applies the
+/// instant it is issued, globally — no replicas, no logs, no gossip.
+#[derive(Clone, Debug, Default)]
+pub struct FlatShareModel {
+    now: SimTime,
+    /// Records each data center has appended to its *own* log (grants
+    /// plus successful revocations) — predicts minted capability ids.
+    issued: [u32; DcId::COUNT],
+    caps: BTreeMap<CapabilityId, Capability>,
+    revoked: BTreeSet<CapabilityId>,
+    minted: Vec<CapabilityId>,
+    /// True between a `Quiesce` barrier and the next mutation: full
+    /// equality is only demanded while settled.
+    settled: bool,
+    /// Latest scheduled partition end — `Quiesce` must run past it.
+    horizon: SimTime,
+}
+
+impl FlatShareModel {
+    pub fn new() -> Self {
+        FlatShareModel {
+            settled: true,
+            ..FlatShareModel::default()
+        }
+    }
+
+    pub fn minted(&self) -> &[CapabilityId] {
+        &self.minted
+    }
+
+    pub fn settled(&self) -> bool {
+        self.settled
+    }
+
+    /// The flat table's who-can-do-what answer: highest `(rank, id)`
+    /// among live covering capabilities, or `None`.
+    pub fn allowed(&self, grantee: &str, path: &str, action: Action) -> Option<CapabilityId> {
+        let mut best: Option<(u8, CapabilityId)> = None;
+        for (id, cap) in &self.caps {
+            if cap.grantee != grantee
+                || self.revoked.contains(id)
+                || !covers_flat(&cap.path, path)
+                || !allows_flat(cap.level, action, self.now)
+            {
+                continue;
+            }
+            let key = (rank_flat(cap.level), *id);
+            if best.is_none_or(|b| key > b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+/// The differential oracle: drives [`ShareOp`]s into a [`SharingSim`]
+/// and a [`FlatShareModel`] in lockstep.
+#[derive(Debug, Default)]
+pub struct SharingOracle {
+    model: FlatShareModel,
+}
+
+impl SharingOracle {
+    pub fn new() -> Self {
+        SharingOracle {
+            model: FlatShareModel::new(),
+        }
+    }
+
+    pub fn model(&self) -> &FlatShareModel {
+        &self.model
+    }
+
+    /// The always-on safety bar: no expired lend grants anywhere (clock
+    /// is global, so partitions are no excuse), and the system's own
+    /// replica scan reports zero revoked/expired capabilities granting.
+    fn safety_probe(&mut self, sim: &mut SharingSim) -> Result<(), String> {
+        let violations = sim.safety_violations();
+        if violations != 0 {
+            return Err(format!(
+                "system reports {violations} revoked/expired capability grant(s)"
+            ));
+        }
+        let expired: Vec<(CapabilityId, String, String)> = self
+            .model
+            .caps
+            .values()
+            .filter(|cap| matches!(cap.level, TrustLevel::LendUntil { expires } if self.model.now >= expires))
+            .map(|cap| (cap.id, cap.grantee.clone(), cap.path.clone()))
+            .collect();
+        for (id, grantee, path) in expired {
+            for dc in DcId::ALL {
+                if sim.check(dc, &grantee, &path, Action::Read) == Some(id) {
+                    return Err(format!("expired lend {id} still grants read at {dc}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for SharingOracle {
+    type System = SharingSim;
+    type Op = ShareOp;
+
+    fn name(&self) -> &'static str {
+        "sharing.flat-acl"
+    }
+
+    fn step(&mut self, sim: &mut SharingSim, op: &ShareOp) -> Result<(), String> {
+        match op {
+            ShareOp::Advance { secs } => {
+                sim.run_for(SimDuration::from_secs(*secs));
+                self.model.now = sim.now();
+            }
+            ShareOp::Grant {
+                origin,
+                grantee,
+                path,
+                level,
+            } => {
+                let dc = DcId(origin % DcId::COUNT as u8);
+                self.model.now = sim.now();
+                let resolved = level.resolve(sim.now());
+                let id = sim.grant(dc, grantee, path, resolved);
+                // A data center's own log grows only through its local
+                // grants and revokes, every one of which passes through
+                // this oracle — so the minted id is fully predictable.
+                let expected = CapabilityId {
+                    origin: dc,
+                    seq: self.model.issued[dc.index()],
+                };
+                if id != expected {
+                    return Err(format!("minted {id}, flat model predicted {expected}"));
+                }
+                self.model.issued[dc.index()] += 1;
+                self.model.caps.insert(
+                    id,
+                    Capability {
+                        id,
+                        grantee: grantee.to_string(),
+                        path: path.to_string(),
+                        level: resolved,
+                        granted_at: sim.now(),
+                    },
+                );
+                self.model.minted.push(id);
+                self.model.settled = false;
+            }
+            ShareOp::Revoke { issuer, pick } => {
+                if self.model.minted.is_empty() {
+                    return Ok(());
+                }
+                let dc = DcId(issuer % DcId::COUNT as u8);
+                let id = self.model.minted[(*pick % self.model.minted.len() as u64) as usize];
+                let did = sim.revoke(dc, id);
+                if self.model.settled {
+                    // Post-quiesce every replica knows every record, so
+                    // the outcome is determined: revocable iff not
+                    // already revoked.
+                    let expect = !self.model.revoked.contains(&id);
+                    if did != expect {
+                        return Err(format!(
+                            "settled revoke of {id} at {dc} returned {did}, expected {expect}"
+                        ));
+                    }
+                }
+                if did {
+                    self.model.revoked.insert(id);
+                    self.model.issued[dc.index()] += 1;
+                    self.model.settled = false;
+                }
+            }
+            ShareOp::Fault(ev) => match partition_from_fault(ev, sim.now()) {
+                Some(p) => {
+                    self.model.horizon = self.model.horizon.max(p.until());
+                    sim.apply_partitions(&[p]);
+                    self.model.settled = false;
+                }
+                None => {
+                    return Err(format!(
+                        "fault {:?} on {:?} has no sharing-plane reading",
+                        ev.kind, ev.target
+                    ));
+                }
+            },
+            ShareOp::Quiesce => {
+                let past_faults = self.model.horizon.max(sim.now()) + SimDuration::from_secs(1);
+                sim.run_until_time(past_faults);
+                let ok = sim.quiesce(64);
+                self.model.now = sim.now();
+                if !ok {
+                    return Err("replicas failed to converge after partitions healed".into());
+                }
+                self.model.settled = true;
+            }
+            ShareOp::Query {
+                dc,
+                grantee,
+                path,
+                action,
+            } => {
+                let dc = DcId(dc % DcId::COUNT as u8);
+                self.model.now = sim.now();
+                let got = sim.check(dc, grantee, path, *action);
+                if self.model.settled {
+                    let want = self.model.allowed(grantee, path, *action);
+                    if got != want {
+                        return Err(format!(
+                            "settled check({dc}, {grantee}, {path}, {}) = {got:?}, flat model says {want:?}",
+                            action.label()
+                        ));
+                    }
+                } else if let Some(id) = got {
+                    // Mid-partition a replica may lag on *revocations*
+                    // (the documented inconsistency window) but it can
+                    // never invent capabilities or resurrect expired
+                    // lends.
+                    match self.model.caps.get(&id) {
+                        None => {
+                            return Err(format!("{dc} granted unknown capability {id}"));
+                        }
+                        Some(cap) => {
+                            if matches!(cap.level, TrustLevel::LendUntil { expires } if self.model.now >= expires)
+                            {
+                                return Err(format!("{dc} granted via expired lend {id}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.safety_probe(sim)
+    }
+}
+
+/// Deterministic randomized op schedule: `blocks` rounds of churn
+/// (grants, revocations, chaos partitions, mid-partition queries), each
+/// closed by a `Quiesce` barrier and a volley of settled queries.
+pub fn churn_ops(seed: u64, blocks: usize, ops_per_block: usize) -> Vec<ShareOp> {
+    let mut rng = osdc_sim::SimRng::new(seed ^ 0x5aa2_e051_90b1_7c44);
+    let mut ops = Vec::new();
+    let user = |rng: &mut osdc_sim::SimRng| SHARE_USERS[rng.below(4) as usize];
+    let path = |rng: &mut osdc_sim::SimRng| SHARE_PATHS[rng.below(4) as usize];
+    let actions = [Action::Read, Action::Copy, Action::Transfer];
+    for _ in 0..blocks {
+        for _ in 0..ops_per_block {
+            ops.push(ShareOp::Advance {
+                secs: rng.range_inclusive(5, 90),
+            });
+            match rng.below(10) {
+                0..=3 => {
+                    let level = match rng.below(4) {
+                        0 => LevelSpec::View,
+                        1 => LevelSpec::LendFor {
+                            secs: rng.range_inclusive(30, 600),
+                        },
+                        2 => LevelSpec::Copy,
+                        _ => LevelSpec::Transfer,
+                    };
+                    ops.push(ShareOp::Grant {
+                        origin: rng.below(4) as u8,
+                        grantee: user(&mut rng),
+                        path: path(&mut rng),
+                        level,
+                    });
+                }
+                4..=5 => ops.push(ShareOp::Revoke {
+                    issuer: rng.below(4) as u8,
+                    pick: rng.below(u32::MAX as u64),
+                }),
+                6 => ops.push(ShareOp::Fault(FaultEvent {
+                    at_secs: rng.range_inclusive(0, 30) as f64,
+                    kind: FaultKind::LinkDown,
+                    target: format!("{}->starlight", SITES[rng.below(4) as usize].name()),
+                    magnitude: 0.0,
+                    duration_secs: rng.range_inclusive(60, 400) as f64,
+                })),
+                _ => ops.push(ShareOp::Query {
+                    dc: rng.below(4) as u8,
+                    grantee: user(&mut rng),
+                    path: path(&mut rng),
+                    action: actions[rng.below(3) as usize],
+                }),
+            }
+        }
+        ops.push(ShareOp::Quiesce);
+        for _ in 0..4 {
+            ops.push(ShareOp::Query {
+                dc: rng.below(4) as u8,
+                grantee: user(&mut rng),
+                path: path(&mut rng),
+                action: actions[rng.below(3) as usize],
+            });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive;
+    use osdc_sharing::SharingConfig;
+
+    #[test]
+    fn grant_quiesce_query_is_clean() {
+        let mut sim = SharingSim::new(SharingConfig::new(9));
+        let mut oracle = SharingOracle::new();
+        let ops = vec![
+            ShareOp::Grant {
+                origin: 0,
+                grantee: "alice",
+                path: "/projects/genomics",
+                level: LevelSpec::Copy,
+            },
+            ShareOp::Quiesce,
+            ShareOp::Query {
+                dc: 3,
+                grantee: "alice",
+                path: "/projects/genomics/run7",
+                action: Action::Copy,
+            },
+            ShareOp::Query {
+                dc: 2,
+                grantee: "bob",
+                path: "/projects/genomics",
+                action: Action::Read,
+            },
+        ];
+        let report = drive(&mut oracle, &mut sim, &ops);
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn partition_fault_maps_onto_the_gossip_plane() {
+        let ev = FaultEvent {
+            at_secs: 10.0,
+            kind: FaultKind::LinkDown,
+            target: "lvoc->starlight".to_string(),
+            magnitude: 0.0,
+            duration_secs: 120.0,
+        };
+        let p = partition_from_fault(&ev, SimTime::ZERO + SimDuration::from_secs(5))
+            .expect("lvoc spoke maps");
+        assert_eq!(p.site.name(), "lvoc");
+        assert!((p.at_secs - 15.0).abs() < 1e-9);
+        assert!((p.duration_secs - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreadable_faults_are_reported_not_ignored() {
+        let mut sim = SharingSim::new(SharingConfig::new(9));
+        let mut oracle = SharingOracle::new();
+        let ops = vec![ShareOp::Fault(FaultEvent {
+            at_secs: 0.0,
+            kind: FaultKind::BrickCrash,
+            target: "brick0".to_string(),
+            magnitude: 0.0,
+            duration_secs: 0.0,
+        })];
+        let report = drive(&mut oracle, &mut sim, &ops);
+        assert_eq!(report.disagreements.len(), 1);
+    }
+
+    #[test]
+    fn flat_model_prefers_highest_rank_then_newest() {
+        let mut sim = SharingSim::new(SharingConfig::new(9));
+        let mut oracle = SharingOracle::new();
+        let ops = vec![
+            ShareOp::Grant {
+                origin: 0,
+                grantee: "alice",
+                path: "/data/climate",
+                level: LevelSpec::View,
+            },
+            ShareOp::Grant {
+                origin: 1,
+                grantee: "alice",
+                path: "/data/climate",
+                level: LevelSpec::Transfer,
+            },
+            ShareOp::Quiesce,
+            ShareOp::Query {
+                dc: 2,
+                grantee: "alice",
+                path: "/data/climate",
+                action: Action::Read,
+            },
+        ];
+        let report = drive(&mut oracle, &mut sim, &ops);
+        assert!(report.is_clean(), "{}", report.summary());
+        let hit = oracle
+            .model()
+            .allowed("alice", "/data/climate", Action::Read);
+        assert_eq!(
+            hit,
+            Some(CapabilityId {
+                origin: DcId(1),
+                seq: 0
+            })
+        );
+    }
+
+    #[test]
+    fn churn_ops_are_deterministic() {
+        let a = churn_ops(7, 2, 8);
+        let b = churn_ops(7, 2, 8);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.iter().any(|op| matches!(op, ShareOp::Quiesce)));
+    }
+}

@@ -17,12 +17,14 @@
 //! count of whatever ran the snapshot. The `--check` gate therefore
 //! compares against a **portable floor**: a run fails when a scenario's
 //! measured speedup (clamped to 8x) drops below
-//! `min(baseline_speedup, 0.75 × effective_parallelism) / 1.25`, where
+//! `min(baseline_speedup, 0.8 × effective_parallelism) / 1.25`, where
 //! `effective_parallelism = min(jobs, cores)` of the *current* machine.
 //! A baseline recorded on a small box never demands more than the
 //! current host can give, and a single-core host is only asked not to
-//! regress below ~0.8x (the pool must stay near-free when it cannot
-//! help).
+//! regress below ~0.64x (the pool must stay near-free when it cannot
+//! help). The grids shard their repeated per-cell setup per worker via
+//! `Runner::run_with`, so on a multi-core host the measured speedup
+//! tracks the core count instead of stalling on duplicated setup.
 //!
 //! Usage:
 //!   bench_runner                  run, print the table, write BENCH_runner.json
@@ -50,7 +52,9 @@ const REGRESSION_FACTOR: f64 = 1.25;
 /// usefully parallel heavyweight cells, so ratios beyond this are noise.
 const SPEEDUP_CAP: f64 = 8.0;
 /// Fraction of the ideal (core-limited) speedup the gate demands.
-const EFFICIENCY_FLOOR: f64 = 0.75;
+/// Raised from 0.75 once per-worker setup sharding (`Runner::run_with`)
+/// hoisted the repeated WAN/corpus builds out of the per-cell loop.
+const EFFICIENCY_FLOOR: f64 = 0.8;
 
 fn table3_grid(jobs: usize) {
     let rows = [
@@ -60,16 +64,18 @@ fn table3_grid(jobs: usize) {
         (Protocol::Rsync, CipherKind::Blowfish),
         (Protocol::Rsync, CipherKind::TripleDes),
     ];
-    Runner::new(jobs).run(
+    // The WAN build is identical across all ten cells: shard it per
+    // worker and hand each cell a cloned topology.
+    Runner::new(jobs).run_with(
+        |_w| osdc_wan(0.9e-7),
         rows.into_iter()
             .flat_map(|(protocol, cipher)| {
                 [(108_000_000_000u64, SEED), (1_100_000_000_000, SEED + 1)].map(|(bytes, seed)| {
-                    move |_i: usize| {
-                        let wan = osdc_wan(0.9e-7);
+                    move |wan: &mut osdc_net::OsdcWan, _i: usize| {
                         let src = wan.node(OsdcSite::ChicagoKenwood);
                         let dst = wan.node(OsdcSite::Lvoc);
                         let mut engine = TransferEngine::new(FluidNet::with_solver(
-                            wan.topology,
+                            wan.topology.clone(),
                             seed,
                             SolverMode::DEFAULT,
                         ));
@@ -117,28 +123,31 @@ fn gluster_trials_grid(jobs: usize) {
         (GlusterVersion::V3_3, false),
         (GlusterVersion::V3_3, true),
     ];
-    Runner::new(jobs).run(
+    // The 500-name corpus is the same for all 60 trials: format it once
+    // per worker instead of once per trial.
+    Runner::new(jobs).run_with(
+        |_w| {
+            (0..500u64)
+                .map(|i| format!("/corpus/f{i}"))
+                .collect::<Vec<String>>()
+        },
         configs
             .into_iter()
             .flat_map(|(version, heal_first)| {
                 (0..20u64).map(move |trial| {
-                    move |_i: usize| {
+                    move |paths: &mut Vec<String>, _i: usize| {
                         let mut vol = Volume::new("vol", version, 8, 2, 1 << 34, SEED + trial);
-                        let paths: Vec<String> = (0..500u64)
-                            .map(|i| {
-                                let p = format!("/corpus/f{i}");
-                                vol.write(&p, FileData::synthetic(1 << 20, i), "lab")
-                                    .expect("write");
-                                p
-                            })
-                            .collect();
+                        for (i, p) in paths.iter().enumerate() {
+                            vol.write(p, FileData::synthetic(1 << 20, i as u64), "lab")
+                                .expect("write");
+                        }
                         if heal_first {
                             vol.heal();
                         }
                         for set in 0..4 {
                             vol.fail_brick(BrickId(set * 2));
                         }
-                        vol.audit_lost(&paths).len()
+                        vol.audit_lost(paths).len()
                     }
                 })
             })
@@ -347,7 +356,7 @@ mod tests {
     #[test]
     fn regression_is_flagged_on_matching_hardware() {
         let snap = snapshot_json(4, &fake(280.0)); // 3.57x baseline
-                                                   // 1.1x measured on a 4-way host: floor = min(3.57, 0.75*4)/1.25 = 2.4x.
+                                                   // 1.1x measured on a 4-way host: floor = min(3.57, 0.8*4)/1.25 = 2.56x.
         let failures = check_against(&snap, &fake(900.0), 4).expect("parses");
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("table3_grid"), "{failures:?}");
@@ -356,7 +365,7 @@ mod tests {
     #[test]
     fn single_core_host_is_not_asked_to_beat_a_big_box() {
         // Baseline from an 8-way box (6x); current host has 1 core and
-        // measures ~1x. Floor = min(6, 0.75*1)/1.25 = 0.6x → passes.
+        // measures ~1x. Floor = min(6, 0.8*1)/1.25 = 0.64x → passes.
         let snap = snapshot_json(8, &fake(166.0));
         assert!(check_against(&snap, &fake(1000.0), 1)
             .expect("parses")
@@ -366,7 +375,7 @@ mod tests {
     #[test]
     fn single_core_host_still_catches_pool_overhead() {
         // Even with effective parallelism 1 the pool must stay near-free:
-        // a 2x slowdown (0.5x "speedup") is below the 0.6x floor.
+        // a 2x slowdown (0.5x "speedup") is below the 0.64x floor.
         let snap = snapshot_json(8, &fake(166.0));
         let failures = check_against(&snap, &fake(2000.0), 1).expect("parses");
         assert_eq!(failures.len(), 1);
@@ -384,6 +393,6 @@ mod tests {
         // A silly 50x baseline is clamped before the efficiency term.
         assert!(speedup_floor(50.0, 64) <= SPEEDUP_CAP / REGRESSION_FACTOR + 1e-9);
         // And the efficiency term wins when the host is small.
-        assert!((speedup_floor(6.0, 2) - 1.5 / 1.25).abs() < 1e-9);
+        assert!((speedup_floor(6.0, 2) - 1.6 / 1.25).abs() < 1e-9);
     }
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p osdc-bench --bin exp_audit [-- --quick]`
 //! `--quick` is the CI smoke: the same sweep at reduced case counts.
 
-use osdc_audit::{drive, AuditReport};
+use osdc_audit::{churn_ops, drive, AuditReport, SharingOracle};
 use osdc_audit::{BillingOp, BillingOracle, DeltaCase, DeltaOracle, StorageOp, StorageOracle};
 use osdc_bench::{banner, row, seed_line};
 use osdc_chaos::{FaultEvent, FaultKind};
@@ -213,6 +213,20 @@ fn billing_sweep(cases: usize, ops_per_case: usize) -> SweepStats {
     stats
 }
 
+/// Seeded sharing churn — grants, lends, revocations and chaos
+/// partitions — against the flat who-can-do-what model.
+fn sharing_sweep(cases: usize, blocks: usize, ops_per_block: usize) -> SweepStats {
+    let mut stats = SweepStats::new();
+    for case in 0..cases {
+        let seed = SEED ^ 0x51a2 ^ (case as u64) << 8;
+        let mut sim = osdc_sharing::SharingSim::new(osdc_sharing::SharingConfig::new(seed));
+        let mut oracle = SharingOracle::new();
+        let ops = churn_ops(seed, blocks, ops_per_block);
+        stats.absorb(&drive(&mut oracle, &mut sim, &ops));
+    }
+    stats
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     banner(
@@ -229,15 +243,16 @@ fn main() {
         }
     );
 
-    let (sc, so, dc, bc, bo) = if quick {
-        (12, 60, 80, 8, 80)
+    let (sc, so, dc, bc, bo, hc, hb, ho) = if quick {
+        (12, 60, 80, 8, 80, 3, 2, 8)
     } else {
-        (54, 150, 400, 48, 200)
+        (54, 150, 400, 48, 200, 12, 4, 12)
     };
     let sweeps = [
         ("storage.flat-store", storage_sweep(sc, so)),
         ("transfer.direct-copy", delta_sweep(dc)),
         ("tukey.re-bill", billing_sweep(bc, bo)),
+        ("sharing.flat-acl", sharing_sweep(hc, hb, ho)),
     ];
 
     let widths = [26usize, 10, 12, 15];

@@ -76,6 +76,11 @@ fn resilience_quick_artifacts_are_jobs_invariant() {
     assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_resilience"), &["--quick"]);
 }
 
+#[test]
+fn sharing_quick_artifacts_are_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_sharing"), &["--quick"]);
+}
+
 /// One synthetic scenario shard: spans, points and all three metric
 /// kinds, parameterized by the scenario index.
 fn scenario(tele: &Telemetry, i: usize) -> usize {

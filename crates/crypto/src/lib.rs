@@ -16,6 +16,9 @@
 //!   version).
 //! * [`modes`] — ECB/CBC/CTR modes over any 64-bit block cipher, and PKCS#7
 //!   padding, so transfer sessions can encrypt realistic byte streams.
+//! * [`sign`] — HMAC-MD5 (RFC 2104) keyed signatures and the federation
+//!   [`Keyring`], used by `osdc-sharing` to mint and verify revocable
+//!   capabilities (symmetric trust, as the era's federations exchanged).
 //!
 //! Everything here is pure safe Rust with no dependencies; the hot paths
 //! (round functions, compression function) are branch-free and allocation-
@@ -31,11 +34,13 @@ pub mod des;
 pub mod md5;
 pub mod modes;
 mod pi_tables;
+pub mod sign;
 
 pub use blowfish::Blowfish;
 pub use des::{Des, TripleDes};
 pub use md5::Md5;
 pub use modes::{BlockCipher64, CbcEncryptor, CtrStream, Pkcs7};
+pub use sign::{KeyId, Keyring, Signature, SignatureError, SigningKey};
 
 /// Ciphers named in the paper's Table 3 rows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

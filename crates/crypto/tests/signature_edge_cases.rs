@@ -1,0 +1,135 @@
+//! Signature-verification edge cases for the capability trust chain.
+//!
+//! `osdc-sharing` treats a verified signature as proof that a grant or
+//! revocation came from a key the federation trusts. Every way that
+//! proof can be forged or misread therefore needs a pinned test:
+//! truncated wire bytes, verification under the wrong key, empty
+//! payloads, tampered ids, and prefix/extension confusions.
+
+use osdc_crypto::sign::hmac_md5;
+use osdc_crypto::{KeyId, Keyring, Signature, SignatureError, SigningKey};
+
+fn ring_with(keys: &[&SigningKey]) -> Keyring {
+    let mut ring = Keyring::new();
+    for k in keys {
+        ring.register(k);
+    }
+    ring
+}
+
+#[test]
+fn truncated_signature_is_a_decode_error_not_a_misverify() {
+    let key = SigningKey::from_seed(11);
+    let wire = key.sign(b"cap").to_bytes();
+    for cut in [0, 1, 8, 15, 23] {
+        assert_eq!(
+            Signature::from_bytes(&wire[..cut]),
+            Err(SignatureError::Truncated { got: cut }),
+            "cut at {cut}"
+        );
+    }
+    // Trailing garbage is equally typed — never silently ignored.
+    let mut long = wire.to_vec();
+    long.push(0);
+    assert_eq!(
+        Signature::from_bytes(&long),
+        Err(SignatureError::Truncated { got: 25 })
+    );
+    assert_eq!(Signature::from_bytes(&wire), Ok(key.sign(b"cap")));
+}
+
+#[test]
+fn wrong_key_verify_fails_closed() {
+    let grantor = SigningKey::from_seed(1);
+    let mallory = SigningKey::from_seed(2);
+    let ring = ring_with(&[&grantor, &mallory]);
+    let payload = b"grant mallory /projects/genomics transfer";
+
+    // Mallory signs with her own (trusted!) key but claims the grantor's
+    // key id: the MAC check under the claimed key must fail.
+    let mut forged = mallory.sign(payload);
+    forged.key = grantor.id();
+    assert_eq!(
+        ring.verify(payload, &forged),
+        Err(SignatureError::BadMac(grantor.id()))
+    );
+
+    // A signature from a key the ring never registered is UnknownKey,
+    // reported with the offending id.
+    let outsider = SigningKey::from_seed(3);
+    let sig = outsider.sign(payload);
+    assert_eq!(
+        ring.verify(payload, &sig),
+        Err(SignatureError::UnknownKey(outsider.id()))
+    );
+}
+
+#[test]
+fn empty_payload_signs_and_verifies_but_binds_nothing_else() {
+    let key = SigningKey::from_seed(5);
+    let ring = ring_with(&[&key]);
+    let sig = key.sign(b"");
+    assert!(ring.verify(b"", &sig).is_ok());
+    // The empty-payload MAC is not a wildcard: any non-empty payload
+    // must reject under the same signature.
+    assert_eq!(
+        ring.verify(b"x", &sig),
+        Err(SignatureError::BadMac(key.id()))
+    );
+    // And the empty payload's MAC differs from a zero-byte-containing one.
+    assert_ne!(sig.mac, key.sign(&[0u8]).mac);
+}
+
+#[test]
+fn payload_prefix_and_extension_do_not_verify() {
+    let key = SigningKey::from_seed(9);
+    let ring = ring_with(&[&key]);
+    let payload = b"grant bob /public view until=3600";
+    let sig = key.sign(payload);
+    assert!(ring.verify(payload, &sig).is_ok());
+    assert!(ring.verify(&payload[..10], &sig).is_err(), "prefix");
+    let mut extended = payload.to_vec();
+    extended.extend_from_slice(b" and everything else");
+    assert!(ring.verify(&extended, &sig).is_err(), "extension");
+}
+
+#[test]
+fn mac_tamper_any_single_bit_rejects() {
+    let key = SigningKey::from_seed(13);
+    let ring = ring_with(&[&key]);
+    let sig = key.sign(b"revoke cap 7");
+    for byte in 0..16 {
+        let mut bad = sig;
+        bad.mac[byte] ^= 1;
+        assert_eq!(
+            ring.verify(b"revoke cap 7", &bad),
+            Err(SignatureError::BadMac(key.id())),
+            "byte {byte}"
+        );
+    }
+}
+
+#[test]
+fn keyring_registration_is_idempotent_and_queryable() {
+    let key = SigningKey::from_seed(21);
+    let mut ring = Keyring::new();
+    assert!(ring.is_empty());
+    assert!(!ring.contains(key.id()));
+    let a = ring.register(&key);
+    let b = ring.register(&key);
+    assert_eq!(a, b);
+    assert_eq!(ring.len(), 1);
+    assert!(ring.contains(key.id()));
+    assert!(!ring.contains(KeyId(a.0 ^ 1)));
+}
+
+#[test]
+fn hmac_differs_from_plain_md5_concat() {
+    // The envelope construction must actually be HMAC, not md5(key ‖ m):
+    // the classic length-extension-prone shortcut would agree with
+    // md5(key ‖ m) and differ from the RFC vectors.
+    let mac = hmac_md5(b"Jefe", b"what do ya want for nothing?");
+    let mut concat = b"Jefe".to_vec();
+    concat.extend_from_slice(b"what do ya want for nothing?");
+    assert_ne!(mac, osdc_crypto::md5::md5(&concat));
+}

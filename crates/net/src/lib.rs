@@ -33,7 +33,7 @@ pub mod wan;
 pub use cc::{CongestionControl, RenoState, UdtState};
 pub use fluid::{FlowId, FlowSpec, FlowStatus, FluidNet, NetError, SolverMode, SolverStats};
 pub use topology::{LinkId, NodeId, Topology};
-pub use wan::{osdc_wan, OsdcSite};
+pub use wan::{osdc_wan, OsdcSite, OsdcWan};
 
 /// Conventional Ethernet-era maximum segment size in bytes.
 pub const MSS_BYTES: f64 = 1460.0;

@@ -1,0 +1,352 @@
+//! Capabilities on the trust spectrum, and the signed records that carry
+//! them between data centers.
+//!
+//! A share in the OSDC model is not an ACL row but a *capability*: a
+//! signed statement "the federation key of data center X granted user U
+//! level L over path P at time T". Capabilities sit on an ordered trust
+//! spectrum — the further right, the more the grantor trusts the
+//! grantee:
+//!
+//! ```text
+//! View  <  LendUntil(t)  <  Copy  <  Transfer
+//! ```
+//!
+//! * [`TrustLevel::View`] — read at any data center that has learned of
+//!   the grant.
+//! * [`TrustLevel::LendUntil`] — `View`, but self-expiring at a virtual
+//!   time; expiry needs no revocation record, only a clock.
+//! * [`TrustLevel::Copy`] — `View` plus the right to materialize a
+//!   replica at another data center over `osdc-transfer`.
+//! * [`TrustLevel::Transfer`] — everything, including handing the data
+//!   onward (the paper's "data brought to researchers" flows).
+//!
+//! Grants and revocations are [`Record`]s: a body plus an HMAC-MD5
+//! [`Signature`] from the issuing data center's federation key
+//! (`osdc-crypto::sign`). Records never mutate — revocation is a *new*
+//! record, which is what makes the per-origin logs in
+//! [`crate::registry`] append-only and gossip idempotent.
+
+use osdc_crypto::{Keyring, Signature, SignatureError, SigningKey};
+use osdc_sim::SimTime;
+
+/// One of the four capability-bearing data centers (the WAN hub,
+/// StarLight, stores nothing). Index into [`crate::federation::SITES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DcId(pub u8);
+
+impl DcId {
+    /// Capability-bearing data centers in the federation.
+    pub const COUNT: usize = 4;
+    pub const ALL: [DcId; DcId::COUNT] = [DcId(0), DcId(1), DcId(2), DcId(3)];
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dc{}", self.0)
+    }
+}
+
+/// What a request wants to do with shared data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// Read bytes through the local export gate.
+    Read,
+    /// Materialize a replica at another data center.
+    Copy,
+    /// Hand the data onward (re-share / take ownership).
+    Transfer,
+}
+
+impl Action {
+    pub const ALL: [Action; 3] = [Action::Read, Action::Copy, Action::Transfer];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Action::Read => "read",
+            Action::Copy => "copy",
+            Action::Transfer => "transfer",
+        }
+    }
+}
+
+/// Position on the trust spectrum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrustLevel {
+    View,
+    /// `View` until `expires` (exclusive) on the simulation clock, then
+    /// nothing — no revocation record required.
+    LendUntil {
+        expires: SimTime,
+    },
+    Copy,
+    Transfer,
+}
+
+impl TrustLevel {
+    /// Lattice rank; a lend ranks above plain `View` while live because
+    /// it carries a deadline the grantor chose deliberately.
+    pub fn rank(self) -> u8 {
+        match self {
+            TrustLevel::View => 0,
+            TrustLevel::LendUntil { .. } => 1,
+            TrustLevel::Copy => 2,
+            TrustLevel::Transfer => 3,
+        }
+    }
+
+    /// Does this level permit `action` at virtual time `now`?
+    pub fn allows(self, action: Action, now: SimTime) -> bool {
+        match (self, action) {
+            (TrustLevel::View, Action::Read) => true,
+            (TrustLevel::LendUntil { expires }, Action::Read) => now < expires,
+            (TrustLevel::Copy, Action::Read | Action::Copy) => true,
+            (TrustLevel::Transfer, _) => true,
+            _ => false,
+        }
+    }
+
+    /// Is the level itself dead at `now` (lend expired)?
+    pub fn expired(self, now: SimTime) -> bool {
+        matches!(self, TrustLevel::LendUntil { expires } if now >= expires)
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TrustLevel::View => "view",
+            TrustLevel::LendUntil { .. } => "lend",
+            TrustLevel::Copy => "copy",
+            TrustLevel::Transfer => "transfer",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            TrustLevel::View => 0,
+            TrustLevel::LendUntil { .. } => 1,
+            TrustLevel::Copy => 2,
+            TrustLevel::Transfer => 3,
+        }
+    }
+
+    fn expiry_nanos(self) -> u64 {
+        match self {
+            TrustLevel::LendUntil { expires } => expires.as_nanos(),
+            _ => 0,
+        }
+    }
+}
+
+/// Identity of a capability: which data center minted it, and its
+/// position in that data center's grant log. Log position doubles as the
+/// id, so ids are dense, orderable, and free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CapabilityId {
+    pub origin: DcId,
+    pub seq: u32,
+}
+
+impl std::fmt::Display for CapabilityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cap:{}/{}", self.origin, self.seq)
+    }
+}
+
+/// A granted share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capability {
+    pub id: CapabilityId,
+    /// Cloud username of the grantee (the Samba-gate identity).
+    pub grantee: String,
+    /// Absolute path prefix on the origin data center's volume; grants
+    /// cover the whole subtree.
+    pub path: String,
+    pub level: TrustLevel,
+    pub granted_at: SimTime,
+}
+
+impl Capability {
+    /// Does this capability's prefix cover `path`? Exact match or a
+    /// subtree under the prefix; `/` covers everything.
+    pub fn covers(&self, path: &str) -> bool {
+        if self.path == "/" {
+            return path.starts_with('/');
+        }
+        path == self.path
+            || (path.len() > self.path.len()
+                && path.starts_with(&self.path)
+                && path.as_bytes()[self.path.len()] == b'/')
+    }
+}
+
+/// What a signed record says.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordBody {
+    Grant(Capability),
+    /// Revocation of `id`, issued at `at`. Any data center may issue one
+    /// (it lands in the *issuer's* log), mirroring how the OSDC let any
+    /// federation operator pull a misbehaving share.
+    Revoke {
+        id: CapabilityId,
+        at: SimTime,
+    },
+}
+
+impl RecordBody {
+    /// Canonical byte encoding: tag + fixed-width fields +
+    /// length-prefixed strings, so signatures are unambiguous and
+    /// platform-independent.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            RecordBody::Grant(cap) => {
+                out.push(1u8);
+                out.push(cap.id.origin.0);
+                out.extend_from_slice(&cap.id.seq.to_le_bytes());
+                out.extend_from_slice(&cap.granted_at.as_nanos().to_le_bytes());
+                out.push(cap.level.tag());
+                out.extend_from_slice(&cap.level.expiry_nanos().to_le_bytes());
+                out.extend_from_slice(&(cap.grantee.len() as u32).to_le_bytes());
+                out.extend_from_slice(cap.grantee.as_bytes());
+                out.extend_from_slice(&(cap.path.len() as u32).to_le_bytes());
+                out.extend_from_slice(cap.path.as_bytes());
+            }
+            RecordBody::Revoke { id, at } => {
+                out.push(2u8);
+                out.push(id.origin.0);
+                out.extend_from_slice(&id.seq.to_le_bytes());
+                out.extend_from_slice(&at.as_nanos().to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// A signed record: the unit both the logs and the gossip wire carry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    pub body: RecordBody,
+    pub sig: Signature,
+}
+
+impl Record {
+    pub fn sign(body: RecordBody, key: &SigningKey) -> Record {
+        let sig = key.sign(&body.canonical_bytes());
+        Record { body, sig }
+    }
+
+    /// Verify against the federation keyring. Gossip integration refuses
+    /// unverifiable records — a partition cannot launder a forged grant.
+    pub fn verify(&self, ring: &Keyring) -> Result<(), SignatureError> {
+        ring.verify(&self.body.canonical_bytes(), &self.sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(level: TrustLevel) -> Capability {
+        Capability {
+            id: CapabilityId {
+                origin: DcId(1),
+                seq: 3,
+            },
+            grantee: "alice".into(),
+            path: "/projects/genomics".into(),
+            level,
+            granted_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn trust_spectrum_is_ordered_and_monotone_in_read() {
+        let t = SimTime::ZERO;
+        let ranks: Vec<u8> = [
+            TrustLevel::View,
+            TrustLevel::LendUntil {
+                expires: t + osdc_sim::SimDuration::from_secs(1),
+            },
+            TrustLevel::Copy,
+            TrustLevel::Transfer,
+        ]
+        .iter()
+        .map(|l| l.rank())
+        .collect();
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+        // Every live level allows Read; only Transfer allows Transfer.
+        for l in [TrustLevel::View, TrustLevel::Copy, TrustLevel::Transfer] {
+            assert!(l.allows(Action::Read, t));
+        }
+        assert!(!TrustLevel::Copy.allows(Action::Transfer, t));
+        assert!(TrustLevel::Transfer.allows(Action::Copy, t));
+    }
+
+    #[test]
+    fn lend_expires_exactly_at_the_deadline() {
+        let expires = SimTime(1_000);
+        let l = TrustLevel::LendUntil { expires };
+        assert!(l.allows(Action::Read, SimTime(999)));
+        assert!(
+            !l.allows(Action::Read, SimTime(1_000)),
+            "expiry is exclusive"
+        );
+        assert!(!l.allows(Action::Copy, SimTime(0)), "a lend never copies");
+        assert!(l.expired(SimTime(1_000)));
+        assert!(!l.expired(SimTime(999)));
+    }
+
+    #[test]
+    fn prefix_cover_respects_segment_boundaries() {
+        let c = cap(TrustLevel::View);
+        assert!(c.covers("/projects/genomics"));
+        assert!(c.covers("/projects/genomics/run1.bam"));
+        assert!(!c.covers("/projects/genomics2/run1.bam"));
+        assert!(!c.covers("/projects"));
+        let root = Capability {
+            path: "/".into(),
+            ..cap(TrustLevel::View)
+        };
+        assert!(root.covers("/anything/at/all"));
+    }
+
+    #[test]
+    fn record_signatures_bind_every_field() {
+        let key = SigningKey::from_seed(42);
+        let mut ring = Keyring::new();
+        ring.register(&key);
+        let rec = Record::sign(RecordBody::Grant(cap(TrustLevel::Copy)), &key);
+        assert!(rec.verify(&ring).is_ok());
+        // Flip the level: same id, different canonical bytes → BadMac.
+        let mut tampered = rec.clone();
+        if let RecordBody::Grant(c) = &mut tampered.body {
+            c.level = TrustLevel::Transfer;
+        }
+        assert!(tampered.verify(&ring).is_err());
+        // Flip the grantee.
+        let mut tampered = rec.clone();
+        if let RecordBody::Grant(c) = &mut tampered.body {
+            c.grantee = "mallory".into();
+        }
+        assert!(tampered.verify(&ring).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_grant_from_revoke() {
+        let g = RecordBody::Grant(cap(TrustLevel::View)).canonical_bytes();
+        let r = RecordBody::Revoke {
+            id: CapabilityId {
+                origin: DcId(1),
+                seq: 3,
+            },
+            at: SimTime::ZERO,
+        }
+        .canonical_bytes();
+        assert_ne!(g, r);
+        assert_eq!(g[0], 1);
+        assert_eq!(r[0], 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Enforcement at the storage boundary: capabilities meet the Samba gate.
+//!
+//! A capability authorizes *across* data centers what the per-DC Samba
+//! export authorizes *within* one: the holder of a live `View`-or-better
+//! capability may read the covered subtree through the export without
+//! appearing in its per-prefix access rules. The check order mirrors the
+//! export gate's own: diagnose the path shape first (typed
+//! [`PathError`]), then the capability, then the volume read.
+
+use osdc_sim::SimTime;
+use osdc_storage::export::{validate_path, PathError};
+use osdc_storage::{FileData, SambaExport, VolumeError};
+
+use crate::capability::{Action, CapabilityId};
+use crate::registry::Registry;
+
+/// Why a capability-backed read failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EnforceError {
+    /// The path is not something the export can interpret.
+    MalformedPath(PathError),
+    /// No live capability covers the read at this replica's knowledge.
+    NoCapability,
+    /// The capability is fine but the volume refused.
+    Volume(VolumeError),
+}
+
+impl std::fmt::Display for EnforceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnforceError::MalformedPath(e) => write!(f, "malformed path: {e}"),
+            EnforceError::NoCapability => write!(f, "no live capability covers this read"),
+            EnforceError::Volume(e) => write!(f, "volume error: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EnforceError {}
+
+/// Read `path` from `export` on the strength of a capability held by
+/// `grantee`, under `registry`'s current knowledge at `now`. Returns the
+/// data and the capability that authorized it.
+pub fn read_with_capability(
+    export: &SambaExport,
+    registry: &Registry,
+    grantee: &str,
+    path: &str,
+    now: SimTime,
+) -> Result<(FileData, CapabilityId), EnforceError> {
+    validate_path(path).map_err(EnforceError::MalformedPath)?;
+    let cap = registry
+        .check(grantee, path, Action::Read, now)
+        .ok_or(EnforceError::NoCapability)?;
+    let data = export
+        .with_volume(|v| v.read(path).map(|(data, _)| data))
+        .map_err(EnforceError::Volume)?;
+    Ok((data, cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::{DcId, TrustLevel};
+    use osdc_crypto::SigningKey;
+    use osdc_sim::SimDuration;
+    use osdc_storage::{GlusterVersion, Volume};
+
+    fn export_with(path: &str, bytes: &[u8]) -> SambaExport {
+        let vol = Volume::new("shared", GlusterVersion::V3_3, 2, 2, 1 << 30, 7);
+        let e = SambaExport::new(vol);
+        e.add_account("curator", "pw");
+        e.grant("/projects", "curator", osdc_storage::AccessKind::Write);
+        e.write("curator", "pw", path, FileData::bytes(bytes.to_vec()))
+            .expect("seed write");
+        e
+    }
+
+    #[test]
+    fn capability_read_bypasses_samba_rules_but_not_the_clock() {
+        let export = export_with("/projects/genomics/run1.bam", b"reads");
+        let key = SigningKey::from_seed(0);
+        let mut reg = Registry::new(DcId(0));
+        let expires = SimTime::ZERO + SimDuration::from_secs(60);
+        reg.grant(
+            "visitor",
+            "/projects/genomics",
+            TrustLevel::LendUntil { expires },
+            SimTime::ZERO,
+            &key,
+        );
+        // "visitor" has no Samba account at all — the capability alone
+        // authorizes the read.
+        let (data, _cap) = read_with_capability(
+            &export,
+            &reg,
+            "visitor",
+            "/projects/genomics/run1.bam",
+            SimTime(1),
+        )
+        .expect("lend is live");
+        assert_eq!(data, FileData::bytes(b"reads".to_vec()));
+        // The lend expires: same call now fails closed.
+        assert_eq!(
+            read_with_capability(
+                &export,
+                &reg,
+                "visitor",
+                "/projects/genomics/run1.bam",
+                expires,
+            ),
+            Err(EnforceError::NoCapability)
+        );
+    }
+
+    #[test]
+    fn malformed_paths_diagnosed_before_capability_lookup() {
+        let export = export_with("/projects/genomics/run1.bam", b"x");
+        let reg = Registry::new(DcId(0));
+        assert_eq!(
+            read_with_capability(&export, &reg, "v", "/projects/../etc", SimTime::ZERO),
+            Err(EnforceError::MalformedPath(PathError::DotSegment))
+        );
+    }
+
+    #[test]
+    fn volume_errors_pass_through_typed() {
+        let export = export_with("/projects/genomics/run1.bam", b"x");
+        let key = SigningKey::from_seed(0);
+        let mut reg = Registry::new(DcId(0));
+        reg.grant("v", "/projects", TrustLevel::View, SimTime::ZERO, &key);
+        assert_eq!(
+            read_with_capability(&export, &reg, "v", "/projects/missing", SimTime::ZERO),
+            Err(EnforceError::Volume(VolumeError::NotFound))
+        );
+    }
+}

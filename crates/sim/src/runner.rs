@@ -27,6 +27,14 @@
 //!
 //! `jobs = 1` never spawns a thread: tasks run inline on the caller, in
 //! submission order — byte-for-byte today's serial path.
+//!
+//! [`Runner::run_with`] adds **per-worker setup sharding**: grids whose
+//! cells repeat an identical expensive setup (building the OSDC WAN,
+//! formatting a 500-file corpus) build it once per *worker* instead of
+//! once per *cell*, shrinking the serial fraction each cell carries. The
+//! context is scratch, not state: results must still depend only on the
+//! submission index, because which cells share a context changes with
+//! the worker count.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -88,9 +96,44 @@ impl Runner {
         T: Send,
         F: FnOnce(usize) -> T + Send,
     {
+        self.run_with(
+            |_| (),
+            tasks
+                .into_iter()
+                .map(|f| move |_: &mut (), i: usize| f(i))
+                .collect(),
+        )
+    }
+
+    /// [`Runner::run`] with **per-worker setup sharding**: `setup(w)`
+    /// builds one context per worker (serial path: exactly one), and
+    /// every task that worker executes — local or stolen — borrows it
+    /// mutably. Use it to hoist a setup cost that is identical across
+    /// cells (a parsed topology, a formatted corpus, scratch buffers)
+    /// out of the per-cell loop.
+    ///
+    /// Determinism contract: the context is a *cache*, not an input.
+    /// Which tasks share a context depends on the worker count and on
+    /// steal timing, so a task's result (and anything it emits) must
+    /// depend only on its submission index and data derived from it —
+    /// never on what previous tasks left in the context. `setup` gets
+    /// the worker slot `w` for sizing or labels only; all workers'
+    /// contexts must behave identically.
+    pub fn run_with<C, T, S, F>(&self, setup: S, tasks: Vec<F>) -> Vec<T>
+    where
+        C: Send,
+        T: Send,
+        S: Fn(usize) -> C + Sync,
+        F: FnOnce(&mut C, usize) -> T + Send,
+    {
         let n = tasks.len();
         if self.jobs == 1 || n <= 1 {
-            return tasks.into_iter().enumerate().map(|(i, f)| f(i)).collect();
+            let mut ctx = setup(0);
+            return tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| f(&mut ctx, i))
+                .collect();
         }
         let workers = self.jobs.min(n);
 
@@ -112,15 +155,19 @@ impl Runner {
         slots.resize_with(n, || None);
         let slots = Mutex::new(slots);
 
+        let setup = &setup;
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let slots = &slots;
                 scope.spawn(move || {
+                    // One context per worker, shared by every task this
+                    // worker ends up executing.
+                    let mut ctx = setup(w);
                     loop {
                         // Local work first, newest first (LIFO).
                         let local = deques[w].lock().expect("deque lock").pop_back();
                         if let Some((i, f)) = local {
-                            let r = f(i);
+                            let r = f(&mut ctx, i);
                             slots.lock().expect("slot lock")[i] = Some(r);
                             continue;
                         }
@@ -137,7 +184,7 @@ impl Runner {
                         }
                         match stolen {
                             Some((i, f)) => {
-                                let r = f(i);
+                                let r = f(&mut ctx, i);
                                 slots.lock().expect("slot lock")[i] = Some(r);
                             }
                             // Tasks are a fixed batch (none spawns more),
@@ -244,6 +291,64 @@ mod tests {
     fn empty_batch_returns_empty() {
         let out: Vec<u32> = Runner::new(4).run(Vec::<fn(usize) -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn setup_runs_once_per_worker_not_per_task() {
+        let builds = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|_| |ctx: &mut Vec<u64>, i: usize| ctx[i % ctx.len()] + i as u64)
+            .collect();
+        let out = Runner::new(4).run_with(
+            |_w| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                vec![100, 200, 300]
+            },
+            tasks,
+        );
+        // 32 tasks, 4 workers: exactly 4 contexts, never 32.
+        assert_eq!(builds.load(Ordering::Relaxed), 4);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn serial_path_builds_exactly_one_context() {
+        let builds = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..10usize)
+            .map(|_| |c: &mut u64, i: usize| *c + i as u64)
+            .collect();
+        let out = Runner::new(1).run_with(
+            |_w| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                7u64
+            },
+            tasks,
+        );
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(out, (0..10).map(|i| 7 + i as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_setup_results_are_jobs_invariant() {
+        // Tasks read the (identical) prototype context and their index;
+        // the answer must not depend on the worker count.
+        let run = |jobs: usize| {
+            let tasks: Vec<_> = (0..40usize)
+                .map(|_| {
+                    |proto: &mut Vec<u64>, i: usize| {
+                        proto
+                            .iter()
+                            .sum::<u64>()
+                            .wrapping_mul(derive_seed(11, i as u64))
+                    }
+                })
+                .collect();
+            Runner::new(jobs).run_with(|_w| (0..64u64).collect::<Vec<_>>(), tasks)
+        };
+        let serial = run(1);
+        for jobs in [2usize, 3, 8] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -31,8 +31,83 @@ pub enum ExportError {
     AuthenticationFailed,
     /// Authenticated but not permitted on this path.
     PermissionDenied,
+    /// The request named a path the export cannot interpret. Typed so
+    /// randomized drivers and remote callers get a diagnosis instead of
+    /// a panic (the same treatment `Volume::try_new` gave volume shapes).
+    MalformedPath(PathError),
     /// Underlying volume error.
     Volume(VolumeError),
+}
+
+/// What is wrong with a share path or access-rule prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathError {
+    Empty,
+    /// Share paths are absolute: they must start with `/`.
+    NotAbsolute,
+    /// A `.` or `..` segment — the Samba-era traversal escape.
+    DotSegment,
+    /// An empty segment (`//`) hashes differently from its collapsed
+    /// form and would split one file across placement buckets.
+    EmptySegment,
+    /// An embedded NUL, which the era's C path handling truncates at.
+    NulByte,
+    /// A trailing `/` on a *file* path (legal on rule prefixes).
+    TrailingSlash,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path is empty"),
+            PathError::NotAbsolute => write!(f, "path is not absolute"),
+            PathError::DotSegment => write!(f, "path contains a `.`/`..` segment"),
+            PathError::EmptySegment => write!(f, "path contains an empty `//` segment"),
+            PathError::NulByte => write!(f, "path contains a NUL byte"),
+            PathError::TrailingSlash => write!(f, "file path ends with `/`"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Validate a file path for export operations.
+pub fn validate_path(path: &str) -> Result<(), PathError> {
+    validate(path, false)
+}
+
+/// Validate an access-rule prefix: like a file path, but a trailing `/`
+/// is legal (it scopes the rule to a directory subtree).
+pub fn validate_prefix(prefix: &str) -> Result<(), PathError> {
+    validate(prefix, true)
+}
+
+fn validate(path: &str, allow_trailing_slash: bool) -> Result<(), PathError> {
+    if path.is_empty() {
+        return Err(PathError::Empty);
+    }
+    if path.contains('\0') {
+        return Err(PathError::NulByte);
+    }
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(PathError::NotAbsolute);
+    };
+    let rest = if allow_trailing_slash {
+        rest.strip_suffix('/').unwrap_or(rest)
+    } else if rest.ends_with('/') || rest.is_empty() {
+        return Err(PathError::TrailingSlash);
+    } else {
+        rest
+    };
+    for segment in rest.split('/') {
+        match segment {
+            "" if rest.is_empty() => {} // bare "/" prefix
+            "" => return Err(PathError::EmptySegment),
+            "." | ".." => return Err(PathError::DotSegment),
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[derive(Clone, Debug, Default)]
@@ -71,7 +146,20 @@ impl SambaExport {
     }
 
     /// Grant `user` access under `prefix`.
+    ///
+    /// Panics on a malformed prefix; administrative configuration code
+    /// should be using literals. Use [`SambaExport::try_grant`] when the
+    /// prefix comes from untrusted input (the `Volume::new`/`try_new`
+    /// split from PR 5).
     pub fn grant(&self, prefix: &str, user: &str, kind: AccessKind) {
+        self.try_grant(prefix, user, kind)
+            .unwrap_or_else(|e| panic!("malformed grant prefix {prefix:?}: {e}"));
+    }
+
+    /// Fallible [`SambaExport::grant`]: rejects malformed prefixes with a
+    /// typed error instead of panicking.
+    pub fn try_grant(&self, prefix: &str, user: &str, kind: AccessKind) -> Result<(), PathError> {
+        validate_prefix(prefix)?;
         let mut rules = self.rules.write();
         let rule = rules.entry(prefix.to_string()).or_default();
         let list = match kind {
@@ -81,15 +169,25 @@ impl SambaExport {
         if !list.iter().any(|u| u == user) {
             list.push(user.to_string());
         }
+        Ok(())
     }
 
-    /// Mark a prefix world-readable (public datasets).
+    /// Mark a prefix world-readable (public datasets). Panics on a
+    /// malformed prefix; see [`SambaExport::try_make_public`].
     pub fn make_public(&self, prefix: &str) {
+        self.try_make_public(prefix)
+            .unwrap_or_else(|e| panic!("malformed public prefix {prefix:?}: {e}"));
+    }
+
+    /// Fallible [`SambaExport::make_public`].
+    pub fn try_make_public(&self, prefix: &str) -> Result<(), PathError> {
+        validate_prefix(prefix)?;
         self.rules
             .write()
             .entry(prefix.to_string())
             .or_default()
             .public_read = true;
+        Ok(())
     }
 
     fn authenticate(&self, user: &str, password: &str) -> Result<(), ExportError> {
@@ -125,9 +223,17 @@ impl SambaExport {
         }
     }
 
+    /// Authorization check without authentication or data movement: does
+    /// `user` hold `kind` access to `path` under the current rules? Used
+    /// by the sharing layer to decide whether a grantor may delegate.
+    pub fn check_access(&self, user: &str, path: &str, kind: AccessKind) -> bool {
+        validate_path(path).is_ok() && self.authorize(user, path, kind).is_ok()
+    }
+
     /// Authenticated read. A VM-local root uid is irrelevant: only the
     /// cloud credential matters.
     pub fn read(&self, user: &str, password: &str, path: &str) -> Result<FileData, ExportError> {
+        validate_path(path).map_err(ExportError::MalformedPath)?;
         self.authenticate(user, password)?;
         self.authorize(user, path, AccessKind::Read)?;
         self.volume
@@ -145,6 +251,7 @@ impl SambaExport {
         path: &str,
         data: FileData,
     ) -> Result<(), ExportError> {
+        validate_path(path).map_err(ExportError::MalformedPath)?;
         self.authenticate(user, password)?;
         self.authorize(user, path, AccessKind::Write)?;
         self.volume
@@ -297,6 +404,73 @@ mod tests {
         assert_eq!(bob_sees, vec!["/projects/genomics/shared".to_string()]);
         let alice_sees = e.list("alice", "pw-a").expect("list ok");
         assert_eq!(alice_sees.len(), 2);
+    }
+
+    #[test]
+    fn malformed_paths_are_typed_errors_not_panics() {
+        let e = export();
+        let cases: &[(&str, PathError)] = &[
+            ("", PathError::Empty),
+            ("projects/genomics/x", PathError::NotAbsolute),
+            ("/projects/../etc/passwd", PathError::DotSegment),
+            ("/projects/./x", PathError::DotSegment),
+            ("/projects//x", PathError::EmptySegment),
+            ("/projects/genomics/x\0.bam", PathError::NulByte),
+            ("/projects/genomics/", PathError::TrailingSlash),
+            ("/", PathError::TrailingSlash),
+        ];
+        for (path, expected) in cases {
+            assert_eq!(
+                e.read("alice", "pw-a", path).unwrap_err(),
+                ExportError::MalformedPath(*expected),
+                "read {path:?}"
+            );
+            assert_eq!(
+                e.write("alice", "pw-a", path, FileData::bytes(vec![1]))
+                    .unwrap_err(),
+                ExportError::MalformedPath(*expected),
+                "write {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_path_rejected_before_credentials_are_consulted() {
+        // The gate diagnoses the request shape even for unknown users —
+        // a malformed path can never reach the volume layer.
+        let e = export();
+        assert_eq!(
+            e.read("nobody", "", "/a/../b").unwrap_err(),
+            ExportError::MalformedPath(PathError::DotSegment)
+        );
+    }
+
+    #[test]
+    fn rule_prefixes_allow_trailing_slash_but_not_traversal() {
+        let e = export();
+        assert_eq!(e.try_grant("/public/", "bob", AccessKind::Read), Ok(()));
+        assert_eq!(e.try_make_public("/"), Ok(()));
+        assert_eq!(
+            e.try_grant("/public/../secret", "bob", AccessKind::Read),
+            Err(PathError::DotSegment)
+        );
+        assert_eq!(e.try_make_public(""), Err(PathError::Empty));
+        assert_eq!(e.try_make_public("public"), Err(PathError::NotAbsolute));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed grant prefix")]
+    fn infallible_grant_panics_with_diagnosis() {
+        export().grant("relative/path", "alice", AccessKind::Read);
+    }
+
+    #[test]
+    fn check_access_reflects_rules_without_authentication() {
+        let e = export();
+        assert!(e.check_access("alice", "/projects/genomics/run1.bam", AccessKind::Write));
+        assert!(e.check_access("bob", "/projects/genomics/run1.bam", AccessKind::Read));
+        assert!(!e.check_access("bob", "/projects/genomics/run1.bam", AccessKind::Write));
+        assert!(!e.check_access("alice", "/projects/../x", AccessKind::Read));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod volume;
 
 pub use backup::BackupService;
 pub use brick::{Brick, BrickHealth, BrickId};
-pub use export::{AccessKind, ExportError, SambaExport};
+pub use export::{validate_path, validate_prefix, AccessKind, ExportError, PathError, SambaExport};
 pub use file::{FileData, FileMeta};
 pub use volume::{GlusterVersion, HealReport, Volume, VolumeConfigError, VolumeError};

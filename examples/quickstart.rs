@@ -6,8 +6,10 @@
 //!
 //! Walks the path a new OSDC researcher walked in 2012: federated login
 //! through Tukey, browse the public datasets, launch a VM with the
-//! community tools image, watch usage accrue, and read the invoice.
+//! community tools image, watch usage accrue, share a dataset with a
+//! collaborator at another data center, and read the invoice.
 
+use osdc::sharing::{Action, DcId, SharingConfig, SharingSim, TrustLevel};
 use osdc::tukey::auth::{Identity, ShibbolethIdp};
 use osdc::tukey::credentials::CloudCredential;
 use osdc::Federation;
@@ -76,7 +78,56 @@ fn main() {
         serde_json::to_string_pretty(&fed.console.usage_page(token).expect("usage")).expect("json")
     );
 
-    // 6. Terminate, close the month, read the invoice.
+    // 6. Share your results with a collaborator at another data center
+    // (§ file sharing): mint a Copy capability at Chicago-Kenwood, let
+    // gossip carry it across the federation, read from Miami, revoke.
+    let mut sharing = SharingSim::new(SharingConfig::new(42));
+    let cap = sharing.grant(
+        DcId(0),
+        "collaborator@partner.edu",
+        "/projects/first-analysis",
+        TrustLevel::Copy,
+    );
+    sharing.quiesce(16);
+    let miami = DcId(3);
+    assert_eq!(
+        sharing.check(
+            miami,
+            "collaborator@partner.edu",
+            "/projects/first-analysis/results.vcf",
+            Action::Read
+        ),
+        Some(cap),
+        "gossip should have carried the grant to every data center"
+    );
+    let xfer = sharing
+        .copy_to(
+            miami,
+            "collaborator@partner.edu",
+            "/projects/first-analysis/results.vcf",
+            512 << 20,
+        )
+        .expect("capability authorizes the copy");
+    println!(
+        "\nshared /projects/first-analysis with collaborator@partner.edu: \
+         512 MB to ampath-miami at {:.0} Mb/s",
+        xfer.mbps
+    );
+    sharing.revoke(DcId(0), cap);
+    sharing.quiesce(16);
+    assert_eq!(
+        sharing.check(
+            miami,
+            "collaborator@partner.edu",
+            "/projects/first-analysis/results.vcf",
+            Action::Read
+        ),
+        None,
+        "revocation must reach every replica"
+    );
+    println!("revoked — no replica honours the capability any more");
+
+    // 7. Terminate, close the month, read the invoice.
     let id = vm["server"]["id"].as_u64().expect("id");
     fed.console
         .terminate_instance(token, "adler", id, now)

@@ -43,6 +43,7 @@ pub use osdc_mapreduce as mapreduce;
 pub use osdc_monitor as monitor;
 pub use osdc_net as net;
 pub use osdc_provision as provision;
+pub use osdc_sharing as sharing;
 pub use osdc_sim as sim;
 pub use osdc_storage as storage;
 pub use osdc_transfer as transfer;
