@@ -37,11 +37,13 @@
 
 pub mod billing_oracle;
 pub mod delta_oracle;
+pub mod provider_oracle;
 pub mod sharing_oracle;
 pub mod storage_oracle;
 
 pub use billing_oracle::{BillingOp, BillingOracle};
 pub use delta_oracle::{DeltaCase, DeltaOracle};
+pub use provider_oracle::{router_ops, FailoverOracle, RouterOp};
 pub use sharing_oracle::{churn_ops, FlatShareModel, LevelSpec, ShareOp, SharingOracle};
 pub use storage_oracle::{FlatStore, StorageOp, StorageOracle};
 

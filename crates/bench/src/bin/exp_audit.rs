@@ -13,6 +13,7 @@
 //! `--quick` is the CI smoke: the same sweep at reduced case counts.
 
 use osdc_audit::{churn_ops, drive, AuditReport, SharingOracle};
+use osdc_audit::{router_ops, FailoverOracle};
 use osdc_audit::{BillingOp, BillingOracle, DeltaCase, DeltaOracle, StorageOp, StorageOracle};
 use osdc_bench::{banner, row, seed_line};
 use osdc_chaos::{FaultEvent, FaultKind};
@@ -227,6 +228,33 @@ fn sharing_sweep(cases: usize, blocks: usize, ops_per_block: usize) -> SweepStat
     stats
 }
 
+/// Seeded failover-router churn — launches, terminates and API-fault
+/// windows over rotating provider mixes — against the flat safety
+/// model (no unexplained instances, no double-assignment, exact
+/// per-minute accrual, drained orphan books on healed providers).
+fn provider_sweep(cases: usize, minutes: usize) -> SweepStats {
+    let mixes: [&[&str]; 4] = [
+        &["adler", "sullivan"],
+        &["spotmart", "lagoon", "pagely"],
+        &["adler", "sullivan", "spotmart", "lagoon", "pagely"],
+        &["lagoon", "sullivan"],
+    ];
+    let mut stats = SweepStats::new();
+    for case in 0..cases {
+        let seed = SEED ^ 0xf417 ^ (case as u64) << 8;
+        let mix = mixes[case % mixes.len()];
+        let mut router = osdc_providers::FailoverRouter::new(osdc_providers::osdc_fleet(
+            mix,
+            osdc_telemetry::Telemetry::disabled(),
+            seed,
+        ));
+        let mut oracle = FailoverOracle::new();
+        let ops = router_ops(seed, mix, minutes);
+        stats.absorb(&drive(&mut oracle, &mut router, &ops));
+    }
+    stats
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     banner(
@@ -243,16 +271,17 @@ fn main() {
         }
     );
 
-    let (sc, so, dc, bc, bo, hc, hb, ho) = if quick {
-        (12, 60, 80, 8, 80, 3, 2, 8)
+    let (sc, so, dc, bc, bo, hc, hb, ho, pc, pm) = if quick {
+        (12, 60, 80, 8, 80, 3, 2, 8, 4, 12)
     } else {
-        (54, 150, 400, 48, 200, 12, 4, 12)
+        (54, 150, 400, 48, 200, 12, 4, 12, 16, 45)
     };
     let sweeps = [
         ("storage.flat-store", storage_sweep(sc, so)),
         ("transfer.direct-copy", delta_sweep(dc)),
         ("tukey.re-bill", billing_sweep(bc, bo)),
         ("sharing.flat-acl", sharing_sweep(hc, hb, ho)),
+        ("providers.flat-router", provider_sweep(pc, pm)),
     ];
 
     let widths = [26usize, 10, 12, 15];

@@ -273,6 +273,17 @@ impl Rig {
                         self.proxy.inject(ev, at).expect("known cloud");
                         self.tracker.fault(format!("api:{}", ev.target), at, false);
                     }
+                    FaultKind::ApiOutage => {
+                        // This federation has no provider registry; the
+                        // closest proxy-level equivalent is every call
+                        // erroring. osdc_campaign never schedules this
+                        // kind — the arm exists for hand-written plans.
+                        let mut full = ev.clone();
+                        full.kind = FaultKind::ApiError;
+                        full.magnitude = 1.0;
+                        self.proxy.inject(&full, at).expect("known cloud");
+                        self.tracker.fault(format!("api:{}", ev.target), at, false);
+                    }
                     FaultKind::ChefFailure => {
                         self.params.inject(ev, at).expect("chef knob");
                         self.tracker.fault("provision", at, false);
@@ -323,6 +334,11 @@ impl Rig {
                     FaultKind::ApiTimeout | FaultKind::ApiError => {
                         self.proxy.restore(ev, at).expect("known cloud");
                         // Recovery is the next successful probe.
+                    }
+                    FaultKind::ApiOutage => {
+                        let mut full = ev.clone();
+                        full.kind = FaultKind::ApiError;
+                        self.proxy.restore(&full, at).expect("known cloud");
                     }
                     FaultKind::ChefFailure => {
                         // Handled inline at inject time.

@@ -11,6 +11,7 @@
 
 use osdc_compute::{CloudController, HostId, InstanceState};
 use osdc_net::FluidNet;
+use osdc_providers::FailoverRouter;
 use osdc_provision::PipelineParams;
 use osdc_sim::SimTime;
 use osdc_storage::{BrickHealth, BrickId, Volume};
@@ -331,6 +332,61 @@ impl Injector for TranslationProxy {
     }
 }
 
+// ---- provider registry (failover router) ---------------------------------
+
+/// The provider-registry-level absorber of API faults. Where the
+/// [`TranslationProxy`] impl above flips per-cloud fault tables inside
+/// Tukey's federation, this one flips [`osdc_providers::ApiHealth`] on
+/// the failover router's registry — the hook the `exp_providers` grid
+/// drives. `ApiOutage` exists only at this level; the two impls are
+/// never wired into the same campaign.
+impl Injector for FailoverRouter {
+    fn subsystem(&self) -> &'static str {
+        "providers"
+    }
+
+    fn handles(&self, kind: FaultKind) -> bool {
+        matches!(
+            kind,
+            FaultKind::ApiOutage | FaultKind::ApiTimeout | FaultKind::ApiError
+        )
+    }
+
+    fn inject(&mut self, ev: &FaultEvent, _now: SimTime) -> Result<Effect, InjectError> {
+        let applied = match ev.kind {
+            FaultKind::ApiOutage => self.registry.set_health(&ev.target, |h| h.outage = true),
+            FaultKind::ApiTimeout => self
+                .registry
+                .set_health(&ev.target, |h| h.timeout_prob = ev.magnitude),
+            FaultKind::ApiError => self
+                .registry
+                .set_health(&ev.target, |h| h.error_prob = ev.magnitude),
+            other => return Err(InjectError::Unsupported(other)),
+        };
+        if applied {
+            Ok(Effect::default())
+        } else {
+            Err(InjectError::UnknownTarget(ev.target.clone()))
+        }
+    }
+
+    fn restore(&mut self, ev: &FaultEvent, _now: SimTime) -> Result<Effect, InjectError> {
+        let applied = match ev.kind {
+            FaultKind::ApiOutage => self.registry.set_health(&ev.target, |h| h.outage = false),
+            FaultKind::ApiTimeout => self
+                .registry
+                .set_health(&ev.target, |h| h.timeout_prob = 0.0),
+            FaultKind::ApiError => self.registry.set_health(&ev.target, |h| h.error_prob = 0.0),
+            other => return Err(InjectError::Unsupported(other)),
+        };
+        if applied {
+            Ok(Effect::default())
+        } else {
+            Err(InjectError::UnknownTarget(ev.target.clone()))
+        }
+    }
+}
+
 // ---- provisioning --------------------------------------------------------
 
 impl Injector for PipelineParams {
@@ -552,6 +608,79 @@ mod tests {
                 kind.label()
             );
         }
+        // ApiOutage lives one level up, at the provider registry — none
+        // of the federation injectors claim it.
+        assert_eq!(
+            injectors
+                .iter()
+                .filter(|i| i.handles(FaultKind::ApiOutage))
+                .count(),
+            0,
+            "api-outage is the failover router's alone"
+        );
+        // The router is the provider-level alternative to the proxy's
+        // fault table: it owns ApiOutage and doubles on the API kinds,
+        // and claims nothing else.
+        let router = FailoverRouter::new(osdc_providers::ProviderRegistry::new(
+            osdc_telemetry::Telemetry::disabled(),
+            1,
+        ));
+        for kind in [
+            FaultKind::ApiOutage,
+            FaultKind::ApiTimeout,
+            FaultKind::ApiError,
+        ] {
+            assert!(router.handles(kind), "router must absorb {}", kind.label());
+        }
+        assert!(!router.handles(FaultKind::LinkDown));
+        assert!(!router.handles(FaultKind::HostFailure));
+    }
+
+    #[test]
+    fn api_outage_flips_registry_health() {
+        use osdc_providers::{ClassicProvider, ProviderRegistry};
+        use osdc_telemetry::Telemetry;
+
+        let mut aliases = osdc_providers::AliasTables::default();
+        aliases.flavors.insert("small".into(), "m1.small".into());
+        aliases.images.insert("ubuntu-base".into(), 1);
+        let mut registry = ProviderRegistry::new(Telemetry::disabled(), 7);
+        let catalogs = osdc_providers::osdc_default_catalogs();
+        registry.register(
+            Box::new(ClassicProvider::openstack(
+                "adler",
+                CloudController::with_racks("adler", 1),
+                aliases,
+            )),
+            catalogs
+                .into_iter()
+                .find(|c| c.provider == "adler")
+                .expect("adler catalog"),
+        );
+        let mut router = FailoverRouter::new(registry);
+
+        let outage = ev(FaultKind::ApiOutage, "adler", 0.0);
+        router.inject(&outage, SimTime::ZERO).expect("inject");
+        assert!(router.registry.health("adler").expect("known").outage);
+        router.restore(&outage, SimTime::ZERO).expect("restore");
+        assert!(!router.registry.health("adler").expect("known").outage);
+
+        let storm = ev(FaultKind::ApiTimeout, "adler", 0.6);
+        router.inject(&storm, SimTime::ZERO).expect("inject");
+        assert_eq!(
+            router.registry.health("adler").expect("known").timeout_prob,
+            0.6
+        );
+        router.restore(&storm, SimTime::ZERO).expect("restore");
+        assert_eq!(
+            router.registry.health("adler").expect("known").timeout_prob,
+            0.0
+        );
+
+        let err = router
+            .inject(&ev(FaultKind::ApiOutage, "nonexistent", 0.0), SimTime::ZERO)
+            .expect_err("unknown provider");
+        assert_eq!(err, InjectError::UnknownTarget("nonexistent".into()));
     }
 
     #[test]

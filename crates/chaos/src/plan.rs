@@ -50,6 +50,11 @@ pub enum FaultKind {
     /// Inject API errors at the named cloud's translation proxy with
     /// probability `magnitude` per call, for the duration.
     ApiError,
+    /// Take the named provider's API fully offline at the provider
+    /// registry (target = provider name): every call fails immediately
+    /// with an outage error until restore. Absorbed by the failover
+    /// router in `osdc-providers`, not by the translation proxies.
+    ApiOutage,
     /// Make Chef converges fail with probability `magnitude` (target
     /// `"chef"`); the provisioning pipeline must retry its way through.
     ChefFailure,
@@ -69,6 +74,7 @@ impl FaultKind {
             FaultKind::InstanceKill => "instance-kill",
             FaultKind::ApiTimeout => "api-timeout",
             FaultKind::ApiError => "api-error",
+            FaultKind::ApiOutage => "api-outage",
             FaultKind::ChefFailure => "chef-failure",
         }
     }
@@ -412,5 +418,10 @@ mod tests {
                 kind.label()
             );
         }
+        // ApiOutage is deliberately absent: it lives at the provider
+        // registry, which the proxy-federation campaign does not wire up.
+        // The exp_providers grid owns that kind (and keeping it out here
+        // keeps the campaign schedule byte-stable across seeds).
+        assert!(!a.events.iter().any(|e| e.kind == FaultKind::ApiOutage));
     }
 }

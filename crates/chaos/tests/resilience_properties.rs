@@ -15,7 +15,8 @@ use osdc_sim::{SimDuration, SimTime};
 use osdc_storage::{BrickId, FileData, GlusterVersion, Volume};
 use proptest::prelude::*;
 
-const KINDS: [FaultKind; 12] = [
+const KINDS: [FaultKind; 13] = [
+    FaultKind::ApiOutage,
     FaultKind::LinkDown,
     FaultKind::LinkFlap,
     FaultKind::LossSpike,

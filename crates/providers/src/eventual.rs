@@ -1,0 +1,305 @@
+//! "Lagoon" — a deliberately weird provider: eventual consistency.
+//!
+//! Lagoon speaks plain Nova REST/JSON (it reuses the
+//! [`crate::openstack`] translator verbatim); its weirdness is temporal.
+//! Mutations execute immediately and their *direct* responses are
+//! consistent, but list/describe render the world as it stood `lag` ago:
+//! a freshly launched instance is invisible for the window, and a
+//! terminated one lingers in listings looking alive. Routers that trust
+//! a listing to dedupe launches double-boot here — which is exactly what
+//! the client-token idempotency contract and the audit oracle exist to
+//! catch.
+
+use osdc_compute::cloud::CloudController;
+use osdc_compute::image::ImageId;
+use osdc_compute::instance::InstanceId;
+use osdc_sim::{SimDuration, SimTime};
+
+use crate::canonical::{
+    AliasTables, CanonicalRequest, CanonicalResponse, CanonicalStatus, FlavorRecord, ImageRecord,
+    InstanceRecord, ProviderError,
+};
+use crate::openstack::{self, ResponseKind};
+use crate::provider::{
+    billable_ground_truth, live_by_token, record_of, status_of, CapabilityDescriptor, Consistency,
+    Provider, WireFormat,
+};
+
+/// The lagoon provider: a strong backend behind a lagging read path.
+pub struct EventualProvider {
+    name: String,
+    pub cloud: CloudController,
+    aliases: AliasTables,
+    lag: SimDuration,
+}
+
+impl EventualProvider {
+    pub fn new(
+        name: impl Into<String>,
+        cloud: CloudController,
+        aliases: AliasTables,
+        lag: SimDuration,
+    ) -> Self {
+        EventualProvider {
+            name: name.into(),
+            cloud,
+            aliases,
+            lag,
+        }
+    }
+
+    pub fn lag(&self) -> SimDuration {
+        self.lag
+    }
+
+    /// Render one instance as the read path sees it at `now`: a write
+    /// becomes visible only once `lag` has elapsed since it happened.
+    fn record_as_of(
+        &self,
+        inst: &osdc_compute::instance::Instance,
+        now: SimTime,
+    ) -> Option<InstanceRecord> {
+        if inst.launched_at + self.lag > now {
+            return None; // launch not yet visible
+        }
+        let mut rec = record_of(inst);
+        match inst.terminated_at {
+            // Termination old enough to have propagated: gone from reads.
+            Some(t) if t + self.lag <= now => None,
+            // Terminated inside the window: reads still say it is up.
+            Some(_) => {
+                rec.status = CanonicalStatus::Active;
+                Some(rec)
+            }
+            None => {
+                rec.status = status_of(inst.state);
+                Some(rec)
+            }
+        }
+    }
+
+    fn lagged_listing(&self, user: &str, now: SimTime) -> Vec<InstanceRecord> {
+        let mut recs: Vec<InstanceRecord> = self
+            .cloud
+            .instances_of(user)
+            .filter_map(|i| self.record_as_of(i, now))
+            .collect();
+        recs.sort_by_key(|r| r.id);
+        recs
+    }
+}
+
+impl Provider for EventualProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn descriptor(&self) -> CapabilityDescriptor {
+        CapabilityDescriptor {
+            wire: WireFormat::RestJson,
+            consistency: Consistency::Eventual { lag: self.lag },
+            spot: false,
+            flavor_listing: true,
+            api_latency: SimDuration::from_millis(45),
+            page_size: None,
+        }
+    }
+
+    fn aliases(&self) -> &AliasTables {
+        &self.aliases
+    }
+
+    fn call(
+        &mut self,
+        user: &str,
+        req: &CanonicalRequest,
+        now: SimTime,
+    ) -> Result<CanonicalResponse, ProviderError> {
+        // Wire fidelity: every reply passes through the Nova translator.
+        let reply = |resp: CanonicalResponse, kind: &ResponseKind| {
+            let wire = openstack::encode_response(&resp);
+            openstack::decode_response(kind, &wire)
+        };
+        match req {
+            CanonicalRequest::ListInstances => reply(
+                CanonicalResponse::Instances(self.lagged_listing(user, now)),
+                &ResponseKind::Instances,
+            ),
+            CanonicalRequest::DescribeInstance { id } => {
+                let rec = self
+                    .cloud
+                    .instance(InstanceId(*id))
+                    .filter(|i| i.owner == user)
+                    .and_then(|i| self.record_as_of(i, now))
+                    .ok_or_else(|| ProviderError::Backend(format!("not found: server {id}")))?;
+                reply(CanonicalResponse::Instance(rec), &ResponseKind::Describe)
+            }
+            CanonicalRequest::LaunchInstance {
+                name,
+                flavor,
+                image,
+            } => {
+                // The mutation path is strongly consistent, including the
+                // client-token dedupe — lagoon loses reads, not writes.
+                if let Some(existing) = live_by_token(&self.cloud, user, name) {
+                    return reply(
+                        CanonicalResponse::Launched(record_of(existing)),
+                        &ResponseKind::Launch { name: name.clone() },
+                    );
+                }
+                let native = self.aliases.native_flavor(flavor).to_string();
+                let id = self
+                    .cloud
+                    .boot(user, name, &native, ImageId(*image), now)
+                    .map_err(|e| ProviderError::Backend(format!("{e:?}")))?;
+                reply(
+                    CanonicalResponse::Launched(record_of(
+                        self.cloud.instance(id).expect("just booted"),
+                    )),
+                    &ResponseKind::Launch { name: name.clone() },
+                )
+            }
+            CanonicalRequest::TerminateInstance { id } => {
+                let iid = InstanceId(*id);
+                if self.cloud.instance(iid).map(|i| i.owner.as_str()) != Some(user) {
+                    return Err(ProviderError::Backend(format!("not found: server {id}")));
+                }
+                self.cloud
+                    .terminate(iid, now)
+                    .map_err(|e| ProviderError::Backend(format!("{e:?}")))?;
+                reply(
+                    CanonicalResponse::Terminated { id: *id },
+                    &ResponseKind::Terminate { id: *id },
+                )
+            }
+            CanonicalRequest::ListFlavors => reply(
+                CanonicalResponse::Flavors(
+                    self.cloud
+                        .flavors()
+                        .iter()
+                        .map(|f| FlavorRecord {
+                            name: f.name.clone(),
+                            vcpus: f.vcpus,
+                            ram_mb: f.ram_mb,
+                            disk_gb: f.disk_gb,
+                        })
+                        .collect(),
+                ),
+                &ResponseKind::Flavors,
+            ),
+            CanonicalRequest::ListImages => reply(
+                CanonicalResponse::Images(
+                    self.cloud
+                        .images()
+                        .map(|i| ImageRecord {
+                            id: i.id.0,
+                            name: i.name.clone(),
+                        })
+                        .collect(),
+                ),
+                &ResponseKind::Images,
+            ),
+        }
+    }
+
+    fn ground_truth(&self) -> Vec<(String, InstanceRecord)> {
+        billable_ground_truth(&self.cloud)
+    }
+
+    fn roundtrip_request(&self, req: &CanonicalRequest) -> Result<CanonicalRequest, ProviderError> {
+        let wire = openstack::encode_request(req, &self.aliases, Default::default())?;
+        openstack::decode_request(&wire, &self.aliases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn lagoon(lag_secs: u64) -> EventualProvider {
+        let mut aliases = AliasTables::default();
+        aliases.flavors.insert("small".into(), "m1.small".into());
+        aliases.images.insert("ubuntu-base".into(), 1);
+        EventualProvider::new(
+            "lagoon",
+            CloudController::with_racks("lagoon", 1),
+            aliases,
+            SimDuration::from_secs(lag_secs),
+        )
+    }
+
+    fn launch(name: &str) -> CanonicalRequest {
+        CanonicalRequest::LaunchInstance {
+            name: name.into(),
+            flavor: "small".into(),
+            image: 1,
+        }
+    }
+
+    fn listing(p: &mut EventualProvider, now_secs: u64) -> Vec<InstanceRecord> {
+        let CanonicalResponse::Instances(recs) = p
+            .call(
+                "alice",
+                &CanonicalRequest::ListInstances,
+                SimTime(now_secs * SEC),
+            )
+            .expect("lists")
+        else {
+            panic!()
+        };
+        recs
+    }
+
+    #[test]
+    fn fresh_launch_is_invisible_until_the_lag_passes() {
+        let mut p = lagoon(30);
+        p.call("alice", &launch("vm1"), SimTime(10 * SEC))
+            .expect("launches");
+        assert!(listing(&mut p, 15).is_empty(), "inside the lag window");
+        assert_eq!(listing(&mut p, 41).len(), 1, "window passed");
+    }
+
+    #[test]
+    fn terminated_instance_lingers_looking_alive() {
+        let mut p = lagoon(30);
+        let CanonicalResponse::Launched(rec) = p
+            .call("alice", &launch("vm1"), SimTime::ZERO)
+            .expect("launches")
+        else {
+            panic!()
+        };
+        p.call(
+            "alice",
+            &CanonicalRequest::TerminateInstance { id: rec.id },
+            SimTime(100 * SEC),
+        )
+        .expect("terminates");
+        assert!(p.ground_truth().is_empty(), "truth is immediate");
+        let ghosts = listing(&mut p, 110);
+        assert_eq!(ghosts.len(), 1, "read path still shows it");
+        assert_eq!(ghosts[0].status, CanonicalStatus::Active);
+        assert!(listing(&mut p, 131).is_empty(), "lag passed, ghost gone");
+    }
+
+    #[test]
+    fn writes_stay_strongly_consistent() {
+        let mut p = lagoon(3600);
+        let CanonicalResponse::Launched(a) = p
+            .call("alice", &launch("vm1"), SimTime::ZERO)
+            .expect("launches")
+        else {
+            panic!()
+        };
+        // Token dedupe works even while the listing shows nothing.
+        assert!(listing(&mut p, 1).is_empty());
+        let CanonicalResponse::Launched(b) = p
+            .call("alice", &launch("vm1"), SimTime(SEC))
+            .expect("relaunches")
+        else {
+            panic!()
+        };
+        assert_eq!(a.id, b.id, "no double boot through the fog");
+    }
+}

@@ -1,0 +1,59 @@
+//! osdc-providers: the pluggable provider runtime for the OSDC federation.
+//!
+//! The Tukey middleware (crates/tukey) proved the thesis on two dialects:
+//! one canonical intent, per-cloud translators, byte-faithful wire formats.
+//! This crate generalizes that design into a runtime other subsystems can
+//! build on:
+//!
+//! * [`canonical`] — provider-neutral request/response types, alias
+//!   tables mapping unified flavor/image names onto native ones, and a
+//!   typed [`canonical::ProviderError`].
+//! * [`wire`] — the wire-level envelope ([`wire::WireRequest`] /
+//!   [`wire::WireResponse`]) plus the shared XML/query-string parsers.
+//! * One translator module per dialect, each a pure `encode_*`/`decode_*`
+//!   pair with a compat-flags struct: [`openstack`] (Nova REST/JSON),
+//!   [`eucalyptus`] (EC2 query/XML), [`spot`] (a spot market with
+//!   preemption), [`paged`] (cursor-paginated JSON). [`eventual`] reuses
+//!   the Nova translator but lags its read path.
+//! * [`provider`] — the [`provider::Provider`] trait (capability
+//!   descriptor, canonical `call`, ground-truth introspection for
+//!   audits) and [`provider::ClassicProvider`], which ports the two
+//!   original Tukey dialects onto the trait.
+//! * [`pricing`] — per-provider pricing catalogs; the checked-in
+//!   snapshot lives at `data/pricing_catalogs.json`.
+//! * [`registry`] — [`registry::ProviderRegistry`]: the provider table
+//!   with per-call metering (telemetry counters + a usage/cost ledger)
+//!   and the chaos gate (API outage / timeout / lost-response / error
+//!   injection) the failover experiments drive.
+//! * [`router`] — [`router::FailoverRouter`]: cheapest-capable-first
+//!   launch placement with failover, suspect cooldowns, an orphan book
+//!   for timed-out mutations, reconcile, and assignment-driven billing
+//!   accrual that makes double-billing structurally impossible.
+//!
+//! The compat gate: `figure1_tukey` must produce byte-identical
+//! same-seed artifacts with the OpenStack and Eucalyptus dialects
+//! served through this crate's translators.
+
+pub mod canonical;
+pub mod eucalyptus;
+pub mod eventual;
+pub mod fleet;
+pub mod openstack;
+pub mod paged;
+pub mod pricing;
+pub mod provider;
+pub mod registry;
+pub mod router;
+pub mod spot;
+pub mod wire;
+
+pub use canonical::{
+    AliasTables, CanonicalRequest, CanonicalResponse, CanonicalStatus, FlavorRecord, ImageRecord,
+    InstanceRecord, ProviderError,
+};
+pub use fleet::{osdc_aliases, osdc_fleet};
+pub use pricing::{osdc_default_catalogs, render_catalogs, PricingCatalog};
+pub use provider::{CapabilityDescriptor, ClassicProvider, Consistency, Provider, WireFormat};
+pub use registry::{ApiHealth, ProviderRegistry, ProviderUsage, UsageLedger};
+pub use router::{Assignment, FailoverRouter, RouterScorecard};
+pub use wire::{WireRequest, WireResponse};

@@ -1,0 +1,37 @@
+//! Pricing-catalog snapshot: the shipped `data/pricing_catalogs.json`
+//! must be byte-identical to what `render_catalogs` produces from the
+//! in-code defaults. Billing math keys off these catalogs, so a drive-by
+//! rate edit that forgets one side of the pair fails loudly here.
+//!
+//! Regenerate after an intentional change with
+//! `OSDC_UPDATE_SNAPSHOTS=1 cargo test -p osdc-providers --test pricing_snapshot`.
+
+use osdc_providers::{osdc_default_catalogs, render_catalogs};
+
+const SNAPSHOT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../data/pricing_catalogs.json"
+);
+
+#[test]
+fn default_catalogs_match_the_shipped_snapshot() {
+    let rendered = render_catalogs(&osdc_default_catalogs());
+    if std::env::var_os("OSDC_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(SNAPSHOT, &rendered).expect("write snapshot");
+    }
+    let shipped = std::fs::read_to_string(SNAPSHOT)
+        .expect("data/pricing_catalogs.json missing — regenerate with OSDC_UPDATE_SNAPSHOTS=1");
+    assert_eq!(
+        shipped, rendered,
+        "data/pricing_catalogs.json is out of sync with osdc_default_catalogs(); \
+         regenerate with OSDC_UPDATE_SNAPSHOTS=1 if the rate change was intentional"
+    );
+}
+
+#[test]
+fn snapshot_parses_back_to_the_defaults() {
+    let shipped = std::fs::read_to_string(SNAPSHOT).expect("snapshot present");
+    let parsed: Vec<osdc_providers::PricingCatalog> =
+        serde_json::from_str(&shipped).expect("snapshot parses");
+    assert_eq!(parsed, osdc_default_catalogs());
+}

@@ -14,12 +14,25 @@
 //! `Action=...` query strings to the Eucalyptus stack — parsing its
 //! XML-ish replies back), tags every result with `"cloud": <name>`, and
 //! merges everything into one OpenStack-format JSON document.
+//!
+//! The dialect translation itself (canonical types, per-stack
+//! `encode_*`/`decode_*` functions) lives in `osdc-providers`; this
+//! module keeps Tukey's own concerns — credentials, fault gates, circuit
+//! breakers, retries, the latency model, and the per-cloud aggregation —
+//! and routes every request/response through the shared translators.
+//! Same-seed `figure1_tukey` artifacts are byte-identical with the
+//! pre-runtime proxy; the providers crate pins that as its compat gate.
 
 use std::collections::BTreeMap;
 
 use osdc_compute::{ApiError, CloudController, EucalyptusApi, OpenStackApi};
+use osdc_providers::openstack::ResponseKind;
+use osdc_providers::{
+    eucalyptus as ec2q, openstack as nova, AliasTables, CanonicalRequest, CanonicalResponse,
+    WireRequest, WireResponse,
+};
 use osdc_sim::{CircuitBreaker, RetryPolicy, SimDuration, SimRng, SimTime};
-use osdc_telemetry::{HistogramId, Telemetry};
+use osdc_telemetry::{CounterId, HistogramId, Telemetry};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
@@ -52,11 +65,12 @@ impl CloudMapping {
         serde_json::from_str(config).map_err(|e| format!("bad cloud mapping config: {e}"))
     }
 
-    fn native_flavor<'a>(&'a self, unified: &'a str) -> &'a str {
-        self.flavor_aliases
-            .get(unified)
-            .map(String::as_str)
-            .unwrap_or(unified)
+    /// The mapping's alias tables in the shared translator's form.
+    pub fn alias_tables(&self) -> AliasTables {
+        AliasTables {
+            flavors: self.flavor_aliases.clone(),
+            images: self.image_aliases.clone(),
+        }
     }
 }
 
@@ -73,6 +87,14 @@ pub enum ProxyError {
     /// The backend hung past the client timeout (injected fault).
     Timeout {
         cloud: String,
+    },
+    /// A dialect translator rejected the wire traffic (malformed reply,
+    /// unsupported operation). The old proxy dropped these on the floor
+    /// (`if let Ok(xml) = ...`); now they surface here and are counted
+    /// in telemetry (`tukey.fanout.errors` on the listing fan-out).
+    Translation {
+        cloud: String,
+        detail: String,
     },
 }
 
@@ -139,6 +161,12 @@ pub struct TranslationProxy {
     /// Modeled duration of the most recent proxied request, so callers
     /// (the console) can place their own spans on the sim clock.
     pub last_latency: SimDuration,
+    /// Translation/backend failures swallowed by the listing fan-out in
+    /// the old proxy, now collected per call for the console to surface.
+    fanout_errors: Vec<(String, ProxyError)>,
+    /// `tukey.fanout.errors` counter, registered lazily on first error so
+    /// clean runs keep their telemetry exports unchanged.
+    fanout_err_counter: Option<CounterId>,
 }
 
 /// Deterministic per-request backend latencies. There is no measured
@@ -158,23 +186,86 @@ fn per_item_latency() -> SimDuration {
     SimDuration::from_millis(1)
 }
 
-/// Pull `<tag>value</tag>` occurrences out of the Eucalyptus XML dialect.
-fn xml_values<'a>(xml: &'a str, tag: &str) -> Vec<&'a str> {
-    let open = format!("<{tag}>");
-    let close = format!("</{tag}>");
-    let mut out = Vec::new();
-    let mut rest = xml;
-    while let Some(start) = rest.find(&open) {
-        let after = &rest[start + open.len()..];
-        match after.find(&close) {
-            Some(end) => {
-                out.push(&after[..end]);
-                rest = &after[end + close.len()..];
-            }
-            None => break,
-        }
+/// Encode one canonical request onto this cloud's native wire via the
+/// shared dialect translators.
+fn encode_for(
+    mapping: &CloudMapping,
+    req: &CanonicalRequest,
+    tables: &AliasTables,
+) -> Result<WireRequest, ProxyError> {
+    match mapping.kind {
+        CloudStackKind::OpenStack => nova::encode_request(req, tables, Default::default()),
+        CloudStackKind::Eucalyptus => ec2q::encode_request(req, tables, Default::default()),
     }
-    out
+    .map_err(|e| ProxyError::Translation {
+        cloud: mapping.cloud.clone(),
+        detail: e.to_string(),
+    })
+}
+
+/// Dispatch one wire request to the matching native backend API. The
+/// wire family picks the server: REST goes to the OpenStack API, query
+/// strings to the Eucalyptus API.
+fn serve_wire(
+    controller: &mut CloudController,
+    user: &str,
+    wire: &WireRequest,
+    at: SimTime,
+) -> Result<WireResponse, ProxyError> {
+    match wire {
+        WireRequest::Rest { method, path, body } => OpenStackApi::new(controller)
+            .handle(user, method, path, body.as_ref(), at)
+            .map(WireResponse::Json)
+            .map_err(ProxyError::from),
+        WireRequest::Query(q) => EucalyptusApi::new(controller)
+            .handle(user, q, at)
+            .map(WireResponse::Xml)
+            .map_err(ProxyError::from),
+    }
+}
+
+/// Decode one native wire reply back into canonical form.
+fn decode_for(
+    mapping: &CloudMapping,
+    ctx: &ResponseKind,
+    resp: &WireResponse,
+) -> Result<CanonicalResponse, ProxyError> {
+    match mapping.kind {
+        CloudStackKind::OpenStack => nova::decode_response(ctx, resp),
+        CloudStackKind::Eucalyptus => ec2q::decode_response(ctx, resp),
+    }
+    .map_err(|e| ProxyError::Translation {
+        cloud: mapping.cloud.clone(),
+        detail: e.to_string(),
+    })
+}
+
+/// One backend's leg of the listing fan-out: encode `ListInstances` for
+/// its dialect, serve it natively, decode the reply, and render each
+/// record back into OpenStack-format JSON tagged with the cloud name.
+fn dialect_list(
+    mapping: &CloudMapping,
+    controller: &mut CloudController,
+    user: &str,
+    now: SimTime,
+) -> Result<Vec<Value>, ProxyError> {
+    let tables = mapping.alias_tables();
+    let wire = encode_for(mapping, &CanonicalRequest::ListInstances, &tables)?;
+    let resp = serve_wire(controller, user, &wire, now)?;
+    match decode_for(mapping, &ResponseKind::Instances, &resp)? {
+        CanonicalResponse::Instances(recs) => Ok(recs
+            .iter()
+            .map(|r| {
+                let mut item = nova::render_instance(r);
+                item["cloud"] = json!(mapping.cloud);
+                item
+            })
+            .collect()),
+        other => Err(ProxyError::Translation {
+            cloud: mapping.cloud.clone(),
+            detail: format!("listing decoded to unexpected response: {other:?}"),
+        }),
+    }
 }
 
 impl TranslationProxy {
@@ -197,6 +288,8 @@ impl TranslationProxy {
             retry: RetryPolicy::None,
             rng: SimRng::new(0x70cb),
             last_latency: SimDuration::ZERO,
+            fanout_errors: Vec::new(),
+            fanout_err_counter: None,
         }
     }
 
@@ -204,7 +297,32 @@ impl TranslationProxy {
     /// one latency histogram per backend cloud.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
         self.latency_hists = vec![None; self.backends.len()];
+        self.fanout_err_counter = None;
         self.tele = tele;
+    }
+
+    /// Drain the fan-out failures collected since the last call. The old
+    /// proxy dropped these silently; the console (or a campaign driver)
+    /// now decides how to present a partially-degraded landing page.
+    pub fn take_fanout_errors(&mut self) -> Vec<(String, ProxyError)> {
+        std::mem::take(&mut self.fanout_errors)
+    }
+
+    /// Record one swallowed-by-aggregation failure: kept for
+    /// [`Self::take_fanout_errors`] and counted in telemetry.
+    fn note_fanout_error(&mut self, cloud: &str, err: ProxyError) {
+        if self.tele.is_enabled() {
+            let c = match self.fanout_err_counter {
+                Some(c) => c,
+                None => {
+                    let c = self.tele.counter("tukey.fanout.errors");
+                    self.fanout_err_counter = Some(c);
+                    c
+                }
+            };
+            self.tele.incr(c);
+        }
+        self.fanout_errors.push((cloud.to_string(), err));
     }
 
     /// Register a cloud mid-run: the console starts aggregating it on the
@@ -439,49 +557,19 @@ impl TranslationProxy {
                 b.on_success();
             }
             let before = merged.len();
-            let (mapping, controller) = &mut self.backends[bi];
-            match mapping.kind {
-                CloudStackKind::OpenStack => {
-                    // Native call is already OpenStack-shaped.
-                    if let Ok(resp) =
-                        OpenStackApi::new(controller).handle(&user, "GET", "/servers", None, now)
-                    {
-                        if let Some(servers) = resp["servers"].as_array() {
-                            for s in servers {
-                                let mut s = s.clone();
-                                s["cloud"] = json!(mapping.cloud);
-                                merged.push(s);
-                            }
-                        }
-                    }
-                }
-                CloudStackKind::Eucalyptus => {
-                    // Native call speaks the query dialect; parse the XML
-                    // back into OpenStack-format JSON.
-                    if let Ok(xml) = EucalyptusApi::new(controller).handle(
-                        &user,
-                        "Action=DescribeInstances",
-                        now,
-                    ) {
-                        let ids = xml_values(&xml, "instanceId");
-                        let types = xml_values(&xml, "instanceType");
-                        let states = xml_values(&xml, "name");
-                        for ((iid, ty), st) in ids.iter().zip(&types).zip(&states) {
-                            merged.push(json!({
-                                "id": u64::from_str_radix(
-                                    iid.trim_start_matches("i-"), 16).unwrap_or(0),
-                                "name": iid,
-                                "status": match *st {
-                                    "running" => "ACTIVE",
-                                    "pending" => "BUILD",
-                                    "stopped" => "SHUTOFF",
-                                    other => other,
-                                },
-                                "flavor": {"name": ty},
-                                "cloud": mapping.cloud,
-                            }));
-                        }
-                    }
+            // Both dialects run the same encode → serve → decode path
+            // through the shared translators; failures degrade this
+            // cloud's leg to zero items but are surfaced and counted,
+            // never silently dropped.
+            let leg = {
+                let (mapping, controller) = &mut self.backends[bi];
+                dialect_list(mapping, controller, &user, now)
+            };
+            match leg {
+                Ok(items) => merged.extend(items),
+                Err(e) => {
+                    let cloud = self.backends[bi].0.cloud.clone();
+                    self.note_fanout_error(&cloud, e);
                 }
             }
             calls.push((bi, merged.len() - before, None));
@@ -555,38 +643,24 @@ impl TranslationProxy {
             .image_aliases
             .get(unified_image)
             .ok_or_else(|| ProxyError::UnknownImage(unified_image.to_string()))?;
-        let flavor = mapping.native_flavor(unified_flavor).to_string();
+        let req = CanonicalRequest::LaunchInstance {
+            name: name.to_string(),
+            flavor: unified_flavor.to_string(),
+            image: image_id,
+        };
+        let ctx = ResponseKind::of(&req);
+        let wire = encode_for(mapping, &req, &mapping.alias_tables())?;
         let latency = backend_base_latency(kind) + per_item_latency();
-        let mut result =
-            self.guarded_call(bi, now, latency, |(mapping, controller), at| {
-                match mapping.kind {
-                    CloudStackKind::OpenStack => {
-                        let body = json!({"server": {
-                            "name": name, "flavorRef": flavor, "imageRef": image_id,
-                        }});
-                        OpenStackApi::new(controller)
-                            .handle(&user, "POST", "/servers", Some(&body), at)
-                            .map_err(ProxyError::from)
-                    }
-                    CloudStackKind::Eucalyptus => {
-                        let query = format!(
-                            "Action=RunInstances&ImageId=emi-{image_id:08x}&InstanceType={flavor}&ClientToken={name}"
-                        );
-                        let xml = EucalyptusApi::new(controller)
-                            .handle(&user, &query, at)
-                            .map_err(ProxyError::from)?;
-                        let iid = xml_values(&xml, "instanceId")
-                            .first()
-                            .map(|s| s.to_string())
-                            .unwrap_or_default();
-                        Ok(json!({"server": {
-                            "id": u64::from_str_radix(iid.trim_start_matches("i-"), 16).unwrap_or(0),
-                            "name": name,
-                            "status": "ACTIVE",
-                        }}))
-                    }
-                }
-            })?;
+        let mut result = self.guarded_call(bi, now, latency, |(mapping, controller), at| {
+            let resp = serve_wire(controller, &user, &wire, at)?;
+            match decode_for(mapping, &ctx, &resp)? {
+                CanonicalResponse::Launched(rec) => Ok(nova::render_launch(&rec)),
+                other => Err(ProxyError::Translation {
+                    cloud: mapping.cloud.clone(),
+                    detail: format!("boot decoded to unexpected response: {other:?}"),
+                }),
+            }
+        })?;
         result["server"]["cloud"] = json!(cloud);
         Ok(result)
     }
@@ -602,26 +676,15 @@ impl TranslationProxy {
     ) -> Result<(), ProxyError> {
         let user = Self::cloud_user(vault, id, cloud)?;
         let bi = self.backend_index(cloud)?;
-        let latency = backend_base_latency(self.backends[bi].0.kind);
-        self.guarded_call(
-            bi,
-            now,
-            latency,
-            |(mapping, controller), at| match mapping.kind {
-                CloudStackKind::OpenStack => OpenStackApi::new(controller)
-                    .handle(&user, "DELETE", &format!("/servers/{server_id}"), None, at)
-                    .map(|_| ())
-                    .map_err(ProxyError::from),
-                CloudStackKind::Eucalyptus => EucalyptusApi::new(controller)
-                    .handle(
-                        &user,
-                        &format!("Action=TerminateInstances&InstanceId.1=i-{server_id:08x}"),
-                        at,
-                    )
-                    .map(|_| ())
-                    .map_err(ProxyError::from),
-            },
-        )
+        let mapping = &self.backends[bi].0;
+        let req = CanonicalRequest::TerminateInstance { id: server_id };
+        let ctx = ResponseKind::of(&req);
+        let wire = encode_for(mapping, &req, &mapping.alias_tables())?;
+        let latency = backend_base_latency(mapping.kind);
+        self.guarded_call(bi, now, latency, |(mapping, controller), at| {
+            let resp = serve_wire(controller, &user, &wire, at)?;
+            decode_for(mapping, &ctx, &resp).map(|_| ())
+        })
     }
 
     /// Aggregate per-minute usage across clouds for the billing poller
@@ -850,11 +913,29 @@ mod tests {
     }
 
     #[test]
-    fn xml_extraction() {
-        let xml = "<a><instanceId>i-1</instanceId><x/><instanceId>i-2</instanceId></a>";
-        assert_eq!(xml_values(xml, "instanceId"), vec!["i-1", "i-2"]);
-        assert!(xml_values(xml, "missing").is_empty());
-        assert!(xml_values("<open>unclosed", "open").is_empty());
+    fn fanout_errors_surface_and_count() {
+        let (mut proxy, vault, id) = setup();
+        let tele = Telemetry::new();
+        proxy.set_telemetry(tele.clone());
+        // A clean fan-out collects nothing and registers no counter.
+        proxy.list_servers(&vault, &id, SimTime::ZERO);
+        assert!(proxy.take_fanout_errors().is_empty());
+        assert_eq!(tele.counter_value("tukey.fanout.errors"), 0);
+        // A translation failure is kept, typed, and counted — the old
+        // proxy's `if let Ok(xml)` dropped this class on the floor.
+        proxy.note_fanout_error(
+            "sullivan",
+            ProxyError::Translation {
+                cloud: "sullivan".into(),
+                detail: "ragged DescribeInstances reply".into(),
+            },
+        );
+        let errs = proxy.take_fanout_errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].0, "sullivan");
+        assert!(matches!(errs[0].1, ProxyError::Translation { .. }));
+        assert!(proxy.take_fanout_errors().is_empty(), "drained");
+        assert_eq!(tele.counter_value("tukey.fanout.errors"), 1);
     }
 
     #[test]
