@@ -1,0 +1,124 @@
+//! A counting `GlobalAlloc` wrapper for zero-allocation hot-path tests.
+//!
+//! Install [`CountingAlloc`] as the test binary's `#[global_allocator]`,
+//! then bracket the code under test with [`count_allocations`]. Counts
+//! are kept in thread-local cells, so concurrently running `cargo test`
+//! threads do not perturb each other's measurements.
+//!
+//! ```
+//! use counting_alloc::{count_allocations, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let (stats, sum) = count_allocations(|| (0..100u64).sum::<u64>());
+//! assert_eq!(stats.allocations, 0, "summing must not allocate");
+//! assert_eq!(sum, 4950);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Wraps [`System`], counting every `alloc`/`realloc` on the current
+/// thread. Frees are not counted: the tests here assert that hot loops
+/// *acquire* no memory, and a free implies a prior counted acquisition.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counters are thread-local
+// and touched outside the delegated call, never re-entering the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation counts observed during one [`count_allocations`] window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `alloc` + `realloc` calls on this thread.
+    pub allocations: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+/// Run `f`, returning the allocation counts it incurred on this thread
+/// alongside its result. Requires [`CountingAlloc`] to be installed as
+/// the `#[global_allocator]`; with the default allocator the counts are
+/// always zero (vacuously passing), so tests should first assert that a
+/// deliberate allocation is visible — see `probe_is_live`.
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (AllocStats, T) {
+    let before_allocs = ALLOCATIONS.with(|c| c.get());
+    let before_bytes = BYTES.with(|c| c.get());
+    let value = f();
+    let stats = AllocStats {
+        allocations: ALLOCATIONS.with(|c| c.get()) - before_allocs,
+        bytes: BYTES.with(|c| c.get()) - before_bytes,
+    };
+    (stats, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc::new();
+
+    #[test]
+    fn probe_is_live() {
+        let (stats, v) = count_allocations(|| vec![1u8; 4096]);
+        assert!(stats.allocations >= 1, "Vec allocation must be counted");
+        assert!(stats.bytes >= 4096);
+        drop(v);
+    }
+
+    #[test]
+    fn pure_arithmetic_counts_zero() {
+        let (stats, sum) = count_allocations(|| (0..1000u64).map(|x| x ^ 0x55).sum::<u64>());
+        assert_eq!(stats.allocations, 0);
+        assert_eq!(stats.bytes, 0);
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn realloc_is_counted() {
+        let (stats, v) = count_allocations(|| {
+            let mut v = Vec::with_capacity(4);
+            for i in 0..1000u32 {
+                v.push(i); // forces several growth reallocs
+            }
+            v
+        });
+        assert!(stats.allocations >= 2, "growth reallocs must be counted");
+        assert_eq!(v.len(), 1000);
+    }
+}

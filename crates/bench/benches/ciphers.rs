@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use osdc_crypto::modes::CtrStream;
-use osdc_crypto::{md5::md5, BlockCipher64, Blowfish, TripleDes};
+use osdc_crypto::{ecb_encrypt, md5::md5, BlockCipher64, Blowfish, TripleDes};
 use std::hint::black_box;
 
 const MB: usize = 1 << 20;
@@ -30,6 +30,33 @@ fn bench_block_ciphers(c: &mut Criterion) {
         b.iter(|| {
             x = tdes.encrypt_block_u64(black_box(x));
             x
+        })
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    // The multi-block kernels behind `ecb_*`, CTR slab refill, and batched
+    // CBC decrypt (4-lane interleaved Blowfish / table-driven DES sweeps).
+    // `bench_hotpath` measures these against the per-block baselines; this
+    // leg keeps them under `cargo bench -- --test` smoke coverage.
+    let mut group = c.benchmark_group("cipher_batched");
+    let data = vec![0x5Au8; MB];
+    group.throughput(Throughput::Bytes(MB as u64));
+    let bf = Blowfish::new(b"table3 benchmark key");
+    group.bench_function(BenchmarkId::new("blowfish_ecb", "1MiB"), |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            ecb_encrypt(&bf, &mut buf);
+            buf
+        })
+    });
+    let tdes = TripleDes::from_single(*b"rsync3ds");
+    group.bench_function(BenchmarkId::new("3des_ecb", "1MiB"), |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            ecb_encrypt(&tdes, &mut buf);
+            buf
         })
     });
     group.finish();
@@ -64,6 +91,6 @@ fn bench_stream(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_block_ciphers, bench_stream
+    targets = bench_block_ciphers, bench_batched, bench_stream
 }
 criterion_main!(benches);

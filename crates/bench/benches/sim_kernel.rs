@@ -35,7 +35,30 @@ fn bench_engine(c: &mut Criterion) {
             engine.events_processed()
         })
     });
-    group.bench_function("preloaded_heap_100k", |b| {
+    group.bench_function("hold_steady_depth_10k", |b| {
+        // Constant queue depth: every delivery re-schedules itself, so the
+        // calendar queue's day-scan and bucket reuse dominate (the regime
+        // `bench_hotpath`'s scheduler scenarios measure).
+        struct Hold;
+        impl Simulation for Hold {
+            type Event = Ev;
+            fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+                sched.at(SimTime(now.as_nanos() + 9973), ev);
+            }
+        }
+        let mut engine = Engine::new();
+        for i in 0..10_000u64 {
+            engine.schedule(SimTime(7 * i + 1), Ev::Tick);
+        }
+        let mut world = Hold;
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                engine.step(&mut world).expect("hold model never drains");
+            }
+            engine.events_processed()
+        })
+    });
+    group.bench_function("preloaded_calendar_100k", |b| {
         b.iter(|| {
             let mut engine = Engine::new();
             for i in 0..EVENTS {

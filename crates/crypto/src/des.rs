@@ -121,6 +121,99 @@ fn permute(input: u64, in_bits: u32, table: &[u8]) -> u64 {
     out
 }
 
+/// `permute`, const-evaluable, for building the lookup tables below.
+const fn permute_const<const N: usize>(input: u64, in_bits: u32, table: &[u8; N]) -> u64 {
+    let mut out = 0u64;
+    let mut i = 0;
+    while i < N {
+        out = (out << 1) | (input >> (in_bits - table[i] as u32)) & 1;
+        i += 1;
+    }
+    out
+}
+
+// ---- Precomputed hot-path tables ------------------------------------------
+//
+// A bit permutation is linear over OR of disjoint inputs, so any 64→64
+// permutation splits into eight per-input-byte tables whose ORed outputs
+// reconstruct the full permutation — one table lookup per byte instead of
+// one shift-and-mask per output *bit*. The same trick covers the 32→48 E
+// expansion (four tables), and the S-box + P stage collapses into eight
+// "SPE" tables mapping each 6-bit S-box input straight to its P-permuted
+// 32-bit contribution. All tables are const-evaluated from the FIPS
+// tables above, so the ciphertext is bit-identical to the reference
+// `permute` path (pinned by the vectors below and by
+// `tests/batched_equivalence.rs`).
+
+/// Per-byte split of a 64→64 permutation.
+const fn build_perm64(table: &[u8; 64]) -> [[u64; 256]; 8] {
+    let mut out = [[0u64; 256]; 8];
+    let mut byte = 0;
+    while byte < 8 {
+        let mut v = 0usize;
+        while v < 256 {
+            out[byte][v] = permute_const((v as u64) << (56 - 8 * byte), 64, table);
+            v += 1;
+        }
+        byte += 1;
+    }
+    out
+}
+
+/// Per-byte split of the 32→48 E expansion.
+const fn build_e_tab() -> [[u64; 256]; 4] {
+    let mut out = [[0u64; 256]; 4];
+    let mut byte = 0;
+    while byte < 4 {
+        let mut v = 0usize;
+        while v < 256 {
+            out[byte][v] = permute_const((v as u64) << (24 - 8 * byte), 32, &E);
+            v += 1;
+        }
+        byte += 1;
+    }
+    out
+}
+
+/// S-box output pre-permuted through P: `SPE[i][six]` is the 32-bit
+/// contribution of S-box `i` fed the 6-bit value `six`.
+const fn build_spe() -> [[u32; 64]; 8] {
+    let mut out = [[0u32; 64]; 8];
+    let mut i = 0;
+    while i < 8 {
+        let mut six = 0usize;
+        while six < 64 {
+            let s = six as u8;
+            let row = ((s & 0x20) >> 4) | (s & 1);
+            let col = (s >> 1) & 0x0F;
+            let val = SBOX[i][(row * 16 + col) as usize] as u64;
+            let placed = val << (4 * (7 - i)); // nibble position i of the 32-bit word
+            out[i][six] = permute_const(placed, 32, &P) as u32;
+            six += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+static IP_TAB: [[u64; 256]; 8] = build_perm64(&IP);
+static FP_TAB: [[u64; 256]; 8] = build_perm64(&FP);
+static E_TAB: [[u64; 256]; 4] = build_e_tab();
+static SPE: [[u32; 64]; 8] = build_spe();
+
+/// Apply a per-byte-split 64→64 permutation.
+#[inline]
+fn apply_perm64(tab: &[[u64; 256]; 8], x: u64) -> u64 {
+    tab[0][(x >> 56) as usize]
+        | tab[1][(x >> 48 & 0xFF) as usize]
+        | tab[2][(x >> 40 & 0xFF) as usize]
+        | tab[3][(x >> 32 & 0xFF) as usize]
+        | tab[4][(x >> 24 & 0xFF) as usize]
+        | tab[5][(x >> 16 & 0xFF) as usize]
+        | tab[6][(x >> 8 & 0xFF) as usize]
+        | tab[7][(x & 0xFF) as usize]
+}
+
 /// Single-key DES.
 #[derive(Clone)]
 pub struct Des {
@@ -146,22 +239,27 @@ impl Des {
         Des { subkeys }
     }
 
+    /// The round function over the precomputed E/SPE tables: four lookups
+    /// expand R, eight lookups fold S-boxes and P together.
     #[inline]
     fn f(r: u32, subkey: u64) -> u32 {
-        let expanded = permute(r as u64, 32, &E) ^ subkey;
-        let mut out = 0u32;
-        for (i, sbox) in SBOX.iter().enumerate() {
-            let six = (expanded >> (42 - 6 * i)) as u8 & 0x3F;
-            // Row = outer bits, column = inner 4 bits.
-            let row = ((six & 0x20) >> 4) | (six & 1);
-            let col = (six >> 1) & 0x0F;
-            out = (out << 4) | sbox[(row * 16 + col) as usize] as u32;
-        }
-        permute(out as u64, 32, &P) as u32
+        let expanded = (E_TAB[0][(r >> 24) as usize]
+            | E_TAB[1][(r >> 16 & 0xFF) as usize]
+            | E_TAB[2][(r >> 8 & 0xFF) as usize]
+            | E_TAB[3][(r & 0xFF) as usize])
+            ^ subkey;
+        SPE[0][(expanded >> 42 & 0x3F) as usize]
+            ^ SPE[1][(expanded >> 36 & 0x3F) as usize]
+            ^ SPE[2][(expanded >> 30 & 0x3F) as usize]
+            ^ SPE[3][(expanded >> 24 & 0x3F) as usize]
+            ^ SPE[4][(expanded >> 18 & 0x3F) as usize]
+            ^ SPE[5][(expanded >> 12 & 0x3F) as usize]
+            ^ SPE[6][(expanded >> 6 & 0x3F) as usize]
+            ^ SPE[7][(expanded & 0x3F) as usize]
     }
 
     fn crypt(&self, block: u64, decrypt: bool) -> u64 {
-        let ip = permute(block, 64, &IP);
+        let ip = apply_perm64(&IP_TAB, block);
         let mut l = (ip >> 32) as u32;
         let mut r = ip as u32;
         for round in 0..16 {
@@ -176,7 +274,47 @@ impl Des {
         }
         // Note the final swap: output is (R16, L16).
         let preoutput = (r as u64) << 32 | l as u64;
-        permute(preoutput, 64, &FP)
+        apply_perm64(&FP_TAB, preoutput)
+    }
+
+    /// Four blocks with the rounds interleaved: each round's E/SPE
+    /// lookups serialize within a block, so independent lanes let the
+    /// core overlap the loads. Bytes identical to four `crypt` calls.
+    #[inline]
+    fn crypt4(&self, blocks: &mut [u64], decrypt: bool) {
+        let mut l = [0u32; 4];
+        let mut r = [0u32; 4];
+        for lane in 0..4 {
+            let ip = apply_perm64(&IP_TAB, blocks[lane]);
+            l[lane] = (ip >> 32) as u32;
+            r[lane] = ip as u32;
+        }
+        for round in 0..16 {
+            let subkey = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            for lane in 0..4 {
+                let next_r = l[lane] ^ Self::f(r[lane], subkey);
+                l[lane] = r[lane];
+                r[lane] = next_r;
+            }
+        }
+        for lane in 0..4 {
+            let preoutput = (r[lane] as u64) << 32 | l[lane] as u64;
+            blocks[lane] = apply_perm64(&FP_TAB, preoutput);
+        }
+    }
+
+    fn crypt_blocks(&self, blocks: &mut [u64], decrypt: bool) {
+        let mut chunks = blocks.chunks_exact_mut(4);
+        for quad in &mut chunks {
+            self.crypt4(quad, decrypt);
+        }
+        for b in chunks.into_remainder() {
+            *b = self.crypt(*b, decrypt);
+        }
     }
 }
 
@@ -186,6 +324,12 @@ impl BlockCipher64 for Des {
     }
     fn decrypt_block_u64(&self, block: u64) -> u64 {
         self.crypt(block, true)
+    }
+    fn encrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        self.crypt_blocks(blocks, false);
+    }
+    fn decrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        self.crypt_blocks(blocks, true);
     }
 }
 
@@ -231,6 +375,20 @@ impl BlockCipher64 for TripleDes {
     fn decrypt_block_u64(&self, block: u64) -> u64 {
         self.k1
             .decrypt_block_u64(self.k2.encrypt_block_u64(self.k3.decrypt_block_u64(block)))
+    }
+
+    /// Three interleaved sweeps instead of three serial DES calls per
+    /// block — the EDE3 stages batch independently.
+    fn encrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        self.k1.crypt_blocks(blocks, false);
+        self.k2.crypt_blocks(blocks, true);
+        self.k3.crypt_blocks(blocks, false);
+    }
+
+    fn decrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        self.k3.crypt_blocks(blocks, true);
+        self.k2.crypt_blocks(blocks, false);
+        self.k1.crypt_blocks(blocks, true);
     }
 }
 

@@ -39,7 +39,7 @@ pub mod sign;
 pub use blowfish::Blowfish;
 pub use des::{Des, TripleDes};
 pub use md5::Md5;
-pub use modes::{BlockCipher64, CbcEncryptor, CtrStream, Pkcs7};
+pub use modes::{ecb_decrypt, ecb_encrypt, BlockCipher64, CbcEncryptor, CtrStream, Pkcs7};
 pub use sign::{KeyId, Keyring, Signature, SignatureError, SigningKey};
 
 /// Ciphers named in the paper's Table 3 rows.

@@ -10,6 +10,24 @@ pub trait BlockCipher64 {
     fn encrypt_block_u64(&self, block: u64) -> u64;
     fn decrypt_block_u64(&self, block: u64) -> u64;
 
+    /// Encrypt many *independent* blocks in place (ECB/CTR building
+    /// block). The default loops one block at a time; ciphers override it
+    /// with interleaved multi-block kernels that produce identical bytes
+    /// (pinned by `tests/batched_equivalence.rs`).
+    fn encrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        for b in blocks {
+            *b = self.encrypt_block_u64(*b);
+        }
+    }
+
+    /// Decrypt many independent blocks in place; see
+    /// [`BlockCipher64::encrypt_blocks_u64`].
+    fn decrypt_blocks_u64(&self, blocks: &mut [u64]) {
+        for b in blocks {
+            *b = self.decrypt_block_u64(*b);
+        }
+    }
+
     /// Encrypt an 8-byte block in place (big-endian convention).
     fn encrypt_block(&self, block: &mut [u8; 8]) {
         *block = self
@@ -22,6 +40,40 @@ pub trait BlockCipher64 {
         *block = self
             .decrypt_block_u64(u64::from_be_bytes(*block))
             .to_be_bytes();
+    }
+}
+
+/// Blocks per stack slab in the batched ECB/CBC kernels.
+const ECB_SLAB_BLOCKS: usize = 32;
+
+/// ECB encryption over a block-aligned byte buffer, `ECB_SLAB_BLOCKS`
+/// blocks per cipher call (big-endian block convention, identical bytes
+/// to a per-block loop). Panics if `data.len()` is not a multiple of 8.
+pub fn ecb_encrypt<C: BlockCipher64>(cipher: &C, data: &mut [u8]) {
+    ecb_apply(data, |slab| cipher.encrypt_blocks_u64(slab));
+}
+
+/// ECB decryption; the inverse of [`ecb_encrypt`].
+pub fn ecb_decrypt<C: BlockCipher64>(cipher: &C, data: &mut [u8]) {
+    ecb_apply(data, |slab| cipher.decrypt_blocks_u64(slab));
+}
+
+fn ecb_apply(data: &mut [u8], mut kernel: impl FnMut(&mut [u64])) {
+    assert!(
+        data.len().is_multiple_of(8),
+        "ECB needs block-aligned data, got {} bytes",
+        data.len()
+    );
+    let mut slab = [0u64; ECB_SLAB_BLOCKS];
+    for chunk in data.chunks_mut(ECB_SLAB_BLOCKS * 8) {
+        let n = chunk.len() / 8;
+        for (s, b) in slab[..n].iter_mut().zip(chunk.chunks_exact(8)) {
+            *s = u64::from_be_bytes(b.try_into().expect("8-byte block"));
+        }
+        kernel(&mut slab[..n]);
+        for (s, b) in slab[..n].iter().zip(chunk.chunks_exact_mut(8)) {
+            b.copy_from_slice(&s.to_be_bytes());
+        }
     }
 }
 
@@ -75,17 +127,30 @@ impl<'c, C: BlockCipher64> CbcEncryptor<'c, C> {
 
     /// Returns `None` if the ciphertext length is not block-aligned or the
     /// padding is invalid (i.e. wrong key/IV or corruption).
+    ///
+    /// Unlike encryption (inherently serial: each block's input chains on
+    /// the previous ciphertext), CBC decryption runs the cipher over
+    /// independent ciphertext blocks, so it batches through
+    /// [`BlockCipher64::decrypt_blocks_u64`] with the XOR chain applied
+    /// afterwards.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
         if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(8) {
             return None;
         }
         let mut data = ciphertext.to_vec();
         let mut prev = self.iv;
-        for chunk in data.chunks_exact_mut(8) {
-            let block = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
-            let plain = self.cipher.decrypt_block_u64(block) ^ prev;
-            prev = block;
-            chunk.copy_from_slice(&plain.to_be_bytes());
+        for chunk in data.chunks_mut(ECB_SLAB_BLOCKS * 8) {
+            let n = chunk.len() / 8;
+            let mut ct = [0u64; ECB_SLAB_BLOCKS];
+            for (c, b) in ct[..n].iter_mut().zip(chunk.chunks_exact(8)) {
+                *c = u64::from_be_bytes(b.try_into().expect("8-byte block"));
+            }
+            let mut slab = ct;
+            self.cipher.decrypt_blocks_u64(&mut slab[..n]);
+            for (i, b) in chunk.chunks_exact_mut(8).enumerate() {
+                b.copy_from_slice(&(slab[i] ^ prev).to_be_bytes());
+                prev = ct[i];
+            }
         }
         Pkcs7::unpad(&mut data)?;
         Some(data)
@@ -113,7 +178,7 @@ pub struct CtrStream<'c, C: BlockCipher64> {
 }
 
 /// Blocks generated per [`CtrStream`] keystream refill.
-pub const CTR_BATCH_BLOCKS: usize = 8;
+pub const CTR_BATCH_BLOCKS: usize = 32;
 
 impl<'c, C: BlockCipher64> CtrStream<'c, C> {
     /// Blocks generated per keystream refill.
@@ -131,12 +196,18 @@ impl<'c, C: BlockCipher64> CtrStream<'c, C> {
     }
 
     /// Generate enough blocks for `need` more bytes, capped at one batch.
+    /// The counter blocks are laid out in a slab and encrypted through one
+    /// [`BlockCipher64::encrypt_blocks_u64`] call.
     fn refill(&mut self, need: usize) {
         let blocks = need.div_ceil(8).clamp(1, CTR_BATCH_BLOCKS);
-        for out in self.keystream.chunks_exact_mut(8).take(blocks) {
-            let block = self.nonce ^ self.counter;
+        let mut slab = [0u64; CTR_BATCH_BLOCKS];
+        for s in slab.iter_mut().take(blocks) {
+            *s = self.nonce ^ self.counter;
             self.counter = self.counter.wrapping_add(1);
-            out.copy_from_slice(&self.cipher.encrypt_block_u64(block).to_be_bytes());
+        }
+        self.cipher.encrypt_blocks_u64(&mut slab[..blocks]);
+        for (out, s) in self.keystream.chunks_exact_mut(8).zip(&slab[..blocks]) {
+            out.copy_from_slice(&s.to_be_bytes());
         }
         self.filled = blocks * 8;
         self.used = 0;

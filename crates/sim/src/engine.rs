@@ -1,13 +1,34 @@
-//! The event engine: a virtual clock plus a priority queue of typed events.
+//! The event engine: a virtual clock plus a calendar-queue of typed events.
 //!
 //! The design keeps simulation *state* in the user's type (the `World`) and
 //! *time* in the engine. An event is any user value `E`; handling an event
 //! may schedule further events through the [`Scheduler`] handed to
 //! [`Simulation::handle`]. Ties at equal timestamps are broken by scheduling
 //! order, making every run a total order and therefore reproducible.
+//!
+//! ## The calendar queue
+//!
+//! The queue is a bucketed *calendar queue* (Brown 1988): an array of
+//! `2^k` buckets, each a plain `Vec`, where an event at time `t` lives in
+//! bucket `(t >> width_shift) & (2^k - 1)`. Insert appends to the target
+//! bucket — O(1), no per-event allocation once bucket capacity is warm.
+//! Pop scans forward from the current virtual "day" (`floor >> shift`);
+//! because events can never be scheduled into the past, the first day with
+//! a resident event contains the global minimum, and at a healthy load
+//! factor that scan touches O(1) entries. When events are sparser than one
+//! per calendar year the scan falls back to a direct minimum search, so
+//! correctness never depends on the width being well tuned. The bucket
+//! count doubles/halves when the load factor drifts outside `[1/4, 2]`,
+//! and each rebuild re-derives the bucket width from the observed average
+//! event spacing.
+//!
+//! Within a bucket the minimum is chosen by `(time, seq)`, the same total
+//! order the previous `BinaryHeap` implementation used — so the pop order
+//! (including FIFO delivery of same-timestamp events) is *bit-identical*
+//! to the heap's, which `tests/calendar_differential.rs` pins with a
+//! differential proptest against a reference heap.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::Cell;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -49,25 +70,155 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Initial (and minimum) bucket count; always a power of two.
+const MIN_BUCKETS: usize = 16;
+/// Initial bucket width: 2^20 ns ≈ 1 ms, re-derived at the first resize.
+const INITIAL_SHIFT: u32 = 20;
+
+/// The bucketed calendar queue described in the module docs.
+struct CalendarQueue<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two.
+    mask: usize,
+    /// Bucket "day" width is `1 << shift` nanoseconds.
+    shift: u32,
+    len: usize,
+    /// Lower bound on every resident timestamp (the last popped time).
+    /// Scheduling into the past is impossible, so the forward day scan
+    /// starting here is exhaustive.
+    floor: u64,
+    /// Cached position `(bucket, slot)` and key `(at, seq)` of the current
+    /// minimum, so a peek followed by a pop scans once, not twice. `Cell`
+    /// because `peek` takes `&self`. Invalidated by pop and rebuild;
+    /// updated in place by push.
+    min_pos: Cell<Option<(usize, usize)>>,
+    min_key: Cell<(u64, u64)>,
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<E> CalendarQueue<E> {
+    fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            shift: INITIAL_SHIFT,
+            len: 0,
+            floor: 0,
+            min_pos: Cell::new(None),
+            min_key: Cell::new((0, 0)),
+        }
     }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
-        // among equal times, lowest sequence number first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    #[inline]
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at >> self.shift) as usize) & self.mask
+    }
+
+    #[inline]
+    fn push(&mut self, entry: Entry<E>) {
+        let key = (entry.at.0, entry.seq);
+        let b = self.bucket_of(entry.at.0);
+        self.buckets[b].push(entry);
+        // Appends never move existing entries, so a cached minimum stays
+        // valid; it only changes if the new entry sorts first.
+        if self.min_pos.get().is_some() && key < self.min_key.get() {
+            self.min_pos.set(Some((b, self.buckets[b].len() - 1)));
+            self.min_key.set(key);
+        }
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Locate the minimum `(at, seq)` entry: forward day scan from the
+    /// floor, falling back to a direct sweep when the calendar is sparse.
+    fn find_min(&self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(pos) = self.min_pos.get() {
+            return Some(pos);
+        }
+        let nbuckets = self.buckets.len();
+        let start_day = self.floor >> self.shift;
+        let mut found: Option<((u64, u64), (usize, usize))> = None;
+        // Every resident timestamp is >= floor, and all events of day `d`
+        // precede all events of day `d + 1`, so the first day with a
+        // resident event holds the global minimum.
+        for day in start_day..start_day.saturating_add(nbuckets as u64) {
+            let b = (day as usize) & self.mask;
+            for (slot, e) in self.buckets[b].iter().enumerate() {
+                if e.at.0 >> self.shift == day {
+                    let key = (e.at.0, e.seq);
+                    if found.is_none_or(|(best, _)| key < best) {
+                        found = Some((key, (b, slot)));
+                    }
+                }
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        if found.is_none() {
+            // Sparse: nothing within one calendar year of the floor.
+            for (b, bucket) in self.buckets.iter().enumerate() {
+                for (slot, e) in bucket.iter().enumerate() {
+                    let key = (e.at.0, e.seq);
+                    if found.is_none_or(|(best, _)| key < best) {
+                        found = Some((key, (b, slot)));
+                    }
+                }
+            }
+        }
+        let (key, pos) = found.expect("len > 0 implies an entry exists");
+        self.min_pos.set(Some(pos));
+        self.min_key.set(key);
+        Some(pos)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.find_min().map(|_| SimTime(self.min_key.get().0))
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        let (b, slot) = self.find_min()?;
+        self.min_pos.set(None);
+        let entry = self.buckets[b].swap_remove(slot);
+        self.len -= 1;
+        self.floor = entry.at.0;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some(entry)
+    }
+
+    /// Rebuild with `new_nbuckets` buckets, re-deriving the day width from
+    /// the observed average event spacing so the load stays near one event
+    /// per bucket-day.
+    fn resize(&mut self, new_nbuckets: usize) {
+        let new_nbuckets = new_nbuckets.max(MIN_BUCKETS);
+        let old = std::mem::take(&mut self.buckets);
+        let (mut min_at, mut max_at) = (u64::MAX, 0u64);
+        for e in old.iter().flatten() {
+            min_at = min_at.min(e.at.0);
+            max_at = max_at.max(e.at.0);
+        }
+        if self.len > 1 && max_at > min_at {
+            let avg_gap = (max_at - min_at) / self.len as u64;
+            // Width = smallest power of two >= the average gap, so a day
+            // holds ~1-2 events and the forward scan stays O(1). Clamped
+            // below 63 so `at >> shift` can never overflow the shift.
+            self.shift = (64 - avg_gap.max(1).leading_zeros()).min(62);
+        }
+        self.mask = new_nbuckets - 1;
+        self.buckets = (0..new_nbuckets)
+            .map(|_| Vec::with_capacity(2 + self.len / new_nbuckets))
+            .collect();
+        for e in old.into_iter().flatten() {
+            let b = self.bucket_of(e.at.0);
+            self.buckets[b].push(e);
+        }
+        self.min_pos.set(None);
     }
 }
 
@@ -76,7 +227,7 @@ impl<E> Ord for Entry<E> {
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Entry<E>>,
+    queue: CalendarQueue<E>,
 }
 
 impl<E> Scheduler<E> {
@@ -84,7 +235,7 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
         }
     }
 
@@ -111,17 +262,21 @@ impl<E> Scheduler<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.queue.push(Entry { at, seq, event });
     }
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.queue.peek_time()
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        self.queue.pop()
     }
 }
 
@@ -183,16 +338,16 @@ impl<E> Engine<E> {
     where
         S: Simulation<Event = E>,
     {
-        while let Some(entry) = self.sched.heap.peek() {
-            if entry.at > until {
+        while let Some(at) = self.sched.peek_time() {
+            if at > until {
                 self.sched.now = until;
                 return until;
             }
-            let Entry { at, event, .. } = self.sched.heap.pop().expect("peeked entry vanished");
+            let Entry { at, event, .. } = self.sched.pop().expect("peeked entry vanished");
             self.sched.now = at;
             self.events_processed += 1;
             if let Some(p) = self.probe.as_mut() {
-                p(at, self.sched.heap.len());
+                p(at, self.sched.pending());
             }
             world.handle(at, event, &mut self.sched);
         }
@@ -214,11 +369,11 @@ impl<E> Engine<E> {
     where
         S: Simulation<Event = E>,
     {
-        let entry = self.sched.heap.pop()?;
+        let entry = self.sched.pop()?;
         self.sched.now = entry.at;
         self.events_processed += 1;
         if let Some(p) = self.probe.as_mut() {
-            p(entry.at, self.sched.heap.len());
+            p(entry.at, self.sched.pending());
         }
         world.handle(entry.at, entry.event, &mut self.sched);
         Some(entry.at)
@@ -252,12 +407,12 @@ impl<E> Engine<E> {
         let at = self.sched.peek_time()?;
         let mut dispatched = 0;
         while self.sched.peek_time() == Some(at) {
-            let entry = self.sched.heap.pop().expect("peeked entry vanished");
+            let entry = self.sched.pop().expect("peeked entry vanished");
             self.sched.now = at;
             self.events_processed += 1;
             dispatched += 1;
             if let Some(p) = self.probe.as_mut() {
-                p(at, self.sched.heap.len());
+                p(at, self.sched.pending());
             }
             world.handle(at, entry.event, &mut self.sched);
         }
@@ -466,5 +621,39 @@ mod tests {
         eng.run_to_completion(&mut w);
         let times: Vec<u64> = w.seen.iter().map(|(t, _)| *t).collect();
         assert!(times.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn resize_survives_growth_and_drain() {
+        // Push enough to force several grow rebuilds, with a wide spread of
+        // timestamps so the width re-derivation runs, then drain through
+        // the shrink path. Order must stay exact throughout.
+        let mut eng: Engine<Ev> = Engine::new();
+        let mut rng = crate::rng::SimRng::new(2012);
+        let mut expected: Vec<u64> = Vec::new();
+        for i in 0..5000 {
+            let t = rng.below(1 << 40);
+            expected.push(t);
+            eng.schedule(SimTime(t), Ev::Ping(i));
+        }
+        expected.sort_unstable();
+        let mut w = Recorder::default();
+        eng.run_to_completion(&mut w);
+        let seen: Vec<u64> = w.seen.iter().map(|(t, _)| *t).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        // Events far beyond one calendar year of the floor exercise the
+        // direct-sweep fallback.
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule(SimTime(1), Ev::Ping(0));
+        eng.schedule(SimTime(u64::MAX / 2), Ev::Ping(1));
+        eng.schedule(SimTime(u64::MAX - 1), Ev::Ping(2));
+        let mut w = Recorder::default();
+        eng.run_to_completion(&mut w);
+        let times: Vec<u64> = w.seen.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![1, u64::MAX / 2, u64::MAX - 1]);
     }
 }

@@ -15,8 +15,6 @@
 //! Signature computation is embarrassingly parallel over blocks, so it
 //! fans out with crossbeam scoped threads when the input is large.
 
-use std::collections::HashMap;
-
 use osdc_crypto::md5::md5;
 use osdc_telemetry::audit;
 
@@ -128,16 +126,109 @@ pub fn compute_signatures(basis: &[u8], block_size: usize) -> Signatures {
     }
 }
 
-/// Generate the delta that rewrites a file with the given `signatures`
-/// into `new_data`.
-pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
-    let bs = signatures.block_size;
-    // weak → candidate blocks (collisions are expected; strong sum decides).
-    let mut by_weak: HashMap<u32, Vec<&BlockSignature>> =
-        HashMap::with_capacity(signatures.blocks.len());
-    for sig in &signatures.blocks {
-        by_weak.entry(sig.weak).or_default().push(sig);
+/// Bits of the weak checksum used to bucket signatures in
+/// [`DeltaScratch`]; rsync uses the same low-16-bit scheme.
+const WEAK_HASH_BITS: u32 = 16;
+const WEAK_BUCKETS: usize = 1 << WEAK_HASH_BITS;
+
+/// Reusable scratch for [`generate_delta_with`]: a flat chained hash
+/// index over the basis signatures (bucketed by the low 16 weak-checksum
+/// bits, rsync-style). Holding one of these across files keeps the scan
+/// loop free of allocation — the counting-allocator test in
+/// `tests/zero_alloc.rs` pins that no per-window allocation happens at
+/// steady state.
+#[derive(Default)]
+pub struct DeltaScratch {
+    /// `head[weak & 0xFFFF]` → first signature index in the chain, or -1.
+    head: Vec<i32>,
+    /// `next[i]` → next signature index in `i`'s bucket chain, or -1.
+    next: Vec<i32>,
+    /// One bit per bucket: set iff the bucket is non-empty. The `head`
+    /// table is 256 KiB and the scan probes it at a random index per
+    /// window, so miss-dominated scans were paying an L2 access per
+    /// window; this 8 KiB bitmap stays L1-resident and answers the
+    /// common "no candidates" case without touching `head`.
+    occupied: Vec<u64>,
+}
+
+impl DeltaScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
+
+    /// (Re)build the chained index for `signatures`. Inserting in reverse
+    /// block order makes each chain iterate in ascending block index, so
+    /// candidate preference (lowest index wins) matches the old
+    /// `HashMap<u32, Vec<_>>` implementation byte-for-byte.
+    fn index(&mut self, signatures: &Signatures) {
+        if self.head.len() != WEAK_BUCKETS {
+            self.head = vec![-1; WEAK_BUCKETS];
+        } else {
+            self.head.fill(-1);
+        }
+        if self.occupied.len() != WEAK_BUCKETS / 64 {
+            self.occupied = vec![0; WEAK_BUCKETS / 64];
+        } else {
+            self.occupied.fill(0);
+        }
+        self.next.clear();
+        self.next.resize(signatures.blocks.len(), -1);
+        for (i, sig) in signatures.blocks.iter().enumerate().rev() {
+            let bucket = (sig.weak & (WEAK_BUCKETS as u32 - 1)) as usize;
+            self.next[i] = self.head[bucket];
+            self.head[bucket] = i as i32;
+            self.occupied[bucket >> 6] |= 1u64 << (bucket & 63);
+        }
+    }
+
+    /// First full-size block whose weak and strong checksums both match
+    /// `window`. MD5 is computed lazily, once, on the first weak hit.
+    #[inline]
+    fn find_match<'s>(
+        &self,
+        signatures: &'s Signatures,
+        weak: u32,
+        window: &[u8],
+        full_blocks: usize,
+    ) -> Option<&'s BlockSignature> {
+        let bucket = (weak & (WEAK_BUCKETS as u32 - 1)) as usize;
+        if self.occupied[bucket >> 6] & (1u64 << (bucket & 63)) == 0 {
+            return None;
+        }
+        let mut cand = self.head[bucket];
+        let mut strong: Option<[u8; 16]> = None;
+        while cand >= 0 {
+            let sig = &signatures.blocks[cand as usize];
+            if sig.weak == weak && (sig.index as usize) < full_blocks {
+                let s = strong.get_or_insert_with(|| md5(window));
+                if sig.strong == *s {
+                    return Some(sig);
+                }
+            }
+            cand = self.next[cand as usize];
+        }
+        None
+    }
+}
+
+/// Generate the delta that rewrites a file with the given `signatures`
+/// into `new_data`, with private scratch. Callers generating many deltas
+/// (sync sessions) should hold a [`DeltaScratch`] and use
+/// [`generate_delta_with`] to amortize the index and buffers.
+pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
+    generate_delta_with(signatures, new_data, &mut DeltaScratch::new())
+}
+
+/// [`generate_delta`] with caller-owned scratch. The scan path — rolling
+/// window, weak-bucket probe, lazy MD5 confirm — performs no heap
+/// allocation; only emitting ops at match boundaries does.
+pub fn generate_delta_with(
+    signatures: &Signatures,
+    new_data: &[u8],
+    scratch: &mut DeltaScratch,
+) -> Delta {
+    let bs = signatures.block_size;
+    scratch.index(signatures);
     // Only full-size blocks can match mid-stream; a short final block can
     // only match at the very end of the data. Handle full blocks in the
     // scan and check the tail block separately.
@@ -145,13 +236,18 @@ pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
     let tail_len = signatures.basis_len % bs;
 
     let mut delta = Delta::default();
-    let mut literal_run: Vec<u8> = Vec::new();
     let mut pos = 0usize;
+    // Literal runs are always contiguous spans of `new_data`, so the scan
+    // tracks only the run's start index — no per-byte buffering — and the
+    // flush slices the input directly.
+    let mut lit_start = 0usize;
 
-    let flush_literals = |delta: &mut Delta, run: &mut Vec<u8>| {
-        if !run.is_empty() {
-            delta.literal_bytes += run.len();
-            delta.ops.push(DeltaOp::Literal(std::mem::take(run)));
+    let flush_literals = |delta: &mut Delta, start: usize, end: usize| {
+        if end > start {
+            delta.literal_bytes += end - start;
+            delta
+                .ops
+                .push(DeltaOp::Literal(new_data[start..end].to_vec()));
         }
     };
 
@@ -167,22 +263,14 @@ pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
                 v
             }
         };
-        let matched = by_weak.get(&weak).and_then(|cands| {
-            // Confirm with the strong checksum, full-size blocks only.
-            let strong = md5(window);
-            cands
-                .iter()
-                .find(|s| (s.index as usize) < full_blocks && s.strong == strong)
-                .copied()
-        });
-        if let Some(sig) = matched {
-            flush_literals(&mut delta, &mut literal_run);
+        if let Some(sig) = scratch.find_match(signatures, weak, window, full_blocks) {
+            flush_literals(&mut delta, lit_start, pos);
             delta.matched_bytes += bs;
             delta.ops.push(DeltaOp::Copy { index: sig.index });
             pos += bs;
+            lit_start = pos;
             rc = None;
         } else {
-            literal_run.push(new_data[pos]);
             if pos + bs < new_data.len() {
                 rc.as_mut()
                     .expect("rolling state exists inside the scan")
@@ -205,10 +293,10 @@ pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
                 .blocks
                 .last()
                 .expect("tail_len > 0 implies a final block");
-            let (lead, suffix) = rest.split_at(rest.len() - tail_len);
+            let suffix = &rest[rest.len() - tail_len..];
             if weak_checksum(suffix) == tail_sig.weak && md5(suffix) == tail_sig.strong {
-                literal_run.extend_from_slice(lead);
-                flush_literals(&mut delta, &mut literal_run);
+                // The unmatched lead bytes extend the pending literal run.
+                flush_literals(&mut delta, lit_start, new_data.len() - tail_len);
                 delta.matched_bytes += tail_len;
                 delta.ops.push(DeltaOp::Copy {
                     index: tail_sig.index,
@@ -216,8 +304,7 @@ pub fn generate_delta(signatures: &Signatures, new_data: &[u8]) -> Delta {
                 break 'tail;
             }
         }
-        literal_run.extend_from_slice(rest);
-        flush_literals(&mut delta, &mut literal_run);
+        flush_literals(&mut delta, lit_start, new_data.len());
     }
     audit::check!(
         delta.matched_bytes + delta.literal_bytes == new_data.len(),

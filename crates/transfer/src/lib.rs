@@ -22,10 +22,11 @@ pub mod filelist;
 pub mod rolling;
 pub mod session;
 pub mod sync_session;
+pub mod wire;
 
 pub use delta::{
-    apply_delta, block_size_for, compute_signatures, generate_delta, sync, Delta, DeltaOp,
-    Signatures,
+    apply_delta, block_size_for, compute_signatures, generate_delta, generate_delta_with, sync,
+    Delta, DeltaOp, DeltaScratch, Signatures,
 };
 pub use filelist::{plan_sync, CheckMode, FileEntry, FileList, PlanAction};
 pub use rolling::{weak_checksum, RollingChecksum};
@@ -34,3 +35,4 @@ pub use session::{
     DISK_READ_MBPS, DISK_WRITE_MBPS, RECEIVER_EFFICIENCY, SSH_CHANNEL_EFFICIENCY,
 };
 pub use sync_session::{sync_over_wan, SyncReport, Tree};
+pub use wire::WireCipher;

@@ -14,9 +14,12 @@ use std::collections::BTreeMap;
 use osdc_crypto::CipherKind;
 use osdc_sim::SimDuration;
 
-use crate::delta::{apply_delta, block_size_for, compute_signatures, generate_delta};
+use crate::delta::{
+    apply_delta, block_size_for, compute_signatures, generate_delta_with, DeltaOp, DeltaScratch,
+};
 use crate::filelist::{plan_sync, CheckMode, FileEntry, FileList, PlanAction};
 use crate::session::{Protocol, TransferEngine, TransferReport, TransferSpec};
+use crate::wire::WireCipher;
 
 /// An in-memory directory tree at one end of a sync.
 #[derive(Clone, Debug, Default)]
@@ -118,11 +121,24 @@ pub fn sync_over_wan(
     let mut created = 0u32;
     let mut updated = 0u32;
     let mut extra = 0u32;
+    // One delta scratch for the whole pass: the signature index and
+    // literal buffer are reused file after file, so the scan loop never
+    // allocates at steady state.
+    let mut scratch = DeltaScratch::new();
+    // Moved payloads really pass through the batched cipher kernels —
+    // sealed on the "sender", opened on the "receiver". CTR preserves
+    // length, so wire accounting is identical to the unencrypted pass.
+    let wire = WireCipher::new(cipher, b"osdc sync session key");
+    let mut nonce = 0u64;
 
     for (path, action) in &plan {
         match action {
             PlanAction::Create => {
-                let content = src.get(path).expect("planned from src list").to_vec();
+                let mut content = src.get(path).expect("planned from src list").to_vec();
+                wire.apply(nonce, &mut content); // sender encrypts...
+                wire.apply(nonce, &mut content); // ...receiver decrypts
+                nonce += 1;
+                debug_assert_eq!(Some(content.as_slice()), src.get(path));
                 wire_bytes += content.len() as u64;
                 let mtime = src.files[path].1;
                 dst.put(path, content, mtime);
@@ -135,8 +151,17 @@ pub fn sync_over_wan(
                 let sigs = compute_signatures(&basis, bs);
                 // Signatures flow dst → src before the delta flows back.
                 wire_bytes += (sigs.blocks.len() * SIG_BYTES_PER_BLOCK) as u64;
-                let delta = generate_delta(&sigs, new_data);
+                let mut delta = generate_delta_with(&sigs, new_data, &mut scratch);
                 wire_bytes += delta.wire_bytes() as u64;
+                // Literal runs are the bytes that cross the wire; copy
+                // tokens are framing (priced in wire_bytes()).
+                for op in &mut delta.ops {
+                    if let DeltaOp::Literal(bytes) = op {
+                        wire.apply(nonce, bytes);
+                        wire.apply(nonce, bytes);
+                        nonce += 1;
+                    }
+                }
                 let rebuilt = apply_delta(&basis, &delta, bs).expect("own delta applies");
                 debug_assert_eq!(rebuilt, new_data);
                 let mtime = src.files[path].1;
@@ -353,6 +378,49 @@ mod tests {
         );
         assert_eq!(report.extra_on_target, 1);
         assert!(dst.get("/stale/old.dat").is_some(), "no --delete semantics");
+    }
+
+    #[test]
+    fn encrypted_sync_matches_plaintext_trees_and_accounting() {
+        // The wire cipher really transforms payloads in flight, but CTR
+        // preserves length: the destination tree and the wire accounting
+        // must be byte-identical across all three Table 3 cipher rows.
+        let mut reports = Vec::new();
+        for cipher in [
+            CipherKind::None,
+            CipherKind::Blowfish,
+            CipherKind::TripleDes,
+        ] {
+            let (mut eng, s, d) = engine();
+            let src = populated_tree(6, 32);
+            let mut dst = src.clone();
+            // One new file and one edited file per pass.
+            let mut src2 = src.clone();
+            src2.put("/data/new", content(10_000, 99), 300);
+            let mut edited = src.get("/data/f1").expect("exists").to_vec();
+            for b in &mut edited[5_000..5_100] {
+                *b ^= 0xAA;
+            }
+            src2.put("/data/f1", edited, 301);
+            let report = sync_over_wan(
+                &mut eng,
+                &src2,
+                &mut dst,
+                Protocol::Udr,
+                cipher,
+                CheckMode::Quick,
+                s,
+                d,
+            );
+            assert_eq!(report.files_created, 1, "{cipher}");
+            assert_eq!(report.files_updated, 1, "{cipher}");
+            for path in ["/data/new", "/data/f1", "/data/f5"] {
+                assert_eq!(dst.get(path), src2.get(path), "{cipher}: {path}");
+            }
+            reports.push(report.wire_bytes);
+        }
+        assert_eq!(reports[0], reports[1], "blowfish changed wire accounting");
+        assert_eq!(reports[0], reports[2], "3des changed wire accounting");
     }
 
     #[test]

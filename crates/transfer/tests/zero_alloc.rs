@@ -1,0 +1,108 @@
+//! Counting-allocator proof that delta generation is zero-alloc on the
+//! scan path: with a warmed [`DeltaScratch`], the rolling-window loop —
+//! checksum roll, weak-bucket probe, lazy MD5 confirm, literal
+//! accumulation — performs no heap allocation per window. Only emitting
+//! ops at match boundaries allocates, and that is bounded by the op
+//! count, not the window count.
+
+use counting_alloc::{count_allocations, CountingAlloc};
+use osdc_transfer::delta::{compute_signatures, generate_delta_with, DeltaScratch};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn pseudo_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+/// The counting allocator must actually be installed, or every assertion
+/// below passes vacuously.
+#[test]
+fn allocator_probe_is_live() {
+    let (stats, v) = count_allocations(|| vec![0u8; 1 << 16]);
+    assert!(stats.allocations >= 1);
+    drop(v);
+}
+
+#[test]
+fn literal_scan_does_not_allocate_per_window() {
+    // Disjoint basis and target: every one of the ~500k windows misses,
+    // so the scan rolls a full-length literal run. After one warm-up call
+    // sizes the scratch, the next pass must allocate only for the final
+    // delta itself (one literal op + its ops vec), not per window.
+    let basis = pseudo_bytes(256 * 1024, 1);
+    let new_data = pseudo_bytes(512 * 1024, 2);
+    let bs = 2048;
+    let sigs = compute_signatures(&basis, bs);
+    let mut scratch = DeltaScratch::new();
+    let warm = generate_delta_with(&sigs, &new_data, &mut scratch);
+    assert_eq!(warm.literal_bytes, new_data.len(), "fixture must miss");
+
+    let (stats, delta) = count_allocations(|| generate_delta_with(&sigs, &new_data, &mut scratch));
+    assert_eq!(delta.literal_bytes, new_data.len());
+    let windows = (new_data.len() - bs + 1) as u64;
+    assert!(
+        stats.allocations <= 4,
+        "{} allocations over {} scan windows — the scan path allocates",
+        stats.allocations,
+        windows
+    );
+}
+
+#[test]
+fn matching_scan_allocates_only_per_op() {
+    // Identical files: every window hits, producing one Copy op per
+    // block. Allocations may grow the ops vec (log-many reallocs) but
+    // must not track the block or window count.
+    let data = pseudo_bytes(512 * 1024, 3);
+    let sigs = compute_signatures(&data, 2048);
+    let mut scratch = DeltaScratch::new();
+    let _ = generate_delta_with(&sigs, &data, &mut scratch);
+
+    let (stats, delta) = count_allocations(|| generate_delta_with(&sigs, &data, &mut scratch));
+    assert_eq!(delta.matched_bytes, data.len());
+    let ops = delta.ops.len() as u64;
+    assert!(ops >= 256, "fixture expects one op per block");
+    assert!(
+        stats.allocations <= 16,
+        "{} allocations for {} copy ops — growth should be logarithmic",
+        stats.allocations,
+        ops
+    );
+}
+
+#[test]
+fn mixed_edit_scan_stays_op_bounded() {
+    // A realistic sync: basis with a few KB edited. Allocation budget is
+    // a handful of literal clones + ops growth, regardless of file size.
+    let basis = pseudo_bytes(1 << 20, 4);
+    let mut new_data = basis.clone();
+    for b in &mut new_data[400_000..404_096] {
+        *b ^= 0xFF;
+    }
+    let sigs = compute_signatures(&basis, 2048);
+    let mut scratch = DeltaScratch::new();
+    let _ = generate_delta_with(&sigs, &new_data, &mut scratch);
+
+    let (stats, delta) = count_allocations(|| generate_delta_with(&sigs, &new_data, &mut scratch));
+    assert_eq!(delta.matched_bytes + delta.literal_bytes, new_data.len());
+    let literal_ops = delta
+        .ops
+        .iter()
+        .filter(|op| matches!(op, osdc_transfer::DeltaOp::Literal(_)))
+        .count() as u64;
+    assert!(
+        stats.allocations <= 2 * literal_ops + 16,
+        "{} allocations, {} literal ops",
+        stats.allocations,
+        literal_ops
+    );
+}
