@@ -1,4 +1,5 @@
-//! A counting `GlobalAlloc` wrapper for zero-allocation hot-path tests.
+//! A counting `GlobalAlloc` wrapper for zero-allocation hot-path tests
+//! and peak-memory measurement.
 //!
 //! Install [`CountingAlloc`] as the test binary's `#[global_allocator]`,
 //! then bracket the code under test with [`count_allocations`]. Counts
@@ -15,6 +16,12 @@
 //! assert_eq!(stats.allocations, 0, "summing must not allocate");
 //! assert_eq!(sum, 4950);
 //! ```
+//!
+//! Beyond the window counters, the allocator tracks **live bytes** (a
+//! running alloc-minus-dealloc balance) and its **high-water mark** —
+//! an RSS proxy the `bench_scale` harness uses to gate peak memory per
+//! tenant. Use [`reset_peak`] at a measurement boundary and
+//! [`peak_live_bytes`] after the workload.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -22,11 +29,35 @@ use std::cell::Cell;
 thread_local! {
     static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
     static BYTES: Cell<u64> = const { Cell::new(0) };
+    // Live-byte balance can dip below a `reset_peak` baseline when the
+    // workload frees memory allocated before the window, so it is
+    // signed.
+    static LIVE_BYTES: Cell<i64> = const { Cell::new(0) };
+    static PEAK_LIVE: Cell<i64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn track_alloc(size: usize) {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+    BYTES.with(|c| c.set(c.get() + size as u64));
+    let live = LIVE_BYTES.with(|c| {
+        let live = c.get() + size as i64;
+        c.set(live);
+        live
+    });
+    PEAK_LIVE.with(|c| c.set(c.get().max(live)));
+}
+
+#[inline]
+fn track_dealloc(size: usize) {
+    LIVE_BYTES.with(|c| c.set(c.get() - size as i64));
 }
 
 /// Wraps [`System`], counting every `alloc`/`realloc` on the current
-/// thread. Frees are not counted: the tests here assert that hot loops
-/// *acquire* no memory, and a free implies a prior counted acquisition.
+/// thread. Frees are not *counted* (the zero-alloc tests assert that hot
+/// loops acquire no memory, and a free implies a prior counted
+/// acquisition) but they do *credit* the live-byte balance behind
+/// [`live_bytes`]/[`peak_live_bytes`].
 pub struct CountingAlloc;
 
 impl CountingAlloc {
@@ -45,18 +76,25 @@ impl Default for CountingAlloc {
 // and touched outside the delegated call, never re-entering the allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.with(|c| c.set(c.get() + 1));
-        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        track_alloc(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_dealloc(layout.size());
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.with(|c| c.set(c.get() + 1));
         BYTES.with(|c| c.set(c.get() + new_size as u64));
+        // A realloc frees the old block and acquires the new size.
+        let live = LIVE_BYTES.with(|c| {
+            let live = c.get() - layout.size() as i64 + new_size as i64;
+            c.set(live);
+            live
+        });
+        PEAK_LIVE.with(|c| c.set(c.get().max(live)));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -84,6 +122,36 @@ pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (AllocStats, T) {
         bytes: BYTES.with(|c| c.get()) - before_bytes,
     };
     (stats, value)
+}
+
+/// Current alloc-minus-dealloc balance on this thread, in bytes. Can be
+/// negative if more pre-existing memory was freed than acquired since
+/// tracking began.
+pub fn live_bytes() -> i64 {
+    LIVE_BYTES.with(|c| c.get())
+}
+
+/// High-water mark of [`live_bytes`] since the last [`reset_peak`] (or
+/// thread start). The `bench_scale` RSS-per-tenant gate reads this.
+pub fn peak_live_bytes() -> i64 {
+    PEAK_LIVE.with(|c| c.get())
+}
+
+/// Restart the high-water tracking at the current live balance.
+pub fn reset_peak() {
+    let live = LIVE_BYTES.with(|c| c.get());
+    PEAK_LIVE.with(|c| c.set(live));
+}
+
+/// Run `f`, returning the extra peak live bytes it drove above the
+/// balance at entry (its *marginal* high-water mark) alongside its
+/// result.
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (i64, T) {
+    let base = live_bytes();
+    reset_peak();
+    let value = f();
+    let peak = (peak_live_bytes() - base).max(0);
+    (peak, value)
 }
 
 #[cfg(test)]
@@ -120,5 +188,40 @@ mod tests {
         });
         assert!(stats.allocations >= 2, "growth reallocs must be counted");
         assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn peak_tracks_highwater_not_endstate() {
+        let (peak, _) = measure_peak(|| {
+            let big = vec![0u8; 1 << 20];
+            drop(big); // freed before the window ends …
+            vec![0u8; 16] // … and the end-state is tiny
+        });
+        assert!(
+            peak >= 1 << 20,
+            "peak {peak} missed the transient 1 MiB spike"
+        );
+    }
+
+    #[test]
+    fn peak_resets_to_current_balance() {
+        let keep = vec![7u8; 1 << 16];
+        reset_peak();
+        assert_eq!(peak_live_bytes(), live_bytes(), "reset pins peak to live");
+        let (peak, _) = measure_peak(|| vec![0u8; 256]);
+        assert!(
+            (256..(1 << 16)).contains(&peak),
+            "marginal peak only: {peak}"
+        );
+        drop(keep);
+    }
+
+    #[test]
+    fn dealloc_credits_live_balance() {
+        let before = live_bytes();
+        let v = vec![0u8; 4096];
+        assert!(live_bytes() >= before + 4096);
+        drop(v);
+        assert!(live_bytes() <= before + 64, "free must credit the balance");
     }
 }

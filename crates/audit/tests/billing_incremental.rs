@@ -1,0 +1,262 @@
+//! Differential proptest for increment-mode billing: random instance
+//! start/stop/resize and PUT/DELETE delta schedules with arbitrary
+//! month-close instants, driven three ways —
+//!
+//! 1. the paper's literal cadence (per-minute polls + daily sweeps)
+//!    through a plain [`BillingService`],
+//! 2. the same poll stream through the [`BillingOracle`] re-bill (so the
+//!    sweep baseline itself is shadowed by the from-scratch log replay),
+//! 3. the new O(deltas) increment mode (`record_cores` /
+//!    `record_stored` / `close_month_at`).
+//!
+//! Every invoice batch must be **byte-identical** across all three:
+//! `Invoice` comparison is exact `f64` equality, so even a one-ulp
+//! rounding divergence in the fold fails the property.
+
+use osdc_audit::{drive, BillingOp, BillingOracle};
+use osdc_sim::SimTime;
+use osdc_tukey::billing::{BillingService, Invoice, Rates};
+use proptest::prelude::*;
+
+const NANOS_PER_MIN: u64 = 60_000_000_000;
+const NANOS_PER_DAY: u64 = 86_400 * 1_000_000_000;
+
+#[derive(Clone, Debug)]
+enum Delta {
+    /// Instance start/stop/resize: the user's held cores change.
+    Cores(u32),
+    /// Object PUT/DELETE settling: the user's stored bytes change.
+    Bytes(u64),
+}
+
+/// A randomized tenant-activity schedule: deltas and month closes at
+/// arbitrary instants (not just poll boundaries), over `horizon_min`
+/// simulated minutes.
+#[derive(Clone, Debug)]
+struct Schedule {
+    users: Vec<String>,
+    /// (nanos, user index, delta), sorted by time (stable).
+    deltas: Vec<(u64, usize, Delta)>,
+    /// Close instants in nanos, sorted.
+    closes: Vec<u64>,
+    horizon_min: u64,
+}
+
+/// The sweep baseline as a `BillingOp` stream: polls each minute and
+/// sweeps each day sample the rates in force at that instant. Event
+/// ordering at equal timestamps is deltas → closes → polls, matching
+/// how `close_month_at` treats a poll landing exactly on the close
+/// instant (it bills into the next month).
+fn baseline_ops(s: &Schedule) -> Vec<BillingOp> {
+    let mut ops = Vec::new();
+    let mut cores = vec![0u32; s.users.len()];
+    let mut bytes = vec![0u64; s.users.len()];
+    let mut di = 0;
+    let mut ci = 0;
+    for m in 0..=s.horizon_min {
+        let t = m * NANOS_PER_MIN;
+        while ci < s.closes.len() && s.closes[ci] <= t {
+            ops.push(BillingOp::Close);
+            ci += 1;
+        }
+        while di < s.deltas.len() && s.deltas[di].0 <= t {
+            let (_, u, ref d) = s.deltas[di];
+            match *d {
+                Delta::Cores(c) => cores[u] = c,
+                Delta::Bytes(b) => bytes[u] = b,
+            }
+            di += 1;
+        }
+        for (u, user) in s.users.iter().enumerate() {
+            ops.push(BillingOp::Poll {
+                user: user.clone(),
+                cores: cores[u],
+                at: SimTime(t),
+            });
+            if t.is_multiple_of(NANOS_PER_DAY) {
+                ops.push(BillingOp::Sweep {
+                    user: user.clone(),
+                    bytes: bytes[u],
+                    at: SimTime(t),
+                });
+            }
+        }
+    }
+    // Final close after the last boundary's polls, mirrored by the
+    // increment driver's trailing `close_month_at`.
+    ops.push(BillingOp::Close);
+    ops
+}
+
+/// Drive the baseline ops through a plain service, collecting each
+/// close's invoice batch.
+fn sweep_invoices(s: &Schedule, rates: Rates) -> Vec<Vec<Invoice>> {
+    let mut svc = BillingService::new(rates);
+    let mut batches = Vec::new();
+    for op in baseline_ops(s) {
+        match op {
+            BillingOp::Poll { user, cores, at } => {
+                svc.poll_compute(&user, cores, at);
+            }
+            BillingOp::Sweep { user, bytes, at } => {
+                svc.sweep_storage(&user, bytes, at);
+            }
+            BillingOp::Close => batches.push(svc.close_month()),
+        }
+    }
+    batches
+}
+
+/// Drive the same schedule through increment mode: O(deltas + closes)
+/// service calls instead of O(tenant-minutes).
+fn incremental_invoices(s: &Schedule, rates: Rates) -> Vec<Vec<Invoice>> {
+    let mut svc = BillingService::new(rates);
+    let mut di = 0;
+    let apply_upto = |svc: &mut BillingService, di: &mut usize, t: u64| {
+        while *di < s.deltas.len() && s.deltas[*di].0 <= t {
+            let (at, u, ref d) = s.deltas[*di];
+            match *d {
+                Delta::Cores(c) => svc.record_cores(&s.users[u], c, SimTime(at)),
+                Delta::Bytes(b) => svc.record_stored(&s.users[u], b, SimTime(at)),
+            }
+            *di += 1;
+        }
+    };
+    let mut batches = Vec::new();
+    for &ct in &s.closes {
+        apply_upto(&mut svc, &mut di, ct);
+        batches.push(svc.close_month_at(SimTime(ct)));
+    }
+    let end = s.horizon_min * NANOS_PER_MIN;
+    apply_upto(&mut svc, &mut di, end);
+    // The baseline's trailing close runs after the polls at the final
+    // boundary, so fold through (and including) that boundary.
+    batches.push(svc.close_month_at(SimTime(end + 1)));
+    batches
+}
+
+/// Delta/close instants mix exact poll boundaries (the coincidence
+/// cases where ordering matters) with arbitrary mid-minute nanos.
+fn instant_strategy(horizon_min: u64) -> impl Strategy<Value = u64> {
+    (
+        0..=horizon_min,
+        prop_oneof![
+            2 => Just(0u64),
+            3 => 0u64..60_000_000_000,
+        ],
+    )
+        .prop_map(|(m, off)| (m * NANOS_PER_MIN).saturating_add(off))
+}
+
+fn schedule_strategy(
+    horizon_min: u64,
+    max_users: usize,
+    max_deltas: usize,
+    max_closes: usize,
+) -> impl Strategy<Value = Schedule> {
+    let delta = prop_oneof![
+        3 => (0u32..12).prop_map(Delta::Cores),
+        2 => (0u64..4_000_000_000_000u64).prop_map(Delta::Bytes),
+    ];
+    (
+        1..=max_users,
+        prop::collection::vec((instant_strategy(horizon_min), delta), 0..max_deltas + 1),
+        prop::collection::vec(instant_strategy(horizon_min), 0..max_closes + 1),
+        0usize..1000,
+    )
+        .prop_map(move |(n_users, raw_deltas, mut closes, salt)| {
+            let users: Vec<String> = (0..n_users).map(|u| format!("user{u}")).collect();
+            let mut deltas: Vec<(u64, usize, Delta)> = raw_deltas
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, d))| (t.min(horizon_min * NANOS_PER_MIN), (i + salt) % n_users, d))
+                .collect();
+            deltas.sort_by_key(|&(t, _, _)| t); // stable: same-instant deltas keep order
+            closes.sort_unstable();
+            Schedule {
+                users,
+                deltas,
+                closes,
+                horizon_min,
+            }
+        })
+}
+
+fn rates(idx: usize) -> Rates {
+    match idx {
+        0 => Rates::default(),
+        1 => Rates {
+            per_core_hour: 0.10,
+            per_tb_day: 0.05,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        },
+        _ => Rates {
+            per_core_hour: 0.05,
+            per_tb_day: 0.08,
+            free_core_hours: 5.0,
+            free_tb_days: 0.5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Multi-day schedules: increment mode reproduces the poll/sweep
+    /// invoices byte for byte, including non-integer TB-day rounding.
+    #[test]
+    fn incremental_matches_sweep_baseline(
+        s in schedule_strategy(2 * 24 * 60, 4, 40, 5),
+        rate_idx in 0usize..3,
+    ) {
+        let r = rates(rate_idx);
+        let sweep = sweep_invoices(&s, r);
+        let inc = incremental_invoices(&s, r);
+        prop_assert_eq!(sweep, inc, "increment mode diverged from poll cadence");
+        osdc_telemetry::audit::assert_clean("billing incremental differential");
+    }
+
+    /// Shorter schedules with the full oracle in the loop: the sweep
+    /// baseline is itself re-billed from the event log after every op,
+    /// and increment mode must match the oracle-shadowed service.
+    #[test]
+    fn incremental_matches_oracle_rebill(
+        s in schedule_strategy(150, 3, 12, 3),
+        rate_idx in 0usize..3,
+    ) {
+        let r = rates(rate_idx);
+        let ops = baseline_ops(&s);
+        let (mut service, mut oracle) = BillingOracle::paired(r);
+        let report = drive(&mut oracle, &mut service, &ops);
+        prop_assert!(report.is_clean(), "{}", report.summary());
+        let sweep = sweep_invoices(&s, r);
+        let inc = incremental_invoices(&s, r);
+        prop_assert_eq!(sweep, inc, "increment mode diverged from oracle-checked baseline");
+        osdc_telemetry::audit::assert_clean("billing incremental oracle differential");
+    }
+}
+
+/// The ordering corner cases, pinned deterministically: delta exactly on
+/// a poll instant, close exactly on a poll instant, delta and close at
+/// the same instant, and a mid-month tenant birth.
+#[test]
+fn boundary_coincidences_agree() {
+    let s = Schedule {
+        users: vec!["alice".into(), "bob".into()],
+        deltas: vec![
+            (0, 0, Delta::Cores(8)),
+            (5 * NANOS_PER_MIN, 0, Delta::Cores(2)), // exactly on a poll
+            (7 * NANOS_PER_MIN + 13, 1, Delta::Cores(5)), // mid-minute birth
+            (60 * NANOS_PER_MIN, 0, Delta::Cores(3)), // same instant as a close
+            (90 * NANOS_PER_MIN, 1, Delta::Bytes(1_234_567_890_123)),
+        ],
+        closes: vec![60 * NANOS_PER_MIN, 100 * NANOS_PER_MIN + 1],
+        horizon_min: 24 * 60 + 30,
+    };
+    for idx in 0..3 {
+        let r = rates(idx);
+        assert_eq!(sweep_invoices(&s, r), incremental_invoices(&s, r));
+    }
+    osdc_telemetry::audit::assert_clean("billing boundary coincidences");
+}

@@ -4,6 +4,12 @@
 //! paper and prints it in the same rows/columns the paper uses, plus the
 //! paper's published values for side-by-side comparison. The helpers
 //! here keep that output consistent.
+//!
+//! [`scale`] holds the shared tenant-scale workload driven by both
+//! `exp_scale` (correctness + determinism) and `bench_scale` (wall
+//! clock + peak memory).
+
+pub mod scale;
 
 /// Print a harness banner naming the artifact being regenerated.
 pub fn banner(artifact: &str, description: &str) {

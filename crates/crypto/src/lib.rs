@@ -16,6 +16,9 @@
 //!   version).
 //! * [`modes`] — ECB/CBC/CTR modes over any 64-bit block cipher, and PKCS#7
 //!   padding, so transfer sessions can encrypt realistic byte streams.
+//! * [`sha256::Sha256`] — FIPS 180-4 SHA-256; the scale harnesses pin
+//!   their invoice and notification streams with it so `--jobs`
+//!   byte-identity is checkable from a single printed digest.
 //! * [`sign`] — HMAC-MD5 (RFC 2104) keyed signatures and the federation
 //!   [`Keyring`], used by `osdc-sharing` to mint and verify revocable
 //!   capabilities (symmetric trust, as the era's federations exchanged).
@@ -34,12 +37,14 @@ pub mod des;
 pub mod md5;
 pub mod modes;
 mod pi_tables;
+pub mod sha256;
 pub mod sign;
 
 pub use blowfish::Blowfish;
 pub use des::{Des, TripleDes};
 pub use md5::Md5;
 pub use modes::{ecb_decrypt, ecb_encrypt, BlockCipher64, CbcEncryptor, CtrStream, Pkcs7};
+pub use sha256::{sha256, sha256_hex, Sha256};
 pub use sign::{KeyId, Keyring, Signature, SignatureError, SigningKey};
 
 /// Ciphers named in the paper's Table 3 rows.

@@ -6,6 +6,32 @@
 //! retries; only `max_check_attempts` consecutive non-OK results harden
 //! the state and fire a notification. Recovery (OK after a hard problem)
 //! also notifies.
+//!
+//! ## Scheduling
+//!
+//! [`NagiosMaster::tick`] used to scan every registered service (and
+//! rebuild, clone and sort the full host list) on every tick —
+//! O(all-services) even when nothing was due, the dominant cost at
+//! ROADMAP scale (10³ hosts × many services). It now keeps:
+//!
+//! * a **due-time wheel**: power-of-two ring of 1-second buckets keyed
+//!   by `next_check_at`. A tick scans only the bucket range the clock
+//!   advanced over (capped at one full rotation), so per-tick work is
+//!   O(elapsed seconds + actually-due services). Far-future entries that
+//!   share a slot with due ones are validated lazily (`next_check_at`
+//!   compared against `now`) and left for a later rotation.
+//! * a **cached host index**: the sorted, deduplicated hostname list is
+//!   maintained incrementally by [`NagiosMaster::add_service`], so host
+//!   up/down transitions still notify in sorted host order without any
+//!   per-tick allocation.
+//! * a **parked list**: services that came due while their host was
+//!   down (suppressed by the host/service dependency rule) wait off the
+//!   wheel and re-enter the due set the first tick their host is back.
+//!
+//! Due services are processed in ascending service-registration order,
+//! exactly like the old full scan, so the notification stream is
+//! byte-identical — pinned by a differential test against the scan
+//! implementation and by trace hashes in `exp_scale`.
 
 use std::collections::BTreeMap;
 
@@ -48,6 +74,14 @@ pub struct Notification {
     pub problem: bool,
 }
 
+/// Wheel geometry: 4096 × 1 s slots = a 68-minute rotation, comfortably
+/// above the check cadences in use; anything longer wraps and is caught
+/// by lazy validation on a later rotation.
+const WHEEL_BITS: u32 = 12;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+const WHEEL_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+const SLOT_NANOS: u64 = 1_000_000_000;
+
 /// The master server.
 pub struct NagiosMaster {
     services: Vec<(ServiceDefinition, ServiceState)>,
@@ -56,6 +90,16 @@ pub struct NagiosMaster {
     /// these hosts are suppressed — the classic Nagios dependency rule
     /// that stops one dead server paging once per service).
     hosts_down: std::collections::BTreeSet<String>,
+    /// Sorted, deduplicated hostnames, maintained by `add_service`.
+    host_order: Vec<String>,
+    /// `next_check_at`-keyed ring of service indices.
+    wheel: Vec<Vec<u32>>,
+    /// Last absolute second the wheel scan covered.
+    cursor_sec: u64,
+    /// Due services whose host was down when they came due.
+    parked: Vec<u32>,
+    /// Retained scratch for the per-tick due set.
+    due_scratch: Vec<u32>,
 }
 
 impl Default for NagiosMaster {
@@ -70,11 +114,23 @@ impl NagiosMaster {
             services: Vec::new(),
             notifications: Vec::new(),
             hosts_down: std::collections::BTreeSet::new(),
+            host_order: Vec::new(),
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            cursor_sec: 0,
+            parked: Vec::new(),
+            due_scratch: Vec::new(),
         }
+    }
+
+    fn slot_of(sec: u64) -> usize {
+        (sec & WHEEL_MASK) as usize
     }
 
     pub fn add_service(&mut self, def: ServiceDefinition) {
         assert!(def.max_check_attempts >= 1);
+        if let Err(pos) = self.host_order.binary_search(&def.host) {
+            self.host_order.insert(pos, def.host.clone());
+        }
         let state = ServiceState {
             last_status: CheckStatus::Ok,
             attempts: 0,
@@ -82,6 +138,11 @@ impl NagiosMaster {
             next_check_at: SimTime::ZERO,
             last_message: String::new(),
         };
+        let idx = u32::try_from(self.services.len()).expect("service count fits u32");
+        // Clamp to the cursor so a service registered after ticking
+        // lands in a slot the scan will still visit.
+        let sec = (state.next_check_at.as_nanos() / SLOT_NANOS).max(self.cursor_sec);
+        self.wheel[Self::slot_of(sec)].push(idx);
         self.services.push((def, state));
     }
 
@@ -92,13 +153,11 @@ impl NagiosMaster {
     /// dark raises ONE host DOWN alert and suppresses its per-service
     /// alerts until it returns — Nagios's host/service dependency rule.
     pub fn tick(&mut self, now: SimTime, agents: &BTreeMap<String, &HostAgent>) {
-        // Host checks: alert on down/up transitions.
-        let mut hosts: Vec<String> = self.services.iter().map(|(d, _)| d.host.clone()).collect();
-        hosts.sort_unstable();
-        hosts.dedup();
-        for host in hosts {
-            let reachable = agents.get(&host).map(|a| a.is_reachable()).unwrap_or(false);
-            if !reachable && !self.hosts_down.contains(&host) {
+        // Host checks over the cached sorted index: alert on down/up
+        // transitions.
+        for host in &self.host_order {
+            let reachable = agents.get(host).map(|a| a.is_reachable()).unwrap_or(false);
+            if !reachable && !self.hosts_down.contains(host) {
                 self.hosts_down.insert(host.clone());
                 self.notifications.push(Notification {
                     at: now,
@@ -108,7 +167,7 @@ impl NagiosMaster {
                     message: format!("host {host} DOWN"),
                     problem: true,
                 });
-            } else if reachable && self.hosts_down.remove(&host) {
+            } else if reachable && self.hosts_down.remove(host) {
                 self.notifications.push(Notification {
                     at: now,
                     host: host.clone(),
@@ -119,19 +178,74 @@ impl NagiosMaster {
                 });
             }
         }
-        for (def, state) in &mut self.services {
-            // Suppression: no service checks/alerts while the host is down.
-            if self.hosts_down.contains(&def.host) {
-                continue;
+
+        // Advance the wheel: collect every service due by `now` from the
+        // slots the clock crossed since the last tick. Entries whose
+        // `next_check_at` is still in the future (wrapped, or due later
+        // within the current second) stay in their bucket.
+        let now_sec = now.as_nanos() / SLOT_NANOS;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        let first = self.cursor_sec.min(now_sec);
+        let mut drain = |slot: usize, due: &mut Vec<u32>| {
+            let bucket = &mut self.wheel[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                let idx = bucket[i];
+                if self.services[idx as usize].1.next_check_at <= now {
+                    bucket.swap_remove(i);
+                    due.push(idx);
+                } else {
+                    i += 1;
+                }
             }
-            if now < state.next_check_at {
+        };
+        if now_sec - first + 1 >= WHEEL_SLOTS as u64 {
+            // Full rotation (or more) elapsed: every slot exactly once.
+            for slot in 0..WHEEL_SLOTS {
+                drain(slot, &mut due);
+            }
+        } else {
+            // The current second is re-scanned next tick (sub-second
+            // due times may still be pending in it), so the cursor
+            // lands *on* `now_sec`, not past it.
+            for sec in first..=now_sec {
+                drain(Self::slot_of(sec), &mut due);
+            }
+        }
+        self.cursor_sec = now_sec;
+
+        // Parked services whose host recovered re-enter the due set.
+        let mut parked = std::mem::take(&mut self.parked);
+        parked.retain(|&idx| {
+            if self
+                .hosts_down
+                .contains(&self.services[idx as usize].0.host)
+            {
+                true
+            } else {
+                due.push(idx);
+                false
+            }
+        });
+        self.parked = parked;
+
+        // Registration order = the old full-scan visiting order, which
+        // keeps the notification stream byte-identical.
+        due.sort_unstable();
+
+        for &idx in &due {
+            let (def, state) = &mut self.services[idx as usize];
+            // Suppression: no service checks/alerts while the host is
+            // down. The service waits off-wheel until the host returns.
+            if self.hosts_down.contains(&def.host) {
+                self.parked.push(idx);
                 continue;
             }
             let result = match agents.get(&def.host) {
                 Some(agent) => agent.run_check(&def.check),
                 None => def.check.evaluate(None),
             };
-            state.last_message = result.message.clone();
             let ok = result.status == CheckStatus::Ok;
             if ok {
                 if state.hard_problem {
@@ -171,7 +285,11 @@ impl NagiosMaster {
                     state.next_check_at = now + def.retry_interval;
                 }
             }
+            state.last_message = result.message;
+            let sec = state.next_check_at.as_nanos() / SLOT_NANOS;
+            self.wheel[Self::slot_of(sec)].push(idx);
         }
+        self.due_scratch = due;
     }
 
     /// Browser-style console summary: worst status per host.
@@ -368,6 +486,73 @@ mod tests {
                 .expect("exists")
                 .next_check_at,
             next
+        );
+    }
+
+    #[test]
+    fn late_registration_lands_behind_the_cursor_and_still_runs() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 10.0);
+        let mut master = NagiosMaster::new();
+        master.add_service(svc("h1"));
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        // Advance the cursor well past second 0 …
+        master.tick(SimTime::ZERO + SimDuration::from_mins(20), &agents);
+        // … then register a second service (next_check_at = t0).
+        master.add_service(ServiceDefinition {
+            host: "h1".into(),
+            check: CheckDefinition::new(
+                "check_load",
+                "load1",
+                8.0,
+                16.0,
+                ThresholdDirection::HighIsBad,
+            ),
+            check_interval: SimDuration::from_mins(5),
+            retry_interval: SimDuration::from_mins(1),
+            max_check_attempts: 1,
+        });
+        master.tick(SimTime::ZERO + SimDuration::from_mins(21), &agents);
+        let state = master.service_state("h1", "check_load").expect("exists");
+        assert_eq!(
+            state.next_check_at,
+            SimTime::ZERO + SimDuration::from_mins(26),
+            "late-added service was checked on the next tick"
+        );
+    }
+
+    #[test]
+    fn intervals_longer_than_one_rotation_wrap_safely() {
+        let agent = HostAgent::new("h1");
+        agent.metrics.set("disk_used_pct", 10.0);
+        let mut master = NagiosMaster::new();
+        let mut long = svc("h1");
+        long.check_interval = SimDuration::from_secs(2 * WHEEL_SLOTS as u64); // 2 rotations
+        master.add_service(long);
+        let agents = BTreeMap::from([("h1".to_string(), &agent)]);
+        master.tick(SimTime::ZERO, &agents);
+        let due_at = SimTime::ZERO + SimDuration::from_secs(2 * WHEEL_SLOTS as u64);
+        // A tick one rotation in: same slot, but lazily validated as not
+        // yet due.
+        master.tick(
+            SimTime::ZERO + SimDuration::from_secs(WHEEL_SLOTS as u64),
+            &agents,
+        );
+        assert_eq!(
+            master
+                .service_state("h1", "check_disk")
+                .expect("exists")
+                .next_check_at,
+            due_at
+        );
+        // At the true due time the check runs and re-arms.
+        master.tick(due_at, &agents);
+        assert_eq!(
+            master
+                .service_state("h1", "check_disk")
+                .expect("exists")
+                .next_check_at,
+            due_at + SimDuration::from_secs(2 * WHEEL_SLOTS as u64)
         );
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use osdc_sim::{SimDuration, SimRng, SimTime};
+use osdc_sim::{SimDuration, SimRng, SimTime, TenantId, TenantInterner, TenantStore};
 use osdc_telemetry::Telemetry;
 
 use crate::canonical::{AliasTables, CanonicalRequest, CanonicalResponse, ProviderError};
@@ -74,11 +74,19 @@ impl ProviderUsage {
 
 /// Usage and cost accounting across the federation — the feed that
 /// flows into billing.
+///
+/// Per-user cost sits in an interned-id slab ([`TenantStore`]): the
+/// provider population is a handful of `BTreeMap` entries, but users
+/// number 10⁵+ at ROADMAP scale and are touched every accrual minute —
+/// after a user's first charge, [`UsageLedger::accrue_compute`] does no
+/// string cloning or tree walking on their account.
 #[derive(Clone, Debug, Default)]
 pub struct UsageLedger {
     per_provider: BTreeMap<String, ProviderUsage>,
-    /// user → accrued compute dollars (all providers).
-    per_user_usd: BTreeMap<String, f64>,
+    /// user → accrued compute dollars (all providers), keyed by
+    /// interned id.
+    users: TenantInterner,
+    per_user_usd: TenantStore<f64>,
 }
 
 impl UsageLedger {
@@ -95,21 +103,39 @@ impl UsageLedger {
     }
 
     pub fn user_usd(&self, user: &str) -> f64 {
-        self.per_user_usd.get(user).copied().unwrap_or(0.0)
+        self.users
+            .get(user)
+            .and_then(|id| self.per_user_usd.get(id).copied())
+            .unwrap_or(0.0)
     }
 
-    pub fn users(&self) -> impl Iterator<Item = (&String, &f64)> {
-        self.per_user_usd.iter()
+    /// Interned id for `user`, if the ledger has ever charged them.
+    pub fn user_id(&self, user: &str) -> Option<TenantId> {
+        self.users.get(user)
+    }
+
+    /// Every charged user in first-charge order.
+    pub fn users(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.per_user_usd
+            .iter()
+            .map(|(id, &usd)| (self.users.name(id), usd))
     }
 
     /// Charge `user` for `cores` on `provider` for one minute at
     /// `rate_per_core_hour`.
     pub fn accrue_compute(&mut self, provider: &str, user: &str, cores: u32, rate: f64) {
+        let id = self.users.intern(user);
+        self.accrue_compute_id(provider, id, cores, rate);
+    }
+
+    /// [`accrue_compute`](Self::accrue_compute) by interned id — the
+    /// zero-alloc hot path for callers that cache [`TenantId`]s.
+    pub fn accrue_compute_id(&mut self, provider: &str, user: TenantId, cores: u32, rate: f64) {
         let usd = cores as f64 * rate / 60.0;
         let p = self.provider_mut(provider);
         p.core_minutes += cores as f64;
         p.compute_usd += usd;
-        *self.per_user_usd.entry(user.to_string()).or_insert(0.0) += usd;
+        *self.per_user_usd.get_or_insert_with(user, || 0.0) += usd;
     }
 
     pub fn total_usd(&self) -> f64 {

@@ -21,6 +21,10 @@
 //! * [`retry`] — deterministic retry/backoff policies and a circuit
 //!   breaker on virtual time, shared by the transfer, Tukey and
 //!   provisioning layers (and exercised by `osdc-chaos`).
+//! * [`tenant`] — interned dense [`tenant::TenantId`]s and the sharded
+//!   slab [`tenant::TenantStore`] that per-tenant subsystems (billing
+//!   cursors, monitor host index, provider cost ledgers, sharing
+//!   grantees) key their state by at 10⁵-tenant scale.
 //! * [`runner`] — a deterministic work-stealing scenario pool: experiment
 //!   grids of independent seeded runs execute on `--jobs` workers yet
 //!   return results in submission order, so every artifact is
@@ -46,10 +50,12 @@ pub mod retry;
 pub mod rng;
 pub mod runner;
 pub mod stats;
+pub mod tenant;
 pub mod time;
 
 pub use engine::{Engine, EngineProbe, Scheduler, Simulation};
 pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::SimRng;
 pub use runner::{available_jobs, derive_seed, Runner};
+pub use tenant::{TenantId, TenantInterner, TenantStore};
 pub use time::{SimDuration, SimTime};

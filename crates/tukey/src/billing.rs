@@ -11,14 +11,39 @@
 //! via the OSDC web interface."
 //!
 //! [`BillingService`] implements exactly that cadence on the simulation
-//! clock: [`BillingService::poll_compute`] each minute accumulates
-//! core-minutes; [`BillingService::sweep_storage`] each day samples
-//! stored bytes; [`BillingService::close_month`] issues [`Invoice`]s.
-
-use std::collections::BTreeMap;
+//! clock, two ways:
+//!
+//! * **Poll mode** (the paper's literal cadence): [`poll_compute`] each
+//!   minute accumulates core-minutes, [`sweep_storage`] each day samples
+//!   stored bytes. O(tenants) work per minute — fine at the paper's ~100
+//!   users, sweep-bound at ROADMAP scale.
+//! * **Increment mode** (same invoices, O(deltas) work):
+//!   [`record_cores`] / [`record_stored`] fire only on instance
+//!   start/stop/resize and PUT/DELETE deltas; each delta *folds* the
+//!   previous rate over the virtual polls it covered, and
+//!   [`close_month_at`] folds every open cursor up to the boundary
+//!   before invoicing. Because a virtual poll at minute `m` samples the
+//!   rate in force at instant `m·60 s`, a delta at time `t` changes
+//!   exactly the polls with `m·60 ≥ t`; folding minutes
+//!   `[cursor, ceil(t/60 s))` at the old rate reproduces the poll sums
+//!   *byte-identically* (integer-valued core f64 sums below 2⁵³ are
+//!   exact; TB-day adds are replayed per day so the float rounding
+//!   sequence matches). The equivalence is pinned by a differential
+//!   proptest against `osdc-audit`'s `BillingOracle` re-bill.
+//!
+//! Per-tenant state (cycle usage, poll-dedup cursors, fold cursors)
+//! lives in an [`osdc_sim::TenantStore`] keyed by interned
+//! [`TenantId`]s, so the steady-state hot path does no string hashing,
+//! cloning, or allocation (a counting-allocator test enforces this).
+//!
+//! [`poll_compute`]: BillingService::poll_compute
+//! [`sweep_storage`]: BillingService::sweep_storage
+//! [`record_cores`]: BillingService::record_cores
+//! [`record_stored`]: BillingService::record_stored
+//! [`close_month_at`]: BillingService::close_month_at
 
 use osdc_sim::time::SECS_PER_DAY;
-use osdc_sim::SimTime;
+use osdc_sim::{SimTime, TenantId, TenantInterner, TenantStore};
 use osdc_telemetry::audit;
 
 const NANOS_PER_MIN: u64 = 60_000_000_000;
@@ -71,30 +96,119 @@ pub struct Invoice {
     pub total_usd: f64,
 }
 
+/// Per-tenant billing state: open-cycle usage plus the cursors that make
+/// both polling and incremental accrual idempotent.
+///
+/// The poll cursors (`next_pollable_min` / `next_sweepable_day`) and the
+/// fold cursors (`cores_upto_min` / `stored_upto_day`) are deliberately
+/// separate: poll mode dedups *observed* samples, increment mode tracks
+/// how far *virtual* samples have been folded. A given tenant should be
+/// driven through one mode per cycle; the cursors are independent so
+/// neither mode can corrupt the other's bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct TenantBilling {
+    usage: CycleUsage,
+    /// First minute index a [`BillingService::poll_compute`] sample may
+    /// still be counted for. Survives [`BillingService::close_month`]:
+    /// the cycle resets, but a poll replayed at the month boundary must
+    /// still count only once.
+    next_pollable_min: u64,
+    /// First day index a storage sweep may still be counted for; same
+    /// lifetime as `next_pollable_min`.
+    next_sweepable_day: u64,
+    /// Cores held since the last delta (increment mode).
+    held_cores: u32,
+    /// Virtual compute polls below this minute index are already folded
+    /// into `usage`.
+    cores_upto_min: u64,
+    /// Bytes stored since the last delta (increment mode).
+    stored_bytes: u64,
+    /// Virtual storage sweeps below this day index are already folded.
+    stored_upto_day: u64,
+}
+
+impl TenantBilling {
+    /// Fold virtual compute polls `[cores_upto_min, bound_min)` at the
+    /// currently-held rate. Exact: each virtual poll adds the integer
+    /// `held_cores`, and integer-valued f64 sums below 2⁵³ are
+    /// associative, so the bulk product equals the per-minute adds bit
+    /// for bit.
+    fn fold_compute_to(&mut self, bound_min: u64) {
+        if bound_min <= self.cores_upto_min {
+            return;
+        }
+        let minutes = bound_min - self.cores_upto_min;
+        self.cores_upto_min = bound_min;
+        if self.held_cores > 0 {
+            self.usage.core_minutes += self.held_cores as f64 * minutes as f64;
+            self.usage.peak_cores = self.usage.peak_cores.max(self.held_cores);
+        }
+    }
+
+    /// Fold virtual storage sweeps `[stored_upto_day, bound_day)` at the
+    /// currently-stored size. `bytes / 1e12` is generally *not* integer-
+    /// valued, so the adds are replayed one day at a time — same float
+    /// rounding sequence as the daily sweep, hence byte-identical.
+    fn fold_storage_to(&mut self, bound_day: u64) {
+        if bound_day <= self.stored_upto_day {
+            return;
+        }
+        let days = bound_day - self.stored_upto_day;
+        self.stored_upto_day = bound_day;
+        if self.stored_bytes > 0 {
+            let tb = self.stored_bytes as f64 / 1e12;
+            for _ in 0..days {
+                self.usage.tb_days += tb;
+            }
+        }
+    }
+}
+
+/// First minute index whose poll instant (`m · 60 s`) is at or after
+/// `t` — the fold bound for a delta landing at `t`, and the exclusive
+/// close bound (a poll exactly at the close instant belongs to the next
+/// month, mirroring close-then-poll event ordering).
+fn minute_bound(t: SimTime) -> u64 {
+    t.as_nanos().div_ceil(NANOS_PER_MIN)
+}
+
+/// Day-granular analogue of [`minute_bound`].
+fn day_bound(t: SimTime) -> u64 {
+    t.as_nanos().div_ceil(NANOS_PER_DAY)
+}
+
 /// The accounting engine.
 pub struct BillingService {
     rates: Rates,
-    open: BTreeMap<String, CycleUsage>,
+    users: TenantInterner,
+    tenants: TenantStore<TenantBilling>,
     invoices: Vec<Invoice>,
     month: u32,
-    /// Last minute index each user was billed for. Survives
-    /// [`BillingService::close_month`]: the cycle resets, but a poll
-    /// replayed at the month boundary must still count only once.
-    polled_minute: BTreeMap<String, u64>,
-    /// Last day index each user's storage was swept for, same lifetime.
-    swept_day: BTreeMap<String, u64>,
+    /// Scratch for sorting invoices at close; retained across closes.
+    close_scratch: Vec<(TenantId, CycleUsage)>,
 }
 
 impl BillingService {
     pub fn new(rates: Rates) -> Self {
         BillingService {
             rates,
-            open: BTreeMap::new(),
+            users: TenantInterner::new(),
+            tenants: TenantStore::new(),
             invoices: Vec::new(),
             month: 0,
-            polled_minute: BTreeMap::new(),
-            swept_day: BTreeMap::new(),
+            close_scratch: Vec::new(),
         }
+    }
+
+    /// Intern `user`, returning the dense id the `_id` entry points key
+    /// by. Allocates only on a user's first appearance.
+    pub fn user_id(&mut self, user: &str) -> TenantId {
+        self.users.intern(user)
+    }
+
+    /// The interned id for `user`, if ever seen. Never allocates.
+    pub fn lookup_user(&self, user: &str) -> Option<TenantId> {
+        self.users.get(user)
     }
 
     /// Per-minute compute poll: `cores` currently held by `user` at `now`.
@@ -107,15 +221,24 @@ impl BillingService {
         if cores == 0 {
             return false;
         }
-        let minute = now.as_nanos() / NANOS_PER_MIN;
-        match self.polled_minute.get(user) {
-            Some(&last) if minute <= last => return false,
-            _ => {}
+        let id = self.users.intern(user);
+        self.poll_compute_id(id, cores, now)
+    }
+
+    /// [`poll_compute`](Self::poll_compute) by interned id — the
+    /// zero-alloc hot path for pollers that cache [`TenantId`]s.
+    pub fn poll_compute_id(&mut self, id: TenantId, cores: u32, now: SimTime) -> bool {
+        if cores == 0 {
+            return false;
         }
-        self.polled_minute.insert(user.to_string(), minute);
-        let usage = self.open.entry(user.to_string()).or_default();
-        usage.core_minutes += cores as f64;
-        usage.peak_cores = usage.peak_cores.max(cores);
+        let minute = now.as_nanos() / NANOS_PER_MIN;
+        let t = self.tenants.get_or_insert_with(id, TenantBilling::default);
+        if minute < t.next_pollable_min {
+            return false;
+        }
+        t.next_pollable_min = minute + 1;
+        t.usage.core_minutes += cores as f64;
+        t.usage.peak_cores = t.usage.peak_cores.max(cores);
         true
     }
 
@@ -129,61 +252,134 @@ impl BillingService {
         if bytes == 0 {
             return false;
         }
-        let day = now.as_nanos() / NANOS_PER_DAY;
-        match self.swept_day.get(user) {
-            Some(&last) if day <= last => return false,
-            _ => {}
+        let id = self.users.intern(user);
+        self.sweep_storage_id(id, bytes, now)
+    }
+
+    /// [`sweep_storage`](Self::sweep_storage) by interned id.
+    pub fn sweep_storage_id(&mut self, id: TenantId, bytes: u64, now: SimTime) -> bool {
+        if bytes == 0 {
+            return false;
         }
-        self.swept_day.insert(user.to_string(), day);
-        let tb = bytes as f64 / 1e12;
-        self.open.entry(user.to_string()).or_default().tb_days += tb;
+        let day = now.as_nanos() / NANOS_PER_DAY;
+        let t = self.tenants.get_or_insert_with(id, TenantBilling::default);
+        if day < t.next_sweepable_day {
+            return false;
+        }
+        t.next_sweepable_day = day + 1;
+        t.usage.tb_days += bytes as f64 / 1e12;
         true
+    }
+
+    /// Increment mode: `user` now holds `cores` cores, effective `at`
+    /// (an instance start, stop, or resize). Folds the previous rate
+    /// over the virtual polls it covered — O(1) per delta instead of
+    /// O(1) per tenant-minute.
+    pub fn record_cores(&mut self, user: &str, cores: u32, at: SimTime) {
+        let id = self.users.intern(user);
+        self.record_cores_id(id, cores, at);
+    }
+
+    /// [`record_cores`](Self::record_cores) by interned id.
+    pub fn record_cores_id(&mut self, id: TenantId, cores: u32, at: SimTime) {
+        let bound = minute_bound(at);
+        let t = self.tenants.get_or_insert_with(id, TenantBilling::default);
+        t.fold_compute_to(bound);
+        t.held_cores = cores;
+    }
+
+    /// Increment mode: `user` now stores `bytes`, effective `at` (an
+    /// object PUT or DELETE settling).
+    pub fn record_stored(&mut self, user: &str, bytes: u64, at: SimTime) {
+        let id = self.users.intern(user);
+        self.record_stored_id(id, bytes, at);
+    }
+
+    /// [`record_stored`](Self::record_stored) by interned id.
+    pub fn record_stored_id(&mut self, id: TenantId, bytes: u64, at: SimTime) {
+        let bound = day_bound(at);
+        let t = self.tenants.get_or_insert_with(id, TenantBilling::default);
+        t.fold_storage_to(bound);
+        t.stored_bytes = bytes;
     }
 
     /// Current-cycle usage, as shown on the console's usage page.
     pub fn current_usage(&self, user: &str) -> CycleUsage {
-        self.open.get(user).cloned().unwrap_or_default()
+        self.users
+            .get(user)
+            .and_then(|id| self.tenants.get(id))
+            .map(|t| t.usage.clone())
+            .unwrap_or_default()
     }
 
     /// Close the month: issue invoices for every user with usage and
-    /// reset the cycle.
+    /// reset the cycle. Poll-mode close — does *not* fold increment-mode
+    /// cursors; increment-mode drivers use
+    /// [`close_month_at`](Self::close_month_at).
     pub fn close_month(&mut self) -> Vec<Invoice> {
         let month = self.month;
         self.month += 1;
-        let mut closed: Vec<Invoice> = std::mem::take(&mut self.open)
-            .into_iter()
-            .map(|(user, usage)| {
-                let core_hours = usage.core_minutes / 60.0;
-                let billable_core_hours = (core_hours - self.rates.free_core_hours).max(0.0);
-                let billable_tb_days = (usage.tb_days - self.rates.free_tb_days).max(0.0);
-                let total_usd = billable_core_hours * self.rates.per_core_hour
-                    + billable_tb_days * self.rates.per_tb_day;
-                audit::check!(
-                    billable_core_hours >= 0.0 && billable_tb_days >= 0.0 && total_usd >= 0.0,
-                    "tukey.invoice_nonnegative",
-                    "negative invoice line for {user} month {month}: \
-                     {billable_core_hours} core-hours, {billable_tb_days} TB-days, \
-                     ${total_usd}"
-                );
-                audit::check!(
-                    billable_core_hours <= core_hours && billable_tb_days <= usage.tb_days,
-                    "tukey.billable_le_metered",
-                    "billable exceeds metered usage for {user} month {month}"
-                );
-                Invoice {
-                    user,
-                    month,
-                    core_hours,
-                    tb_days: usage.tb_days,
-                    billable_core_hours,
-                    billable_tb_days,
-                    total_usd,
-                }
-            })
-            .collect();
-        closed.sort_by(|a, b| a.user.cmp(&b.user));
-        self.invoices.extend(closed.clone());
+        let rates = self.rates;
+        // Collect in id order (deterministic), invoice in user-name
+        // order (the former BTreeMap iteration order, pinned by tests
+        // and trace hashes).
+        let mut scratch = std::mem::take(&mut self.close_scratch);
+        scratch.clear();
+        self.tenants.for_each_mut(|id, t| {
+            if t.usage != CycleUsage::default() {
+                scratch.push((id, std::mem::take(&mut t.usage)));
+            }
+        });
+        scratch.sort_by(|(a, _), (b, _)| self.users.name(*a).cmp(self.users.name(*b)));
+        let mut closed: Vec<Invoice> = Vec::with_capacity(scratch.len());
+        for (id, usage) in scratch.drain(..) {
+            let user = self.users.name(id);
+            let core_hours = usage.core_minutes / 60.0;
+            let billable_core_hours = (core_hours - rates.free_core_hours).max(0.0);
+            let billable_tb_days = (usage.tb_days - rates.free_tb_days).max(0.0);
+            let total_usd =
+                billable_core_hours * rates.per_core_hour + billable_tb_days * rates.per_tb_day;
+            audit::check!(
+                billable_core_hours >= 0.0 && billable_tb_days >= 0.0 && total_usd >= 0.0,
+                "tukey.invoice_nonnegative",
+                "negative invoice line for {user} month {month}: \
+                 {billable_core_hours} core-hours, {billable_tb_days} TB-days, \
+                 ${total_usd}"
+            );
+            audit::check!(
+                billable_core_hours <= core_hours && billable_tb_days <= usage.tb_days,
+                "tukey.billable_le_metered",
+                "billable exceeds metered usage for {user} month {month}"
+            );
+            closed.push(Invoice {
+                user: user.to_string(),
+                month,
+                core_hours,
+                tb_days: usage.tb_days,
+                billable_core_hours,
+                billable_tb_days,
+                total_usd,
+            });
+        }
+        self.close_scratch = scratch;
+        self.invoices.extend(closed.iter().cloned());
         closed
+    }
+
+    /// Increment-mode close: fold every tenant's cursors up to `at`
+    /// (virtual polls strictly before the boundary — a poll landing
+    /// exactly at the close instant bills into the next month, matching
+    /// close-before-poll event ordering), then invoice and reset as
+    /// [`close_month`](Self::close_month). Held rates and fold cursors
+    /// survive, so accrual continues seamlessly into the new cycle.
+    pub fn close_month_at(&mut self, at: SimTime) -> Vec<Invoice> {
+        let min_bound = minute_bound(at);
+        let day_b = day_bound(at);
+        self.tenants.for_each_mut(|_, t| {
+            t.fold_compute_to(min_bound);
+            t.fold_storage_to(day_b);
+        });
+        self.close_month()
     }
 
     pub fn invoice_history(&self, user: &str) -> Vec<&Invoice> {
@@ -392,5 +588,120 @@ mod tests {
         assert!(!BillingService::is_day_boundary(
             SimTime::ZERO + SimDuration::from_hours(25)
         ));
+    }
+
+    // ------------------------------------------------------------------
+    // Increment mode.
+
+    #[test]
+    fn deltas_match_polling_exactly() {
+        // 8 cores held minutes [0, 120), then resized to 2 for [120, 200).
+        let mut polled = BillingService::new(Rates::default());
+        for m in 0..200 {
+            let cores = if m < 120 { 8 } else { 2 };
+            polled.poll_compute("alice", cores, at_min(m));
+        }
+        let mut inc = BillingService::new(Rates::default());
+        inc.record_cores("alice", 8, at_min(0));
+        inc.record_cores("alice", 2, at_min(120));
+        let a = polled.close_month();
+        let b = inc.close_month_at(at_min(200));
+        assert_eq!(a, b, "incremental invoices must be byte-identical");
+    }
+
+    #[test]
+    fn mid_minute_delta_bills_next_boundary_at_new_rate() {
+        // A resize 30 s into minute 5: polls at minutes 5.. see the old
+        // rate through minute 5's instant? No — the poll at minute 5
+        // (t = 300 s) happened *before* the 330 s delta, so minutes
+        // [0, 6) bill at 8 cores and minutes [6, 10) at 2.
+        let mut b = BillingService::new(Rates::default());
+        b.record_cores("alice", 8, at_min(0));
+        b.record_cores("alice", 2, at_min(5) + SimDuration::from_secs(30));
+        let inv = b.close_month_at(at_min(10)).pop().expect("invoice");
+        assert_eq!(inv.core_hours * 60.0, (6 * 8 + 4 * 2) as f64);
+    }
+
+    #[test]
+    fn delta_exactly_on_poll_instant_takes_effect_that_poll() {
+        // Delta at t = minute 5 exactly: the virtual poll at minute 5
+        // samples the new rate (deltas order before polls at equal
+        // timestamps).
+        let mut b = BillingService::new(Rates::default());
+        b.record_cores("alice", 8, at_min(0));
+        b.record_cores("alice", 2, at_min(5));
+        let inv = b.close_month_at(at_min(10)).pop().expect("invoice");
+        assert_eq!(inv.core_hours * 60.0, (5 * 8 + 5 * 2) as f64);
+    }
+
+    #[test]
+    fn stop_to_zero_stops_accrual() {
+        let mut b = BillingService::new(Rates::default());
+        b.record_cores("alice", 4, at_min(10));
+        b.record_cores("alice", 0, at_min(20));
+        let inv = b.close_month_at(at_min(100)).pop().expect("invoice");
+        assert_eq!(inv.core_hours * 60.0, 40.0);
+        assert_eq!(b.current_usage("alice"), CycleUsage::default());
+        // Still zero cores: a later close issues nothing.
+        assert!(b.close_month_at(at_min(200)).is_empty());
+    }
+
+    #[test]
+    fn close_folds_open_rate_and_accrual_continues() {
+        let mut b = BillingService::new(Rates::default());
+        b.record_cores("alice", 1, at_min(0));
+        let first = b.close_month_at(at_min(60)).pop().expect("invoice");
+        // Minutes [0, 60) — the poll exactly at the close instant
+        // belongs to the next month.
+        assert_eq!(first.core_hours * 60.0, 60.0);
+        // No further deltas: the held rate keeps accruing.
+        let second = b.close_month_at(at_min(90)).pop().expect("invoice");
+        assert_eq!(second.core_hours * 60.0, 30.0);
+        assert_eq!(second.month, 1);
+    }
+
+    #[test]
+    fn stored_deltas_match_daily_sweeps_exactly() {
+        let rates = Rates {
+            per_core_hour: 0.0,
+            per_tb_day: 0.10,
+            free_core_hours: 0.0,
+            free_tb_days: 0.0,
+        };
+        // 1.7 TB for days [0, 10), then 0.3 TB for days [10, 30) —
+        // non-integer TB values exercise the per-day rounding replay.
+        let mut swept = BillingService::new(rates);
+        for d in 0..30 {
+            let bytes = if d < 10 {
+                1_700_000_000_001
+            } else {
+                300_000_000_007
+            };
+            swept.sweep_storage("hoarder", bytes, at_day(d));
+        }
+        let mut inc = BillingService::new(rates);
+        inc.record_stored("hoarder", 1_700_000_000_001, at_day(0));
+        inc.record_stored("hoarder", 300_000_000_007, at_day(10));
+        let a = swept.close_month();
+        let b = inc.close_month_at(at_day(30));
+        assert_eq!(a, b, "per-day fold must replay sweep rounding exactly");
+    }
+
+    #[test]
+    fn interned_id_paths_match_string_paths() {
+        let mut by_name = BillingService::new(Rates::default());
+        let mut by_id = BillingService::new(Rates::default());
+        let id = by_id.user_id("alice");
+        for m in 0..50 {
+            assert_eq!(
+                by_name.poll_compute("alice", 3, at_min(m)),
+                by_id.poll_compute_id(id, 3, at_min(m))
+            );
+        }
+        by_name.sweep_storage("alice", 5_000_000_000_000, at_day(0));
+        by_id.sweep_storage_id(id, 5_000_000_000_000, at_day(0));
+        assert_eq!(by_name.close_month(), by_id.close_month());
+        assert_eq!(by_id.lookup_user("alice"), Some(id));
+        assert_eq!(by_id.lookup_user("nobody"), None);
     }
 }
