@@ -1,67 +1,11 @@
-//! Experiment X2 (§9.1) — "Why not just use Amazon?"
+//! Experiment X2 (§9.1) — OSDC rack vs AWS cost crossover.
 //!
-//! Sweeps rack utilization and prints the $/core-hour curves for an OSDC
-//! rack (capex amortization + opex over delivered core-hours) against the
-//! AWS on-demand equivalent, locating the crossover the paper pegs at
-//! "approximately 80% efficiency".
+//! Body lives in `osdc_bench::harness::exp_cost_crossover` so
+//! `exp_replay` can re-run it in-process; `--manifest <path>` records
+//! the run.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin exp_cost_crossover`
 
-use osdc::cost::CostModel;
-use osdc_bench::{banner, row};
-
 fn main() {
-    banner(
-        "Experiment X2 (§9.1)",
-        "OSDC rack vs AWS: cost per utilized core-hour",
-    );
-
-    let model = CostModel::default();
-    println!(
-        "rack: {} cores, ${:.0}k capex / {} months + ${:.1}k/month opex → ${:.0}/month",
-        model.rack_cores,
-        model.rack_capex_usd / 1e3,
-        model.amortization_months,
-        model.rack_opex_usd_month / 1e3,
-        model.rack_monthly_usd()
-    );
-    println!(
-        "AWS on-demand equivalent: ${:.3}/core-hour (2012 m1-class)\n",
-        model.aws_core_hour_usd
-    );
-
-    let widths = [12usize, 16, 16, 14];
-    println!(
-        "{}",
-        row(
-            &["utilization", "OSDC $/core-hr", "AWS $/core-hr", "cheaper"],
-            &widths
-        )
-    );
-    println!("{}", "-".repeat(64));
-    for (u, osdc, aws) in model.sweep(10) {
-        println!(
-            "{}",
-            row(
-                &[
-                    &format!("{:.0}%", u * 100.0),
-                    &format!("{osdc:.3}"),
-                    &format!("{aws:.3}"),
-                    if osdc < aws { "OSDC" } else { "AWS" },
-                ],
-                &widths
-            )
-        );
-    }
-
-    let crossover = model.crossover_utilization();
-    println!(
-        "\ncrossover: {:.1}% utilization (paper: \"approximately 80% efficiency or greater\")",
-        crossover * 100.0
-    );
-    println!(
-        "at 90% utilization a rack saves ${:.0}/month vs AWS; at 50% it loses ${:.0}/month",
-        model.monthly_saving_usd(0.9),
-        -model.monthly_saving_usd(0.5)
-    );
+    osdc_bench::harness::main_entry("exp_cost_crossover")
 }

@@ -1,158 +1,10 @@
 //! Experiment X9 (§4.1, §7.1, §7.4) — resilience campaign sweep.
 //!
-//! The paper's operational story is about surviving failure: the
-//! GlusterFS 3.1 mirroring bug that silently lost data (§7.1), the
-//! modENCODE double-disaster recovery (§4.1), and the Nagios + Collectl
-//! monitoring stack that pages operators when hardware dies (§7.4).
-//! This harness replays the same deterministic fault schedule — link
-//! outages, brick crashes, silent corruption, host failures, flaky cloud
-//! APIs, Chef converge errors — against a live mini-federation under a
-//! sweep of (storage era × retry policy) cells and scores each on MTTR,
-//! data loss, and fault→alert latency.
-//!
-//! The headline contrast: GlusterFS 3.3 with exponential backoff rides
-//! out every fault with zero data loss; GlusterFS 3.1 with no retries
-//! loses data, exactly as the paper experienced.
+//! Body lives in `osdc_bench::harness::exp_resilience` so `exp_replay`
+//! can re-run it in-process; `--manifest <path>` records the run.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin exp_resilience`
-//! Flags: `--quick` (shorter campaign, used by CI), `--trace <path>`
-//! (emit the telemetry JSONL artifact for the canonical cell),
-//! `--tick-compat` / `--reference-solver` (fluid-solver mode; the default
-//! is the fast epoch mode), `--jobs <N>` (run the sweep cells on N
-//! workers of the deterministic scenario runner — output is
-//! byte-identical for any N; default: host parallelism).
-
-use osdc_bench::{banner, finish_trace, jobs, row, seed_line, solver_mode, trace_path};
-use osdc_chaos::{run_campaigns, CampaignConfig, RetryPolicy};
-use osdc_storage::GlusterVersion;
-use osdc_telemetry::Telemetry;
-
-const SEED: u64 = 2012;
-const EXTRA_FAULTS_PER_HOUR: f64 = 2.0;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let duration_mins: u64 = if quick { 120 } else { 240 };
-
-    banner(
-        "Experiment X9 (§4.1, §7.1, §7.4)",
-        "chaos campaigns over the federation: storage era × retry policy",
-    );
-    seed_line(SEED);
-    println!(
-        "{duration_mins}-minute campaigns, identical fault schedule per cell \
-         ({EXTRA_FAULTS_PER_HOUR} extra API faults/hour){}\n",
-        if quick { "  [--quick]" } else { "" }
-    );
-
-    let solver = solver_mode();
-    let v31 = GlusterVersion::V3_1 {
-        replica_drop_prob: 0.15,
-    };
-    let cells: Vec<CampaignConfig> = vec![
-        CampaignConfig::osdc(
-            v31,
-            RetryPolicy::None,
-            SEED,
-            duration_mins,
-            EXTRA_FAULTS_PER_HOUR,
-        ),
-        CampaignConfig::osdc(
-            v31,
-            RetryPolicy::exponential(12),
-            SEED,
-            duration_mins,
-            EXTRA_FAULTS_PER_HOUR,
-        ),
-        CampaignConfig::osdc(
-            GlusterVersion::V3_3,
-            RetryPolicy::fixed_30s(4),
-            SEED,
-            duration_mins,
-            EXTRA_FAULTS_PER_HOUR,
-        ),
-        CampaignConfig::osdc(
-            GlusterVersion::V3_3,
-            RetryPolicy::exponential(12),
-            SEED,
-            duration_mins,
-            EXTRA_FAULTS_PER_HOUR,
-        ),
-    ];
-    let cells: Vec<CampaignConfig> = cells.into_iter().map(|c| c.with_solver(solver)).collect();
-
-    let widths = [26usize, 8, 8, 10, 10, 12, 12];
-    println!(
-        "{}",
-        row(
-            &[
-                "configuration",
-                "faults",
-                "MTTR",
-                "data loss",
-                "healed",
-                "alert lat.",
-                "xfer MB",
-            ],
-            &widths
-        )
-    );
-    println!("{}", "-".repeat(96));
-
-    // The four sweep cells are independent campaigns: run them on the
-    // scenario pool, then print the scorecards in submission order.
-    let cards = run_campaigns(&cells, jobs(), &Telemetry::disabled());
-    for card in &cards {
-        println!(
-            "{}",
-            row(
-                &[
-                    &card.config,
-                    &card.faults_injected.to_string(),
-                    &format!("{:.0}s", card.mttr_secs()),
-                    &card.data_loss_incidents().to_string(),
-                    &card.heal_repaired.to_string(),
-                    &format!("{:.0}s", card.alert_latency_secs()),
-                    &(card.transfer_bytes_done / 1_000_000).to_string(),
-                ],
-                &widths
-            )
-        );
-    }
-
-    let worst = &cards[0]; // gluster-3.1 + no-retry
-    let best = cards.last().expect("sweep is non-empty"); // gluster-3.3 + exp-backoff
-    println!("\ncanonical cell — {}:", best.config);
-    for line in best.render().lines().skip(1) {
-        println!("{line}");
-    }
-    println!(
-        "\npaper's experience reproduced: {} suffers {} data-loss incidents; \
-         {} suffers {}.",
-        worst.config,
-        worst.data_loss_incidents(),
-        best.config,
-        best.data_loss_incidents()
-    );
-    assert_eq!(
-        best.data_loss_incidents(),
-        0,
-        "gluster-3.3 + exp-backoff must lose nothing"
-    );
-    assert!(
-        worst.data_loss_incidents() > 0,
-        "gluster-3.1 + no-retry must lose data"
-    );
-
-    if let Some(path) = trace_path() {
-        // Re-run the canonical cell with telemetry enabled so the JSONL
-        // artifact carries the full span/metric stream plus the verdict.
-        // A single cell runs inline whatever `--jobs` says, and the
-        // sharded merge keeps the artifact byte-identical either way.
-        let tele = Telemetry::new();
-        let canonical = cells.last().cloned().expect("sweep is non-empty");
-        let _ = run_campaigns(&[canonical], jobs(), &tele);
-        finish_trace(&tele, &path);
-    }
+    osdc_bench::harness::main_entry("exp_resilience")
 }

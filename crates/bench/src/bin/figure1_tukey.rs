@@ -1,163 +1,10 @@
-//! Figure 1 — "Tukey provides the link between the users and services".
+//! Figure 1 — Tukey console + middleware end to end.
 //!
-//! The figure is an architecture diagram; its executable form is an
-//! end-to-end console session exercising every box: login through both
-//! authentication paths, VM provisioning on *both* cloud stacks through
-//! the single OpenStack-format interface, the aggregated JSON response
-//! tagged by cloud, and the usage/billing page fed by the per-minute
-//! poller.
+//! Body lives in `osdc_bench::harness::figure1_tukey` so `exp_replay`
+//! can re-run it in-process; `--manifest <path>` records the run.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin figure1_tukey`
-//!
-//! With `--trace <path>`, every console request emits spans (console →
-//! auth → translation → aggregation) and per-cloud latency histograms
-//! into a telemetry JSONL artifact at `<path>`, plus a federation ops
-//! report on stdout. Runs are deterministic: artifacts are byte-identical
-//! across invocations.
-
-use osdc_bench::{banner, finish_trace, trace_path};
-use osdc_sim::{SimDuration, SimTime};
-use osdc_telemetry::Telemetry;
-use osdc_tukey::auth::{AuthProxy, Identity, OpenIdProvider, ShibbolethIdp};
-use osdc_tukey::credentials::CloudCredential;
-use osdc_tukey::translation::osdc_proxy;
-use osdc_tukey::TukeyConsole;
 
 fn main() {
-    banner(
-        "Figure 1",
-        "Tukey console + middleware: one interface, two cloud stacks",
-    );
-
-    // --- the middleware stack -------------------------------------------------
-    let mut idp = ShibbolethIdp::new("urn:mace:uchicago.edu:idp", b"campus-signing-key");
-    idp.register("grossman@uchicago.edu", &[("displayName", "R. Grossman")]);
-    let mut openid = OpenIdProvider::new("https://www.opensciencedatacloud.org/openid/");
-    openid.register("https://www.opensciencedatacloud.org/openid/heath", "pw");
-
-    let mut auth = AuthProxy::new();
-    auth.trust_idp("urn:mace:uchicago.edu:idp", b"campus-signing-key");
-    auth.trust_openid("https://www.opensciencedatacloud.org/openid/");
-
-    let mut console = TukeyConsole::new(auth, osdc_proxy(2));
-    let trace = trace_path();
-    let tele = match &trace {
-        Some(_) => Telemetry::new(),
-        None => Telemetry::disabled(),
-    };
-    console.set_telemetry(tele.clone());
-    println!("middleware up: clouds = {:?}", console.proxy.cloud_names());
-
-    // --- enrollment: identifier → per-cloud credentials (§5.2) ---------------
-    let shib_id = Identity {
-        canonical: "shib:grossman@uchicago.edu".into(),
-    };
-    console.enroll(
-        &shib_id,
-        CloudCredential::new("adler", "grossman", "AK1", "SK1"),
-    );
-    console.enroll(
-        &shib_id,
-        CloudCredential::new("sullivan", "grossman", "AK2", "SK2"),
-    );
-    let openid_id = Identity {
-        canonical: "openid:https://www.opensciencedatacloud.org/openid/heath".into(),
-    };
-    console.enroll(
-        &openid_id,
-        CloudCredential::new("adler", "heath", "AK3", "SK3"),
-    );
-
-    // --- login via Shibboleth --------------------------------------------------
-    let assertion = idp.assert("grossman@uchicago.edu").expect("campus login");
-    let token = console
-        .login_shibboleth(&assertion)
-        .expect("assertion accepted");
-    println!(
-        "shibboleth login ok: {}",
-        console.whoami(token).expect("session")
-    );
-
-    // --- login via OpenID -------------------------------------------------------
-    let token2 = console
-        .login_openid(
-            &openid,
-            "https://www.opensciencedatacloud.org/openid/heath",
-            "pw",
-        )
-        .expect("openid verified");
-    println!(
-        "openid login ok:     {}",
-        console.whoami(token2).expect("session")
-    );
-
-    // --- provision VMs on both stacks through one API --------------------------
-    let t0 = SimTime::ZERO;
-    let a = console
-        .launch_instance(
-            token,
-            "adler",
-            "analysis-0",
-            "m1.xlarge",
-            "bionimbus-genomics",
-            t0,
-        )
-        .expect("OpenStack-backed launch");
-    let s = console
-        .launch_instance(
-            token,
-            "sullivan",
-            "preprocess-0",
-            "m1.large",
-            "matsu-earth-obs",
-            t0,
-        )
-        .expect("Eucalyptus-backed launch");
-    println!(
-        "\nlaunched on adler    → {}",
-        serde_json::to_string(&a).expect("json")
-    );
-    println!(
-        "launched on sullivan → {}",
-        serde_json::to_string(&s).expect("json")
-    );
-
-    // --- the aggregated, cloud-tagged OpenStack-format response ---------------
-    let page = console.instances_page(token, t0).expect("listing");
-    println!(
-        "\naggregated /servers response (OpenStack format, tagged by cloud):\n{}",
-        serde_json::to_string_pretty(&page).expect("json")
-    );
-
-    // --- usage & billing: poll every minute (§6.4) ------------------------------
-    let mut now = t0;
-    for _ in 0..90 {
-        now += SimDuration::from_mins(1);
-        console.billing_minute_tick(now);
-    }
-    let usage = console.usage_page(token).expect("usage page");
-    println!(
-        "usage page after 90 minutes:\n{}",
-        serde_json::to_string_pretty(&usage).expect("json")
-    );
-
-    // --- public datasets module -----------------------------------------------
-    let hits = console.datasets_page(Some("EO-1"));
-    println!(
-        "dataset search 'EO-1' → {}",
-        serde_json::to_string(&hits).expect("json")
-    );
-
-    // --- invoices close the loop -------------------------------------------------
-    let invoices = console.billing.close_month();
-    for inv in &invoices {
-        println!(
-            "invoice: {} — {:.1} core-hours, billable {:.1}, ${:.2}",
-            inv.user, inv.core_hours, inv.billable_core_hours, inv.total_usd
-        );
-    }
-    println!("\nFigure 1 flow exercised end-to-end: console → middleware → {{OpenStack, Eucalyptus}} → aggregated JSON → billing.");
-    if let Some(path) = trace {
-        finish_trace(&tele, &path);
-    }
+    osdc_bench::harness::main_entry("figure1_tukey")
 }

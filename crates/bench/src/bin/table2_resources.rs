@@ -1,60 +1,10 @@
 //! Table 2 — summary of resources operated by the OCC.
 //!
-//! Builds the live federation and prints the inventory rows computed
-//! from the actual objects (cores summed over hosts, disk summed over
-//! bricks/nodes), next to the paper's figures.
+//! Body lives in `osdc_bench::harness::table2_resources` so `exp_replay`
+//! can re-run it in-process; `--manifest <path>` records the run.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin table2_resources`
 
-use osdc::Federation;
-use osdc_bench::{banner, row, seed_line};
-
 fn main() {
-    banner("Table 2", "summary of resources operated by the OCC");
-    seed_line(2012);
-    let fed = Federation::build(1.2e-7, 2012);
-
-    let paper: [(&str, &str); 4] = [
-        ("OSDC-Adler & Sullivan", "1248 cores and 1.2PB disk"),
-        ("OSDC-Root", "approximately 1 PB of disk"),
-        ("OCC-Y", "928 cores and 1.0 PB disk"),
-        ("OCC-Matsu", "approximately 120 cores and 100 TB"),
-    ];
-
-    let widths = [24usize, 44, 10, 10, 36];
-    println!(
-        "{}",
-        row(
-            &["resource", "type", "cores", "disk TB", "paper says"],
-            &widths
-        )
-    );
-    println!("{}", "-".repeat(130));
-    for (summary, (_, paper_size)) in fed.inventory().iter().zip(paper) {
-        println!(
-            "{}",
-            row(
-                &[
-                    &summary.resource,
-                    &summary.kind,
-                    &summary.cores.to_string(),
-                    &summary.disk_tb.to_string(),
-                    paper_size,
-                ],
-                &widths
-            )
-        );
-    }
-    println!();
-    println!(
-        "facility totals: {} cores, {} TB — abstract claims \"more than 2000 cores and 2 PB\"",
-        fed.total_cores(),
-        fed.total_disk_tb()
-    );
-    println!(
-        "§7.1 GlusterFS shares (usable): adler {} TB, sullivan {} TB, root {} TB (paper: 156 / 38 / 459)",
-        fed.adler_share.with_volume(|v| v.usable_capacity_bytes() / 1_000_000_000_000),
-        fed.sullivan_share.with_volume(|v| v.usable_capacity_bytes() / 1_000_000_000_000),
-        fed.root.usable_capacity_bytes() / 1_000_000_000_000,
-    );
+    osdc_bench::harness::main_entry("table2_resources")
 }

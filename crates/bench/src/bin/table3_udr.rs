@@ -1,209 +1,10 @@
-//! Table 3 — UDR vs rsync transfer speeds, Chicago ↔ LVOC, 104 ms RTT.
+//! Table 3 — UDR vs rsync transfer grid, Chicago ↔ LVOC.
 //!
-//! Reproduces the paper's exact grid: {UDR, rsync} × {no encryption,
-//! blowfish, 3des (rsync only)} × {108 GB, 1.1 TB}, reporting mbit/s and
-//! the long-distance-to-local ratio LLR = speed / min(source read 3072,
-//! target write 1136) = speed / 1136. Also prints the §7.2 headline
-//! speedups (87 % unencrypted, 41 % encrypted).
+//! Body lives in `osdc_bench::harness::table3_udr` so `exp_replay` can
+//! re-run it in-process; `--manifest <path>` records the run.
 //!
 //! Run: `cargo run --release -p osdc-bench --bin table3_udr`
-//!
-//! With `--trace <path>`, every transfer additionally emits per-stage
-//! spans (disk read → delta → cipher → wire → disk write) and per-flow
-//! throughput traces into a telemetry JSONL artifact at `<path>`, plus a
-//! federation ops report on stdout. Same-seed runs produce byte-identical
-//! artifacts.
-//!
-//! Solver flags: `--tick-compat` runs the epoch solver pinned to
-//! byte-identical pre-epoch output; `--reference-solver` runs the original
-//! per-tick solver; the default is the fast epoch mode.
-//!
-//! `--jobs <N>` runs the ten grid cells on N workers of the deterministic
-//! scenario runner (default: host parallelism, `--jobs 1` = the serial
-//! path). Every cell's seed is fixed by its grid position, and telemetry
-//! shards are merged in submission order, so stdout and the `--trace`
-//! artifact are byte-identical for any N.
-
-use osdc_bench::{banner, finish_trace, jobs, row, seed_line, solver_mode, trace_path};
-use osdc_crypto::CipherKind;
-use osdc_net::{osdc_wan, FluidNet, OsdcSite, SolverMode};
-use osdc_sim::SimDuration;
-use osdc_telemetry::Telemetry;
-use osdc_transfer::{Protocol, TransferEngine, TransferReport, TransferSpec};
-
-/// The WAN residual-loss calibration of DESIGN.md §5.
-const LONG_HAUL_LOSS: f64 = 0.9e-7;
-const SEED: u64 = 2012;
-
-fn transfer(
-    protocol: Protocol,
-    cipher: CipherKind,
-    bytes: u64,
-    seed: u64,
-    mode: SolverMode,
-    tele: &Telemetry,
-) -> TransferReport {
-    let wan = osdc_wan(LONG_HAUL_LOSS);
-    let src = wan.node(OsdcSite::ChicagoKenwood);
-    let dst = wan.node(OsdcSite::Lvoc);
-    let mut engine = TransferEngine::new(FluidNet::with_solver(wan.topology, seed, mode));
-    engine.set_telemetry(tele.clone());
-    engine.run(
-        &TransferSpec {
-            protocol,
-            cipher,
-            bytes,
-            files: 1,
-            src,
-            dst,
-        },
-        SimDuration::from_days(2),
-    )
-}
 
 fn main() {
-    banner(
-        "Table 3",
-        "overall transfer speeds (mbit/s) and LLR, Chicago ↔ Livermore, RTT 104 ms",
-    );
-    seed_line(SEED);
-    let mode = solver_mode();
-    let jobs = jobs();
-    let trace = trace_path();
-    let tele = match &trace {
-        Some(_) => Telemetry::new(),
-        None => Telemetry::disabled(),
-    };
-
-    let gb108: u64 = 108_000_000_000;
-    let tb1_1: u64 = 1_100_000_000_000;
-
-    // (label, protocol, cipher, paper [mbit/s; LLR] for 108 GB and 1.1 TB).
-    type Row = (&'static str, Protocol, CipherKind, [f64; 2], [f64; 2]);
-    let rows: [Row; 5] = [
-        (
-            "UDR (no encryption)",
-            Protocol::Udr,
-            CipherKind::None,
-            [752.0, 738.0],
-            [0.66, 0.64],
-        ),
-        (
-            "rsync (no encryption)",
-            Protocol::Rsync,
-            CipherKind::None,
-            [401.0, 405.0],
-            [0.35, 0.36],
-        ),
-        (
-            "UDR (blowfish)",
-            Protocol::Udr,
-            CipherKind::Blowfish,
-            [394.0, 396.0],
-            [0.35, 0.35],
-        ),
-        (
-            "rsync (blowfish)",
-            Protocol::Rsync,
-            CipherKind::Blowfish,
-            [280.0, 281.0],
-            [0.25, 0.25],
-        ),
-        (
-            "rsync (3des)",
-            Protocol::Rsync,
-            CipherKind::TripleDes,
-            [284.0, 285.0],
-            [0.25, 0.25],
-        ),
-    ];
-
-    let widths = [22usize, 10, 6, 14, 14, 10, 6, 14, 14];
-    println!(
-        "{}",
-        row(
-            &["", "108 GB", "", "(paper)", "", "1.1 TB", "", "(paper)", ""],
-            &widths
-        )
-    );
-    println!(
-        "{}",
-        row(
-            &[
-                "protocol (cipher)",
-                "mbit/s",
-                "LLR",
-                "mbit/s",
-                "LLR",
-                "mbit/s",
-                "LLR",
-                "mbit/s",
-                "LLR"
-            ],
-            &widths
-        )
-    );
-    println!("{}", "-".repeat(112));
-
-    // The ten grid cells (5 rows × 2 sizes) are independent seeded runs:
-    // execute them on the scenario runner, then print in submission order.
-    // Seeds keep the published convention (SEED for 108 GB, SEED+1 for
-    // 1.1 TB) and depend only on the cell, never on the worker.
-    let tasks: Vec<_> = rows
-        .iter()
-        .flat_map(|&(_, protocol, cipher, _, _)| {
-            [(gb108, SEED), (tb1_1, SEED + 1)].map(|(bytes, seed)| {
-                move |cell_tele: &Telemetry, _i: usize| {
-                    transfer(protocol, cipher, bytes, seed, mode, cell_tele)
-                }
-            })
-        })
-        .collect();
-    let reports = osdc_telemetry::run_sharded(jobs, &tele, tasks);
-
-    let mut measured: Vec<(&str, f64, f64)> = Vec::new();
-    for (k, (label, _, _, paper_mbps, paper_llr)) in rows.into_iter().enumerate() {
-        let small = &reports[k * 2];
-        let large = &reports[k * 2 + 1];
-        println!(
-            "{}",
-            row(
-                &[
-                    label,
-                    &format!("{:.0}", small.mbps),
-                    &format!("{:.2}", small.llr),
-                    &format!("{:.0}", paper_mbps[0]),
-                    &format!("{:.2}", paper_llr[0]),
-                    &format!("{:.0}", large.mbps),
-                    &format!("{:.2}", large.llr),
-                    &format!("{:.0}", paper_mbps[1]),
-                    &format!("{:.2}", paper_llr[1]),
-                ],
-                &widths
-            )
-        );
-        measured.push((label, small.mbps, large.mbps));
-    }
-
-    // §7.2's headline: "UDR achieves 87% and 41% faster speeds in the
-    // unencrypted and encrypted cases, respectively, than standard rsync".
-    let get = |label: &str| {
-        measured
-            .iter()
-            .find(|(l, _, _)| *l == label)
-            .map(|(_, s, l)| (s + l) / 2.0)
-            .expect("row exists")
-    };
-    let plain = get("UDR (no encryption)") / get("rsync (no encryption)") - 1.0;
-    let enc = get("UDR (blowfish)") / get("rsync (blowfish)") - 1.0;
-    println!();
-    println!(
-        "headline: UDR is {:.0}% faster unencrypted (paper: 87%), {:.0}% faster encrypted (paper: 41%)",
-        plain * 100.0,
-        enc * 100.0
-    );
-    println!("LLR denominator: min(source read 3072, target write 1136) = 1136 mbit/s, as in §7.2");
-    if let Some(path) = trace {
-        finish_trace(&tele, &path);
-    }
+    osdc_bench::harness::main_entry("table3_udr")
 }

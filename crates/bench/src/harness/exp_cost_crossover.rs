@@ -1,0 +1,74 @@
+//! Experiment X2 (§9.1) — "Why not just use Amazon?"
+//!
+//! Sweeps rack utilization and prints the $/core-hour curves for an OSDC
+//! rack (capex amortization + opex over delivered core-hours) against the
+//! AWS on-demand equivalent, locating the crossover the paper pegs at
+//! "approximately 80% efficiency".
+
+use osdc::cost::CostModel;
+
+use crate::harness::{HarnessCtx, RunResult};
+use crate::{outln, row};
+
+pub(crate) fn run(ctx: &mut HarnessCtx) -> RunResult {
+    ctx.banner(
+        "Experiment X2 (§9.1)",
+        "OSDC rack vs AWS: cost per utilized core-hour",
+    );
+
+    let model = CostModel::default();
+    outln!(
+        ctx,
+        "rack: {} cores, ${:.0}k capex / {} months + ${:.1}k/month opex → ${:.0}/month",
+        model.rack_cores,
+        model.rack_capex_usd / 1e3,
+        model.amortization_months,
+        model.rack_opex_usd_month / 1e3,
+        model.rack_monthly_usd()
+    );
+    outln!(
+        ctx,
+        "AWS on-demand equivalent: ${:.3}/core-hour (2012 m1-class)\n",
+        model.aws_core_hour_usd
+    );
+
+    let widths = [12usize, 16, 16, 14];
+    outln!(
+        ctx,
+        "{}",
+        row(
+            &["utilization", "OSDC $/core-hr", "AWS $/core-hr", "cheaper"],
+            &widths
+        )
+    );
+    outln!(ctx, "{}", "-".repeat(64));
+    for (u, osdc, aws) in model.sweep(10) {
+        outln!(
+            ctx,
+            "{}",
+            row(
+                &[
+                    &format!("{:.0}%", u * 100.0),
+                    &format!("{osdc:.3}"),
+                    &format!("{aws:.3}"),
+                    if osdc < aws { "OSDC" } else { "AWS" },
+                ],
+                &widths
+            )
+        );
+    }
+
+    let crossover = model.crossover_utilization();
+    outln!(
+        ctx,
+        "\ncrossover: {:.1}% utilization (paper: \"approximately 80% efficiency or greater\")",
+        crossover * 100.0
+    );
+    outln!(
+        ctx,
+        "at 90% utilization a rack saves ${:.0}/month vs AWS; at 50% it loses ${:.0}/month",
+        model.monthly_saving_usd(0.9),
+        -model.monthly_saving_usd(0.5)
+    );
+    Ok(())
+}

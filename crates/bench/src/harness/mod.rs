@@ -1,0 +1,536 @@
+//! In-process harness entry points and the shared emission path.
+//!
+//! Every `exp_*`/`figure*`/`table*` binary is a thin wrapper around a
+//! module here: its body takes a [`HarnessCtx`] and routes *all* output
+//! through it — stdout via the [`out!`]/[`outln!`] macros, file
+//! artifacts via [`HarnessCtx::emit_artifact`]/[`HarnessCtx::finish_trace`].
+//! That single code path is what makes every harness replayable:
+//!
+//! * **live** (the binary's `main`): output tees to the real stdout,
+//!   artifacts land on disk, and `--manifest <path>` writes a
+//!   [`Manifest`] pinning the SHA-256 of everything emitted;
+//! * **captured** (`exp_replay`): the same body runs in-process with
+//!   output buffered, and the resulting pins are diffed against a
+//!   previously recorded manifest, naming the first diverging line.
+//!
+//! [`REGISTRY`] lists every harness with the `--quick` configuration its
+//! checked-in manifest under `data/manifests/` records.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use osdc_telemetry::Telemetry;
+
+use crate::manifest::{Manifest, ManifestRecorder};
+use crate::{jobs_from, solver_mode_from, trace_path_from};
+
+pub mod exp_audit;
+pub mod exp_billing_behavior;
+pub mod exp_cost_crossover;
+pub mod exp_gluster_mirroring;
+pub mod exp_occ_y_fairshare;
+pub mod exp_providers;
+pub mod exp_provisioning;
+pub mod exp_resilience;
+pub mod exp_scale;
+pub mod exp_sharing;
+pub mod exp_sustainability;
+pub mod exp_udt_ablation;
+pub mod figure1_tukey;
+pub mod figure2_matsu;
+pub mod figure3_topology;
+pub mod table1_csp;
+pub mod table2_resources;
+pub mod table3_udr;
+
+/// A harness run that must exit nonzero (acceptance bar violated).
+#[derive(Debug)]
+pub struct Failure(pub String);
+
+pub type RunResult = Result<(), Failure>;
+
+/// Shorthand for the harnesses' failure exits.
+pub fn fail(message: impl Into<String>) -> RunResult {
+    Err(Failure(message.into()))
+}
+
+/// The execution context threaded through every harness body.
+pub struct HarnessCtx {
+    args: Vec<String>,
+    live: bool,
+    captured: Vec<u8>,
+    recorder: ManifestRecorder,
+    /// Replay-only: the recorded worker count, used when the manifest's
+    /// args don't pin `--jobs` (output is jobs-invariant; this keeps the
+    /// re-recorded manifest field faithful on any host).
+    jobs_fallback: Option<usize>,
+    /// Captured runs keep the raw bytes of every emitted artifact so
+    /// `exp_replay` can name the first diverging line, not just report a
+    /// hash mismatch. Live runs skip this (the bytes are on disk).
+    raw_artifacts: Vec<(String, Vec<u8>)>,
+}
+
+impl HarnessCtx {
+    /// Context for a live binary run: output tees to stdout, artifacts
+    /// land on disk.
+    pub fn live(experiment: &str, args: Vec<String>) -> HarnessCtx {
+        HarnessCtx {
+            recorder: ManifestRecorder::new(experiment, args.clone()),
+            args,
+            live: true,
+            captured: Vec::new(),
+            jobs_fallback: None,
+            raw_artifacts: Vec::new(),
+        }
+    }
+
+    /// Context for an in-process captured run (`exp_replay`): output is
+    /// buffered only, nothing touches the filesystem.
+    pub fn captured(
+        experiment: &str,
+        args: Vec<String>,
+        jobs_fallback: Option<usize>,
+    ) -> HarnessCtx {
+        HarnessCtx {
+            recorder: ManifestRecorder::new(experiment, args.clone()),
+            args,
+            live: false,
+            captured: Vec::new(),
+            jobs_fallback,
+            raw_artifacts: Vec::new(),
+        }
+    }
+
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The shared `--quick` CI-smoke flag.
+    pub fn quick(&self) -> bool {
+        self.has_flag("--quick")
+    }
+
+    /// Print the harness banner.
+    pub fn banner(&mut self, artifact: &str, description: &str) {
+        crate::outln!(self, "{}", "=".repeat(78));
+        crate::outln!(self, "{artifact} — {description}");
+        crate::outln!(self, "{}", "=".repeat(78));
+    }
+
+    /// Print the replay-seed line and record the seed in the manifest.
+    pub fn seed_line(&mut self, seed: u64) {
+        self.recorder.set_seed(seed);
+        crate::outln!(self, "(deterministic run, seed = {seed})\n");
+    }
+
+    /// Parse the shared `--jobs <N>` flag (recording the value used).
+    pub fn jobs(&mut self, default: usize) -> usize {
+        let explicit = self
+            .args
+            .iter()
+            .any(|a| a == "--jobs" || a.starts_with("--jobs="));
+        let jobs = if explicit {
+            jobs_from(&self.args, default)
+        } else {
+            self.jobs_fallback.unwrap_or(default).max(1)
+        };
+        self.recorder.set_jobs(jobs);
+        jobs
+    }
+
+    /// Parse the shared fluid-solver flags (recording the mode used).
+    pub fn solver_mode(&mut self) -> osdc_net::SolverMode {
+        let mode = solver_mode_from(&self.args);
+        self.recorder
+            .set_solver(if self.has_flag("--reference-solver") {
+                "reference"
+            } else if self.has_flag("--tick-compat") {
+                "tick-compat"
+            } else {
+                "epoch"
+            });
+        mode
+    }
+
+    /// Whether this run wants the telemetry JSONL artifact (`--trace`).
+    pub fn trace_enabled(&self) -> bool {
+        self.args
+            .iter()
+            .any(|a| a == "--trace" || a.starts_with("--trace="))
+    }
+
+    /// Record the digest of the run's chaos fault plan(s).
+    pub fn record_fault_plan<T: serde::Serialize>(&mut self, plan: &T) {
+        self.recorder.record_fault_plan(plan);
+    }
+
+    /// Pin a named artifact and, on live runs, write it next to the
+    /// system temp dir. Printed context stays path-free so recorded and
+    /// replayed stdout match byte for byte.
+    pub fn emit_artifact(&mut self, name: &str, content: &[u8]) {
+        self.recorder.record_artifact(name, content);
+        if !self.live {
+            self.raw_artifacts
+                .push((name.to_string(), content.to_vec()));
+        }
+        if self.live {
+            let path = std::env::temp_dir().join(name);
+            match std::fs::write(&path, content) {
+                Ok(()) => self.note(&format!("artifact {name} written to {}", path.display())),
+                Err(e) => self.note(&format!("(could not write artifact {name}: {e})")),
+            }
+        }
+    }
+
+    /// The shared tail of every `--trace`-capable harness: pin the
+    /// telemetry JSONL as the `trace.jsonl` artifact, print the ops
+    /// report, and on live runs write the file to the `--trace` path.
+    pub fn finish_trace(&mut self, tele: &Telemetry) {
+        let jsonl = tele.export_jsonl();
+        let pin = crate::manifest::ArtifactPin::of("trace.jsonl", jsonl.as_bytes());
+        let (lines, sha16) = (pin.lines, pin.sha256[..16].to_string());
+        self.recorder
+            .record_artifact("trace.jsonl", jsonl.as_bytes());
+        if !self.live {
+            self.raw_artifacts
+                .push(("trace.jsonl".to_string(), jsonl.clone().into_bytes()));
+        }
+        crate::outln!(self);
+        crate::out!(self, "{}", tele.ops_report());
+        crate::outln!(
+            self,
+            "trace artifact trace.jsonl recorded ({lines} lines, sha256 {sha16})"
+        );
+        if self.live {
+            if let Some(path) = trace_path_from(&self.args) {
+                match std::fs::write(&path, jsonl.as_bytes()) {
+                    Ok(()) => self.note(&format!("trace written to {}", path.display())),
+                    Err(e) => {
+                        eprintln!("cannot write trace to {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A live-only informational line (real filesystem paths and other
+    /// host-dependent chatter). Never captured, never hashed.
+    pub fn note(&self, message: &str) {
+        if self.live {
+            println!("{message}");
+        }
+    }
+
+    /// Everything printed so far (the bytes `stdout`'s pin covers).
+    pub fn captured_bytes(&self) -> &[u8] {
+        &self.captured
+    }
+
+    #[doc(hidden)]
+    pub fn write_fmt_out(&mut self, args: fmt::Arguments<'_>) {
+        use fmt::Write as _;
+        let mut s = String::new();
+        s.write_fmt(args).expect("formatting never fails");
+        self.captured.extend_from_slice(s.as_bytes());
+        if self.live {
+            std::io::stdout()
+                .write_all(s.as_bytes())
+                .expect("stdout write");
+        }
+    }
+
+    /// Finish the run into its manifest.
+    pub fn finish(self) -> Manifest {
+        self.recorder.finish(&self.captured)
+    }
+
+    /// Finish a captured run into its manifest plus the raw bytes of
+    /// everything it emitted (stdout first), for line-level diffing.
+    pub fn finish_with_raw(self) -> (Manifest, Vec<(String, Vec<u8>)>) {
+        let mut raw = vec![("stdout".to_string(), self.captured.clone())];
+        raw.extend(self.raw_artifacts);
+        (self.recorder.finish(&self.captured), raw)
+    }
+}
+
+/// Print a line through a [`HarnessCtx`] (the harness replacement for
+/// `println!`).
+#[macro_export]
+macro_rules! outln {
+    ($ctx:expr) => { $ctx.write_fmt_out(format_args!("\n")) };
+    ($ctx:expr, $($arg:tt)*) => {{
+        $ctx.write_fmt_out(format_args!($($arg)*));
+        $ctx.write_fmt_out(format_args!("\n"));
+    }};
+}
+
+/// Print through a [`HarnessCtx`] without a trailing newline.
+#[macro_export]
+macro_rules! out {
+    ($ctx:expr, $($arg:tt)*) => { $ctx.write_fmt_out(format_args!($($arg)*)) };
+}
+
+/// One registered harness: name, quick configuration, entry point.
+pub struct HarnessSpec {
+    pub name: &'static str,
+    pub title: &'static str,
+    /// The arguments the checked-in `data/manifests/<name>.json` records
+    /// (each harness's CI-quick configuration).
+    pub quick_args: &'static [&'static str],
+    pub run: fn(&mut HarnessCtx) -> RunResult,
+}
+
+/// Every replayable harness. `bench_*` binaries measure wall clock and
+/// are deliberately absent: their output is machine-dependent.
+pub static REGISTRY: &[HarnessSpec] = &[
+    HarnessSpec {
+        name: "table1_csp",
+        title: "commercial CSP vs science CSP, measured",
+        quick_args: &[],
+        run: table1_csp::run,
+    },
+    HarnessSpec {
+        name: "table2_resources",
+        title: "summary of resources operated by the OCC",
+        quick_args: &[],
+        run: table2_resources::run,
+    },
+    HarnessSpec {
+        name: "table3_udr",
+        title: "UDR vs rsync transfer grid, Chicago ↔ LVOC",
+        quick_args: &["--jobs=2", "--trace=trace.jsonl"],
+        run: table3_udr::run,
+    },
+    HarnessSpec {
+        name: "figure1_tukey",
+        title: "Tukey console + middleware end to end",
+        quick_args: &["--trace=trace.jsonl"],
+        run: figure1_tukey::run,
+    },
+    HarnessSpec {
+        name: "figure2_matsu",
+        title: "EO-1 flood detection on the Matsu cloud",
+        quick_args: &[],
+        run: figure2_matsu::run,
+    },
+    HarnessSpec {
+        name: "figure3_topology",
+        title: "OSDC clusters, WAN paths, Tukey connectivity",
+        quick_args: &[],
+        run: figure3_topology::run,
+    },
+    HarnessSpec {
+        name: "exp_provisioning",
+        title: "rack provisioning: manual vs automated",
+        quick_args: &[],
+        run: exp_provisioning::run,
+    },
+    HarnessSpec {
+        name: "exp_cost_crossover",
+        title: "OSDC rack vs AWS cost crossover",
+        quick_args: &[],
+        run: exp_cost_crossover::run,
+    },
+    HarnessSpec {
+        name: "exp_billing_behavior",
+        title: "billing as a behavioral control",
+        quick_args: &[],
+        run: exp_billing_behavior::run,
+    },
+    HarnessSpec {
+        name: "exp_gluster_mirroring",
+        title: "GlusterFS 3.1 mirroring bug vs 3.3",
+        quick_args: &["--jobs=2"],
+        run: exp_gluster_mirroring::run,
+    },
+    HarnessSpec {
+        name: "exp_udt_ablation",
+        title: "transport ablations behind Table 3",
+        quick_args: &["--jobs=2"],
+        run: exp_udt_ablation::run,
+    },
+    HarnessSpec {
+        name: "exp_sustainability",
+        title: "the sustainability model over eight years",
+        quick_args: &[],
+        run: exp_sustainability::run,
+    },
+    HarnessSpec {
+        name: "exp_occ_y_fairshare",
+        title: "OCC-Y fair-share scheduling",
+        quick_args: &[],
+        run: exp_occ_y_fairshare::run,
+    },
+    HarnessSpec {
+        name: "exp_resilience",
+        title: "chaos campaigns: storage era × retry policy",
+        quick_args: &["--quick", "--jobs=2", "--trace=trace.jsonl"],
+        run: exp_resilience::run,
+    },
+    HarnessSpec {
+        name: "exp_audit",
+        title: "differential audit sweep",
+        quick_args: &["--quick"],
+        run: exp_audit::run,
+    },
+    HarnessSpec {
+        name: "exp_sharing",
+        title: "capability sharing under churn and partitions",
+        quick_args: &["--quick", "--jobs=2", "--trace=trace.jsonl"],
+        run: exp_sharing::run,
+    },
+    HarnessSpec {
+        name: "exp_providers",
+        title: "provider mix × fault schedule failover",
+        quick_args: &["--quick", "--jobs=2", "--trace=trace.jsonl"],
+        run: exp_providers::run,
+    },
+    HarnessSpec {
+        name: "exp_scale",
+        title: "tenant scale grid: incremental vs sweep",
+        quick_args: &["--quick", "--jobs=2"],
+        run: exp_scale::run,
+    },
+];
+
+pub fn find(name: &str) -> Option<&'static HarnessSpec> {
+    REGISTRY.iter().find(|spec| spec.name == name)
+}
+
+/// Extract `--manifest <path>` / `--manifest=<path>` from an argument
+/// list, returning the remaining args and the path.
+pub fn split_manifest_flag(args: &[String]) -> (Vec<String>, Option<PathBuf>) {
+    let mut rest = Vec::new();
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--manifest" {
+            match it.next() {
+                Some(p) => path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--manifest requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--manifest=") {
+            path = Some(PathBuf::from(p));
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, path)
+}
+
+/// The shared `main` of every harness binary: run the named harness
+/// live, honour `--manifest <path>`, exit nonzero on failure.
+pub fn main_entry(name: &str) -> ! {
+    let spec = find(name).unwrap_or_else(|| panic!("harness {name:?} not in REGISTRY"));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (args, manifest_path) = split_manifest_flag(&argv);
+    let mut ctx = HarnessCtx::live(name, args);
+    let outcome = (spec.run)(&mut ctx);
+    let manifest = ctx.finish();
+    if let Err(Failure(message)) = outcome {
+        eprintln!("\nFAIL: {message}");
+        std::process::exit(1);
+    }
+    if let Some(path) = manifest_path {
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write manifest to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("manifest written to {}", path.display());
+    }
+    std::process::exit(0);
+}
+
+/// The outcome of one in-process captured run.
+pub struct CapturedRun {
+    pub manifest: Manifest,
+    /// Raw bytes of everything emitted, stdout first, in emission order.
+    pub raw: Vec<(String, Vec<u8>)>,
+    pub outcome: RunResult,
+}
+
+/// Run a harness in-process with output captured, producing the manifest
+/// its pins would record. Panics inside the harness (acceptance
+/// assertions) are caught and surfaced as failures. The process-global
+/// audit-violation registry is reset first so sequential replays stay
+/// independent.
+pub fn run_captured(
+    spec: &HarnessSpec,
+    args: Vec<String>,
+    jobs_fallback: Option<usize>,
+) -> CapturedRun {
+    osdc_telemetry::audit::reset();
+    let mut ctx = HarnessCtx::captured(spec.name, args, jobs_fallback);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.run)(&mut ctx)))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err(Failure(format!("harness panicked: {msg}")))
+        });
+    let (manifest, raw) = ctx.finish_with_raw();
+    CapturedRun {
+        manifest,
+        raw,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for spec in REGISTRY {
+            assert!(std::ptr::eq(find(spec.name).unwrap(), spec));
+        }
+        let mut names: Vec<_> = REGISTRY.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn manifest_flag_splits_out() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (rest, path) = split_manifest_flag(&args(&["--quick", "--manifest", "m.json"]));
+        assert_eq!(rest, args(&["--quick"]));
+        assert_eq!(path, Some(PathBuf::from("m.json")));
+        let (rest, path) = split_manifest_flag(&args(&["--manifest=x.json", "--jobs=2"]));
+        assert_eq!(rest, args(&["--jobs=2"]));
+        assert_eq!(path, Some(PathBuf::from("x.json")));
+        let (rest, path) = split_manifest_flag(&args(&["--quick"]));
+        assert_eq!(rest, args(&["--quick"]));
+        assert_eq!(path, None);
+    }
+
+    #[test]
+    fn captured_ctx_buffers_without_stdout() {
+        let mut ctx = HarnessCtx::captured("x", vec![], None);
+        outln!(ctx, "hello {}", 42);
+        out!(ctx, "tail");
+        assert_eq!(ctx.captured_bytes(), b"hello 42\ntail");
+    }
+
+    #[test]
+    fn jobs_fallback_applies_only_without_flag() {
+        let mut ctx = HarnessCtx::captured("x", vec!["--jobs=3".into()], Some(7));
+        assert_eq!(ctx.jobs(1), 3);
+        let mut ctx = HarnessCtx::captured("x", vec![], Some(7));
+        assert_eq!(ctx.jobs(1), 7);
+        let mut ctx = HarnessCtx::captured("x", vec![], None);
+        assert_eq!(ctx.jobs(5), 5);
+    }
+}

@@ -9,6 +9,8 @@
 //! `exp_scale` (correctness + determinism) and `bench_scale` (wall
 //! clock + peak memory).
 
+pub mod harness;
+pub mod manifest;
 pub mod scale;
 
 /// Print a harness banner naming the artifact being regenerated.

@@ -1,0 +1,155 @@
+//! Manifest round-trip properties and the end-to-end replay gate.
+//!
+//! The round-trip property pins the serde compat shims: any manifest the
+//! recorder can produce must survive `to_json` → `from_json` exactly,
+//! or checked-in manifests would silently drift. The process tests drive
+//! the real `exp_replay` binary: a faithful manifest must replay clean,
+//! a tampered hash must fail naming the diverging artifact, and
+//! `OSDC_UPDATE_SNAPSHOTS=1` must rewrite instead of fail.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use osdc_bench::harness::{find, run_captured};
+use osdc_bench::manifest::{ArtifactPin, Manifest};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+// ------------------------------------------------------------- round-trip
+
+/// A manifest assembled from drawn values: optional fields both ways,
+/// args with flag-looking shapes, artifacts over newline-bearing
+/// content (including an empty and an unterminated-final-line case).
+fn arb_manifest(rng: &mut TestRng) -> Manifest {
+    let artifacts = (0..rng.below(4) + 1)
+        .map(|i| {
+            let len = rng.below(400) as usize;
+            let content: Vec<u8> = (0..len)
+                .map(|_| {
+                    if rng.below(8) == 0 {
+                        b'\n'
+                    } else {
+                        (0x20 + rng.below(0x5f)) as u8
+                    }
+                })
+                .collect();
+            ArtifactPin::of(&format!("artifact{i}.out"), &content)
+        })
+        .collect();
+    Manifest {
+        experiment: format!("exp_{}", rng.below(1000)),
+        seed: (rng.below(2) == 0).then(|| rng.next_u64()),
+        solver: (rng.below(2) == 0).then(|| "tick-compat".to_string()),
+        jobs: rng.below(64),
+        args: (0..rng.below(4))
+            .map(|i| format!("--flag{i}={}", rng.below(100)))
+            .collect(),
+        fault_plan_sha256: (rng.below(2) == 0).then(|| format!("{:064x}", rng.next_u64())),
+        artifacts,
+    }
+}
+
+proptest! {
+    #[test]
+    fn manifest_roundtrips_through_json(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let manifest = arb_manifest(&mut rng);
+        let json = manifest.to_json();
+        let back = Manifest::from_json(&json).expect("recorded manifests parse");
+        prop_assert_eq!(&back, &manifest);
+        // Stability: a second serialization is byte-identical, so
+        // re-recorded manifests diff cleanly in review.
+        prop_assert_eq!(back.to_json(), json);
+    }
+}
+
+// ------------------------------------------------------ the replay gate
+
+/// A fresh quick-config manifest for the fastest registered harness.
+fn recorded_manifest() -> Manifest {
+    let spec = find("table1_csp").expect("registered");
+    let run = run_captured(spec, vec![], None);
+    run.outcome.as_ref().expect("table1_csp passes");
+    run.manifest
+}
+
+fn write_temp(tag: &str, manifest: &Manifest) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("osdc_replay_{tag}_{}.json", std::process::id()));
+    std::fs::write(&path, manifest.to_json()).expect("temp manifest writes");
+    path
+}
+
+fn exp_replay() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp_replay"));
+    cmd.env_remove("OSDC_UPDATE_SNAPSHOTS");
+    cmd
+}
+
+#[test]
+fn faithful_manifest_replays_clean() {
+    let path = write_temp("clean", &recorded_manifest());
+    let out = exp_replay().arg(&path).output().expect("exp_replay runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean replay must pass:\n{stdout}");
+    assert!(stdout.contains("stdout: match"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn tampered_hash_fails_naming_the_artifact() {
+    let mut manifest = recorded_manifest();
+    let pin = &mut manifest.artifacts[0];
+    assert_eq!(pin.name, "stdout");
+    pin.sha256 = "0".repeat(64);
+    pin.line_hashes[3] = "deadbeef".to_string();
+    let path = write_temp("tampered", &manifest);
+    let out = exp_replay().arg(&path).output().expect("exp_replay runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "tampered replay must fail:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("table1_csp diverged on stdout"),
+        "failure must name the diverging artifact:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("first divergence at line 4"),
+        "failure must name the first diverging line:\n{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn update_snapshots_rewrites_a_diverged_manifest() {
+    let pristine = recorded_manifest();
+    let mut tampered = pristine.clone();
+    tampered.artifacts[0].sha256 = "f".repeat(64);
+    let path = write_temp("update", &tampered);
+    let out = exp_replay()
+        .env("OSDC_UPDATE_SNAPSHOTS", "1")
+        .arg(&path)
+        .output()
+        .expect("exp_replay runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "update mode must pass:\n{stdout}");
+    assert!(stdout.contains("updated"), "{stdout}");
+    let rewritten = Manifest::from_json(&std::fs::read_to_string(&path).expect("rewritten"))
+        .expect("rewritten manifest parses");
+    assert_eq!(rewritten, pristine, "rewrite restores the true pins");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let mut manifest = recorded_manifest();
+    manifest.experiment = "exp_nonexistent".to_string();
+    let path = write_temp("unknown", &manifest);
+    let out = exp_replay().arg(&path).output().expect("exp_replay runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("not a registered harness"),
+        "must name the unknown experiment"
+    );
+    std::fs::remove_file(path).ok();
+}

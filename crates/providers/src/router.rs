@@ -139,11 +139,11 @@ impl FailoverRouter {
             };
             ranked.push((rate, idx, name));
         }
-        ranked.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite rates")
-                .then(a.1.cmp(&b.1))
-        });
+        // total_cmp, not partial_cmp().expect(): a provider advertising
+        // a NaN spot rate must not panic placement. NaN sorts last under
+        // the IEEE total order, so such a provider becomes the candidate
+        // of last resort; registration order still breaks price ties.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         ranked.into_iter().map(|(_, _, name)| name).collect()
     }
 
@@ -458,10 +458,11 @@ impl FailoverRouter {
 mod tests {
     use super::*;
     use crate::canonical::AliasTables;
-    use crate::pricing::osdc_default_catalogs;
+    use crate::pricing::{osdc_default_catalogs, FlavorPrice, PricingCatalog};
     use crate::provider::ClassicProvider;
     use osdc_compute::cloud::CloudController;
     use osdc_telemetry::Telemetry;
+    use proptest::prelude::*;
 
     const SEC: u64 = 1_000_000_000;
 
@@ -609,5 +610,75 @@ mod tests {
         r.registry.set_health("sullivan", |h| h.outage = false);
         r.reconcile(SimTime(300 * SEC));
         assert!(r.registry.ground_truth("sullivan").is_empty(), "cleaned");
+    }
+
+    /// The rate a provider of kind `k` (registered at index `i`)
+    /// advertises for "small" — kinds 0..=2 are the pathological spot
+    /// quotes a misbehaving market can emit.
+    fn rate_of(k: u8, i: usize, mag: f64) -> f64 {
+        match k {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => mag * (i as f64 + 1.0),
+        }
+    }
+
+    proptest! {
+        // Candidate ranking must never panic on non-finite rates, and
+        // the order must stay deterministic: IEEE total order on rate
+        // (NaN last), registration order on ties.
+        #[test]
+        fn candidates_tolerate_non_finite_rates(
+            kinds in proptest::collection::vec(0u8..5, 2usize..6),
+            mag in 0.01f64..10.0,
+        ) {
+            let mut reg = ProviderRegistry::new(Telemetry::disabled(), 0x9a7);
+            for (i, &k) in kinds.iter().enumerate() {
+                let name = format!("p{i}");
+                let mut flavors = std::collections::BTreeMap::new();
+                flavors.insert(
+                    "small".to_string(),
+                    FlavorPrice {
+                        vcpus: 1,
+                        per_core_hour_usd: rate_of(k, i, mag),
+                    },
+                );
+                let cat = PricingCatalog {
+                    provider: name.clone(),
+                    currency: "USD".to_string(),
+                    per_call_usd: 0.0001,
+                    flavors,
+                    spot_floor_usd: 0.0,
+                    spot_ceiling_usd: 0.0,
+                };
+                reg.register(
+                    Box::new(ClassicProvider::openstack(
+                        &name,
+                        CloudController::with_racks(&name, 1),
+                        aliases(),
+                    )),
+                    cat,
+                );
+            }
+            let r = FailoverRouter::new(reg);
+            let order = r.candidates("small", "ubuntu-base");
+            prop_assert_eq!(order.len(), kinds.len(), "every provider ranked");
+            prop_assert_eq!(&order, &r.candidates("small", "ubuntu-base"));
+            let rates: Vec<f64> = order
+                .iter()
+                .map(|n| {
+                    let i: usize = n[1..].parse().expect("p<i> name");
+                    rate_of(kinds[i], i, mag)
+                })
+                .collect();
+            for w in rates.windows(2) {
+                prop_assert!(
+                    w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater,
+                    "rates out of total order: {} then {}", w[0], w[1]
+                );
+            }
+        }
     }
 }

@@ -147,6 +147,11 @@ pub struct SharingReport {
     pub checks_allowed: u64,
     pub checks_denied: u64,
     pub copies: u64,
+    /// Copy materializations that returned a typed [`ShareError`]
+    /// (capability denied at enforcement time, or the UDR session
+    /// failed) instead of completing. A revocation or partition racing a
+    /// copy lands here, never in a panic.
+    pub copies_failed: u64,
     pub bytes_copied: u64,
     /// Revoked or expired capabilities still granting anywhere. The
     /// acceptance bar: zero, always.
@@ -179,6 +184,7 @@ struct World {
     checks_allowed: u64,
     checks_denied: u64,
     copies: u64,
+    copies_failed: u64,
     bytes_copied: u64,
 }
 
@@ -416,6 +422,7 @@ impl SharingSim {
             checks_allowed: 0,
             checks_denied: 0,
             copies: 0,
+            copies_failed: 0,
             bytes_copied: 0,
         };
         let mut engine = Engine::new();
@@ -576,13 +583,20 @@ impl SharingSim {
         bytes: u64,
     ) -> Result<TransferReport, ShareError> {
         let now = self.engine.now();
-        let cap_id = self.world.registries[at.index()]
-            .check(grantee, path, Action::Copy, now)
-            .ok_or_else(|| ShareError::Denied {
-                grantee: grantee.to_string(),
-                path: path.to_string(),
-                action: Action::Copy,
-            })?;
+        let checked = self.world.registries[at.index()].check(grantee, path, Action::Copy, now);
+        let cap_id = match checked {
+            Some(id) => id,
+            // A revocation (or a lend expiry) that raced the copy: the
+            // caller gets the typed error and the scorecard counts it.
+            None => {
+                self.count_copy_failure();
+                return Err(ShareError::Denied {
+                    grantee: grantee.to_string(),
+                    path: path.to_string(),
+                    action: Action::Copy,
+                });
+            }
+        };
         let src = cap_id.origin;
         if src == at {
             return Err(ShareError::AlreadyLocal);
@@ -615,15 +629,28 @@ impl SharingSim {
         );
         let mut engine = TransferEngine::new(net);
         engine.set_telemetry(self.world.tele.clone());
-        let report = engine
-            .try_run(&spec, SimDuration::from_hours(24))
-            .map_err(ShareError::Transfer)?;
+        let report = match engine.try_run(&spec, SimDuration::from_hours(24)) {
+            Ok(report) => report,
+            // The WAN as partitioned right now could not carry the
+            // session: counted, not fatal.
+            Err(e) => {
+                self.count_copy_failure();
+                return Err(ShareError::Transfer(e));
+            }
+        };
         self.world.copies += 1;
         self.world.bytes_copied += bytes;
         self.world
             .tele
             .add(self.world.tele.counter("sharing.bytes_copied"), bytes);
         Ok(report)
+    }
+
+    fn count_copy_failure(&mut self) {
+        self.world.copies_failed += 1;
+        self.world
+            .tele
+            .add(self.world.tele.counter("sharing.copies_failed"), 1);
     }
 
     /// Count revoked-or-expired capabilities still granting anywhere, at
@@ -657,7 +684,10 @@ impl SharingSim {
 
     pub fn report(&self) -> SharingReport {
         let mut latencies = self.world.convergence_secs.clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp, not partial_cmp().expect(): a NaN latency (e.g. a
+        // poisoned clock delta) must not panic the scorecard. NaNs sort
+        // last under the IEEE total order, so p50/max stay meaningful.
+        latencies.sort_by(f64::total_cmp);
         let p50 = if latencies.is_empty() {
             0.0
         } else {
@@ -678,6 +708,7 @@ impl SharingSim {
             checks_allowed: self.world.checks_allowed,
             checks_denied: self.world.checks_denied,
             copies: self.world.copies,
+            copies_failed: self.world.copies_failed,
             bytes_copied: self.world.bytes_copied,
             safety_violations: self.safety_violations(),
         }
@@ -840,6 +871,39 @@ mod tests {
             s.copy_to(DcId(2), "grace", "/public/ncbi/blast.db", 1024),
             Err(ShareError::Denied { .. })
         ));
+    }
+
+    #[test]
+    fn revocation_racing_a_copy_is_counted_not_fatal() {
+        let mut s = sim(7);
+        let id = s.grant(DcId(0), "heidi", "/projects/genomics", TrustLevel::Copy);
+        assert!(s.quiesce(16));
+        s.revoke(DcId(0), id);
+        assert!(s.quiesce(16));
+        // The capability is dead everywhere by the time the materialize
+        // lands: typed error, scorecard event, no panic.
+        assert!(matches!(
+            s.copy_to(DcId(2), "heidi", "/projects/genomics", 1 << 20),
+            Err(ShareError::Denied { .. })
+        ));
+        let r = s.report();
+        assert_eq!(r.copies, 0);
+        assert_eq!(r.copies_failed, 1);
+    }
+
+    #[test]
+    fn report_survives_nan_convergence_latency() {
+        // A poisoned latency sample must not panic the sort; NaN orders
+        // last under total_cmp so max is still finite-meaningful only
+        // when the data is, and p50 keeps working regardless.
+        let mut s = sim(8);
+        s.grant(DcId(0), "ivan", "/data/climate", TrustLevel::View);
+        s.quiesce(16);
+        s.world.convergence_secs.push(f64::NAN);
+        s.world.convergence_secs.push(12.5);
+        let r = s.report();
+        assert_eq!(r.records_converged, s.world.convergence_secs.len() as u64);
+        assert!(r.convergence_p50_secs.is_finite());
     }
 
     #[test]
